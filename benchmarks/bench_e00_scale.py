@@ -1,0 +1,75 @@
+"""E0 (harness) — pipeline scaling.
+
+Not a paper artifact: a cost profile of every pipeline stage across
+topology sizes, so users know what a workload costs before running it.
+The benchmark measures the full small-scenario pipeline; the table
+reports per-stage wall times at three scales.
+"""
+
+import time
+
+from conftest import write_report
+
+from repro.bgp.collector import Collector, CollectorConfig
+from repro.core.cone import ConeDefinition, compute_cones
+from repro.core.inference import infer_relationships
+from repro.core.paths import PathSet
+from repro.scenarios import get_scenario
+from repro.topology.generator import GeneratorConfig, generate_topology
+
+SIZES = (300, 800, 1500)
+
+
+def _profile(n_ases: int):
+    timings = {}
+    start = time.perf_counter()
+    graph = generate_topology(GeneratorConfig(n_ases=n_ases, seed=99))
+    timings["generate"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    corpus = Collector(
+        graph, CollectorConfig(n_vps=max(12, n_ases // 35), seed=1)
+    ).run()
+    timings["propagate+collect"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    paths = PathSet.sanitize(corpus.paths, ixp_asns=graph.ixp_asns())
+    timings["sanitize"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = infer_relationships(paths)
+    timings["infer"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    compute_cones(result, ConeDefinition.PROVIDER_PEER_OBSERVED)
+    timings["cones"] = time.perf_counter() - start
+    return timings, len(paths), len(result)
+
+
+def test_e00_scaling(benchmark):
+    scenario = get_scenario("small")
+    benchmark.pedantic(scenario.run, rounds=2, iterations=1)
+
+    lines = ["E0: pipeline stage wall time (seconds)", "-" * 70,
+             f"{'ASes':>6}{'paths':>8}{'links':>7}"
+             f"{'generate':>10}{'collect':>9}{'sanitize':>10}"
+             f"{'infer':>8}{'cones':>8}"]
+    rows = []
+    for n_ases in SIZES:
+        timings, n_paths, n_links = _profile(n_ases)
+        rows.append((n_ases, timings))
+        lines.append(
+            f"{n_ases:>6}{n_paths:>8}{n_links:>7}"
+            f"{timings['generate']:>10.3f}{timings['propagate+collect']:>9.3f}"
+            f"{timings['sanitize']:>10.3f}{timings['infer']:>8.3f}"
+            f"{timings['cones']:>8.3f}"
+        )
+    write_report("E00_scale", lines)
+
+    # collection and inference dominate the cost profile, and the full
+    # pipeline stays laptop-friendly at the largest benchmark scale
+    for _, timings in rows:
+        heavy = timings["propagate+collect"] + timings["infer"]
+        assert heavy >= 0.5 * sum(timings.values())
+    total_large = sum(rows[-1][1].values())
+    assert total_large < 120.0

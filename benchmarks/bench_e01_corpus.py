@@ -1,0 +1,35 @@
+"""E1 — BGP corpus summary (the paper's data-section table).
+
+Rows: vantage points (full/partial), raw and unique paths, observed
+ASes and links, RIB entries.  The benchmark measures a full collection
+pass (propagation over every origin + path materialization), the
+pipeline's data-plane cost.
+"""
+
+from conftest import write_report
+
+from repro.analysis.metrics import snapshot_summary
+from repro.bgp.collector import Collector
+from repro.scenarios import get_scenario
+
+
+def test_e01_corpus_summary(benchmark, medium_run):
+    scenario = get_scenario("small")
+    graph = scenario.build_graph()
+
+    def collect_snapshot():
+        return Collector(graph, scenario.collector).run()
+
+    benchmark.pedantic(collect_snapshot, rounds=2, iterations=1)
+
+    summary = snapshot_summary(medium_run.corpus, medium_run.paths)
+    lines = ["E1: BGP corpus summary (medium scenario)", "-" * 44]
+    for key in (
+        "vps", "full_feeds", "partial_feeds", "raw_paths",
+        "unique_paths", "ases", "links", "rib_entries",
+    ):
+        lines.append(f"{key:<16}{summary[key]:>10}")
+    write_report("E01_corpus", lines)
+
+    assert summary["unique_paths"] > 1000
+    assert summary["ases"] > 700

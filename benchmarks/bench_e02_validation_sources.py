@@ -1,0 +1,57 @@
+"""E2 — validation data sources (the paper's Table 1).
+
+Rows: links asserted per source, pairwise overlaps, conflicts, and the
+share of all inferences each source can judge.  The benchmark measures
+corpus assembly (communities mining dominates: it scans every RIB row).
+"""
+
+from conftest import write_report
+
+from repro.validation import (
+    communities_corpus,
+    direct_report_corpus,
+    routing_policy_corpus,
+    rpsl_corpus,
+)
+
+
+def test_e02_validation_sources(benchmark, medium_run):
+    graph, corpus = medium_run.graph, medium_run.corpus
+
+    def build_all():
+        return (
+            direct_report_corpus(graph)
+            .merge(communities_corpus(corpus.rib, graph.ixp_asns()))
+            .merge(rpsl_corpus(graph))
+            .merge(routing_policy_corpus(graph))
+        )
+
+    merged = benchmark.pedantic(build_all, rounds=2, iterations=1)
+
+    by_source = merged.count_by_source()
+    observed_links = medium_run.paths.links()
+    total_links = len(medium_run.result)
+
+    lines = ["E2: validation data sources (medium scenario)", "-" * 48,
+             f"{'source':<14}{'records':>9}{'of inferences':>15}"]
+    for source in sorted(by_source):
+        pairs = {r.pair for r in merged if r.source == source}
+        judged = sum(1 for p in pairs if p in observed_links)
+        lines.append(
+            f"{source:<14}{by_source[source]:>9}{judged / total_links:>14.1%}"
+        )
+    lines.append(f"{'merged':<14}{len(merged):>9}")
+    lines.append("")
+    lines.append("pairwise overlap (links):")
+    sources = sorted(by_source)
+    for i, a in enumerate(sources):
+        for b in sources[i + 1:]:
+            lines.append(f"  {a:<12} ∩ {b:<12} {merged.overlap(a, b):>6}")
+    conflicted = sum(
+        1 for pair in merged.pairs() if merged.is_conflicted(*pair)
+    )
+    lines.append(f"conflicted links: {conflicted}")
+    write_report("E02_validation_sources", lines)
+
+    assert len(by_source) == 4
+    assert len(merged) > 200

@@ -1,0 +1,60 @@
+"""E3 — headline PPV table (the paper reports c2p 99.6%, p2p 98.7%,
+with 34.6% of inferences validated).
+
+Rows: PPV per relationship class against the merged multi-source
+corpus, plus the oracle (full ground truth) for reference.  The
+benchmark measures the scoring pass itself.
+"""
+
+from conftest import write_report
+
+from repro.relationships import Relationship
+from repro.validation import (
+    communities_corpus,
+    direct_report_corpus,
+    routing_policy_corpus,
+    rpsl_corpus,
+    validate,
+    validate_against_truth,
+)
+
+# the numbers the paper reports, used for shape comparison in the report
+PAPER_C2P_PPV = 0.996
+PAPER_P2P_PPV = 0.987
+
+
+def test_e03_headline_ppv(benchmark, medium_run):
+    graph, corpus, result = medium_run.graph, medium_run.corpus, medium_run.result
+    merged = (
+        direct_report_corpus(graph)
+        .merge(communities_corpus(corpus.rib, graph.ixp_asns()))
+        .merge(rpsl_corpus(graph))
+        .merge(routing_policy_corpus(graph))
+    )
+
+    report = benchmark.pedantic(
+        lambda: validate(result, merged, step_lookup=result.step_of),
+        rounds=3, iterations=1,
+    )
+    oracle = validate_against_truth(result, graph)
+
+    lines = ["E3: headline PPV (medium scenario)", "-" * 52,
+             f"{'class':<8}{'measured':>10}{'oracle':>10}{'paper':>9}{'judged':>8}"]
+    for rel, paper in ((Relationship.P2C, PAPER_C2P_PPV),
+                       (Relationship.P2P, PAPER_P2P_PPV)):
+        measured = report.by_class.get(rel)
+        truth = oracle.by_class.get(rel)
+        lines.append(
+            f"{rel.label:<8}{measured.ppv:>10.4f}{truth.ppv:>10.4f}"
+            f"{paper:>9.3f}{measured.total:>8}"
+        )
+    lines.append("")
+    lines.append(f"coverage: {report.coverage:.1%} of {report.total_inferences} "
+                 f"inferences validated (paper: 34.6%)")
+    lines.append(f"conflicted validation links: {report.conflicted}")
+    write_report("E03_ppv", lines)
+
+    # the paper's shape: c2p nearly perfect, p2p high
+    assert report.ppv(Relationship.P2C) > 0.97
+    assert report.ppv(Relationship.P2P) > 0.75
+    assert 0.05 < report.coverage <= 1.0

@@ -1,0 +1,58 @@
+"""E4 — per-step attribution (the paper's table of how many links each
+algorithm step labels, and how accurate each step is).
+
+The benchmark measures the full inference pipeline run.
+"""
+
+from conftest import write_report
+
+from repro.core.inference import infer_relationships
+from repro.validation import validate_against_truth
+
+
+def test_e04_step_attribution(benchmark, medium_run):
+    paths = medium_run.paths
+
+    result = benchmark.pedantic(
+        lambda: infer_relationships(paths, medium_run.scenario.inference),
+        rounds=3, iterations=1,
+    )
+
+    oracle = validate_against_truth(result, medium_run.graph)
+    # re-score with step attribution
+    from repro.validation import validate
+    from repro.validation.ground_truth import ValidationCorpus, ValidationRecord
+    from repro.relationships import Relationship
+
+    corpus = ValidationCorpus()
+    for a, b in result.links():
+        rel = medium_run.graph.relationship(a, b)
+        if rel is None:
+            continue
+        provider = (
+            medium_run.graph.provider_of(a, b)
+            if rel is Relationship.P2C
+            else None
+        )
+        corpus.add(ValidationRecord(a=a, b=b, relationship=rel,
+                                    provider=provider, source="oracle"))
+    report = validate(result, corpus, step_lookup=result.step_of)
+
+    total = len(result)
+    counts = {step.value: n for step, n in result.counts_by_step().items()}
+    lines = ["E4: links labeled per pipeline step (medium scenario)",
+             "-" * 56,
+             f"{'step':<18}{'links':>7}{'share':>8}{'PPV':>8}"]
+    for step, n in sorted(counts.items(), key=lambda kv: -kv[1]):
+        metrics = report.by_step.get(step)
+        ppv = f"{metrics.ppv:.4f}" if metrics and metrics.total else "  n/a"
+        lines.append(f"{step:<18}{n:>7}{n / total:>7.1%}{ppv:>9}")
+    lines.append("")
+    lines.append(f"paths discarded as poisoned: {result.discarded_poisoned}")
+    lines.append(f"conflicting votes recorded : {len(result.conflicts)}")
+    write_report("E04_steps", lines)
+
+    # the paper's shape: the top-down step labels the majority of links
+    top_step = max(counts, key=counts.get)
+    assert top_step in ("top-down", "partial VP")
+    assert sum(counts.values()) == total

@@ -1,0 +1,60 @@
+"""E7 — the three customer-cone definitions compared (the paper's
+cone-definition figure: recursive over-counts, observed definitions
+depend on vantage points).
+
+Series: cone size by rank under each definition, plus totals and the
+per-AS ratio to ground truth for the top networks.  The benchmark
+measures the provider/peer-observed (PPDC) computation, the published
+dataset's kernel.
+"""
+
+from conftest import write_report
+
+from repro.core.cone import ConeDefinition, compute_cones
+
+
+def test_e07_cone_definitions(benchmark, medium_run):
+    result = medium_run.result
+
+    ppdc = benchmark.pedantic(
+        lambda: compute_cones(result, ConeDefinition.PROVIDER_PEER_OBSERVED),
+        rounds=3, iterations=1,
+    )
+    recursive = compute_cones(result, ConeDefinition.RECURSIVE)
+    bgp = compute_cones(result, ConeDefinition.BGP_OBSERVED)
+
+    def top_sizes(cones, k=10):
+        return sorted((len(c) for c in cones.values()), reverse=True)[:k]
+
+    lines = ["E7: customer cone sizes by rank, per definition",
+             "-" * 58,
+             f"{'rank':<6}{'recursive':>11}{'ppdc':>8}{'bgp-obs':>9}{'truth':>8}"]
+    truth_sizes = sorted(
+        (
+            len(medium_run.graph.customer_cone(asn))
+            for asn in medium_run.paths.asns()
+        ),
+        reverse=True,
+    )
+    r_top, p_top, b_top = top_sizes(recursive), top_sizes(ppdc), top_sizes(bgp)
+    for i in range(10):
+        lines.append(
+            f"{i + 1:<6}{r_top[i]:>11}{p_top[i]:>8}{b_top[i]:>9}"
+            f"{truth_sizes[i]:>8}"
+        )
+    total_r = sum(len(c) for c in recursive.values())
+    total_p = sum(len(c) for c in ppdc.values())
+    total_b = sum(len(c) for c in bgp.values())
+    lines.append("")
+    lines.append(f"total cone membership: recursive {total_r}, "
+                 f"ppdc {total_p}, bgp-observed {total_b}")
+    write_report("E07_cone_definitions", lines)
+
+    # the paper's shape: the recursive cone is the largest, both
+    # observed cones bounded by it, and the observed cone is the
+    # conservative estimate (well below the true recursive size but the
+    # same order of magnitude)
+    assert total_r >= total_p and total_r >= total_b
+    assert r_top[0] >= p_top[0] >= 1
+    assert p_top[0] >= 0.25 * truth_sizes[0]
+    assert p_top[0] <= truth_sizes[0]

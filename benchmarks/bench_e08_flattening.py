@@ -1,0 +1,62 @@
+"""E8 — the flattening Internet (the paper's cone-share time series).
+
+Series: provider/peer-observed cone share per era for the networks that
+were largest at the start, and for the tier-1 entrants.  The expected
+shape: incumbents lose share as growth attaches regionally and peering
+densifies; entrants gain.  The benchmark measures one full snapshot
+analysis (collect + sanitize + infer + cones).
+"""
+
+from conftest import write_report
+
+from repro.analysis.timeseries import analyze_snapshot, flattening_series
+from repro.bgp.collector import CollectorConfig
+
+
+def test_e08_flattening(benchmark, era_series):
+    snapshots, metrics = era_series
+
+    label, first_graph = snapshots[0]
+    benchmark.pedantic(
+        lambda: analyze_snapshot(label, first_graph,
+                                 CollectorConfig(n_vps=16, seed=3)),
+        rounds=2, iterations=1,
+    )
+
+    tracked = flattening_series(metrics)
+    lines = ["E8: cone share per era (provider/peer-observed)",
+             "-" * 64,
+             "  ASN     " + "".join(f"{m.label:>9}" for m in metrics)]
+    for asn, shares in sorted(tracked.items(), key=lambda kv: -kv[1][0]):
+        lines.append(
+            f"  AS{asn:<6}" + "".join(f"{s:>8.1%} " for s in shares)
+        )
+
+    base_clique = set(metrics[0].true_clique)
+    entrants = set(metrics[-1].true_clique) - base_clique
+
+    def direct_customer_share(snapshot) -> float:
+        """Fraction of the Internet buying transit straight from the
+        original clique — the stable structural flattening signal
+        (observed cone shares fluctuate with VP placement)."""
+        direct = set()
+        for member in base_clique:
+            direct |= snapshot.result.customers.get(member, set())
+        return len(direct) / snapshot.n_ases
+
+    shares = [direct_customer_share(m) for m in metrics]
+    lines.append("")
+    lines.append("original clique's direct-customer share per era:")
+    lines.append("  " + "  ".join(f"{s:.1%}" for s in shares))
+    if entrants:
+        entrant_last = sum(metrics[-1].cone_share(a) for a in entrants)
+        lines.append(
+            f"combined cone share of tier-1 entrants {sorted(entrants)} in "
+            f"the last era: {entrant_last:.1%}"
+        )
+    write_report("E08_flattening", lines)
+
+    # the flattening shape: growth attaches regionally, so the original
+    # clique serves a shrinking fraction of the Internet directly
+    assert shares[-1] < shares[0]
+    assert len(tracked) >= 3

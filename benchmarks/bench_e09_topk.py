@@ -1,0 +1,48 @@
+"""E9 — top-k ASes by customer cone (the paper's AS-rank table).
+
+Rows: the fifteen largest cones with sizes in ASes, prefixes and IPv4
+addresses, plus inferred neighbor counts — the asrank.caida.org row
+format.  The benchmark measures the ranking computation including
+prefix/address cone sizing.
+"""
+
+from conftest import write_report
+
+from repro.core.cone import ConeDefinition, CustomerCones
+from repro.core.rank import rank_ases
+
+
+def test_e09_top_k(benchmark, medium_run):
+    prefixes = {a.asn: a.prefixes for a in medium_run.graph.ases()}
+    cones = CustomerCones.compute(
+        medium_run.result,
+        ConeDefinition.PROVIDER_PEER_OBSERVED,
+        prefixes_by_asn=prefixes,
+    )
+
+    entries = benchmark.pedantic(
+        lambda: rank_ases(medium_run.result, cones, limit=15),
+        rounds=3, iterations=1,
+    )
+
+    lines = ["E9: top 15 ASes by customer cone (medium scenario)",
+             "-" * 74,
+             f"{'rank':>4} {'asn':>6} {'cone':>6} {'pfx':>6} {'addresses':>12} "
+             f"{'transit':>8} {'cust':>5} {'peer':>5} {'prov':>5}"]
+    for e in entries:
+        lines.append(
+            f"{e.rank:>4} {e.asn:>6} {e.cone_ases:>6} {e.cone_prefixes:>6} "
+            f"{e.cone_addresses:>12,} {e.transit_degree:>8} "
+            f"{e.num_customers:>5} {e.num_peers:>5} {e.num_providers:>5}"
+        )
+    clique = set(medium_run.graph.clique_asns())
+    hits = sum(1 for e in entries[:10] if e.asn in clique)
+    lines.append("")
+    lines.append(f"tier-1 networks among the top 10: {hits}/10")
+    write_report("E09_topk", lines)
+
+    # shape: cone sizes non-increasing; tier-1s dominate the top
+    sizes = [e.cone_ases for e in entries]
+    assert sizes == sorted(sizes, reverse=True)
+    assert hits >= 6
+    assert all(e.cone_addresses > 0 for e in entries)

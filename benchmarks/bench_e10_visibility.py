@@ -1,0 +1,55 @@
+"""E10 — link visibility (the paper's argument about what BGP data can
+and cannot see).
+
+Rows: fraction of each true link class observed at all, and the
+distribution of how many vantage points see each observed link —
+peering links hide below the VPs while transit links are widely seen.
+The benchmark measures the visibility scan.
+"""
+
+from conftest import write_report
+
+from repro.analysis.metrics import (
+    link_visibility,
+    true_link_coverage,
+    visibility_by_relationship,
+)
+
+
+def test_e10_visibility(benchmark, medium_run):
+    paths, graph = medium_run.paths, medium_run.graph
+
+    visibility = benchmark.pedantic(
+        lambda: link_visibility(paths), rounds=3, iterations=1
+    )
+
+    coverage = true_link_coverage(paths, graph)
+    grouped = visibility_by_relationship(paths, graph)
+
+    lines = ["E10: link visibility (medium scenario)", "-" * 52]
+    lines.append("fraction of true links observed at all:")
+    for label in ("p2c", "p2p"):
+        lines.append(f"  {label}: {coverage.get(label, 0.0):.1%}")
+    lines.append("")
+    lines.append("vantage points seeing each observed link (mean / median):")
+    for label in ("p2c", "p2p"):
+        samples = sorted(grouped[label])
+        if not samples:
+            continue
+        mean = sum(samples) / len(samples)
+        median = samples[len(samples) // 2]
+        lines.append(f"  {label}: mean {mean:.1f}, median {median}, "
+                     f"n={len(samples)}")
+    single_vp = sum(1 for count in visibility.values() if count == 1)
+    lines.append("")
+    lines.append(
+        f"links seen from exactly one VP: {single_vp}/{len(visibility)} "
+        f"({single_vp / len(visibility):.1%})"
+    )
+    write_report("E10_visibility", lines)
+
+    # the paper's visibility shape
+    assert coverage["p2c"] > coverage["p2p"]
+    mean_p2c = sum(grouped["p2c"]) / len(grouped["p2c"])
+    mean_p2p = sum(grouped["p2p"]) / len(grouped["p2p"])
+    assert mean_p2c > mean_p2p

@@ -1,0 +1,44 @@
+"""E11 — sanitization accounting (the paper's data-cleaning table).
+
+Rows: paths discarded or repaired by each sanitizer — prepending
+compression, loop discard, reserved-ASN discard, IXP route-server
+splice, duplicate merge — plus the poisoned-path discard from the
+inference stage.  The benchmark measures sanitization throughput.
+"""
+
+from conftest import write_report
+
+from repro.core.paths import PathSet
+
+
+def test_e11_sanitization(benchmark, medium_run):
+    raw = medium_run.corpus.paths
+    ixps = medium_run.graph.ixp_asns()
+
+    sanitized = benchmark.pedantic(
+        lambda: PathSet.sanitize(raw, ixp_asns=ixps), rounds=3, iterations=1
+    )
+
+    lines = ["E11: sanitization accounting (medium scenario)", "-" * 48]
+    for name, value in sanitized.stats.as_rows():
+        lines.append(f"{name:<28}{value:>8}")
+    lines.append(
+        f"{'discarded: poisoned (S4)':<28}"
+        f"{medium_run.result.discarded_poisoned:>8}"
+    )
+    write_report("E11_sanitization", lines)
+
+    stats = sanitized.stats
+    # accounting must balance exactly
+    assert (
+        stats.kept
+        + stats.discarded_loops
+        + stats.discarded_reserved_asn
+        + stats.discarded_short
+        + stats.duplicates_merged
+        == stats.input_paths
+    )
+    # with the default noise model every artifact class fires
+    assert stats.prepending_compressed > 0
+    assert stats.discarded_loops > 0
+    assert stats.ixp_hops_removed > 0

@@ -1,0 +1,46 @@
+"""E15 (extension) — path-prediction validation.
+
+Rebuild the routing system from each algorithm's inferred labels and
+try to re-derive the observed paths — the field's classic end-to-end
+sanity check (used since Gao 2001).  Better relationships predict more
+observed paths exactly and leave fewer (VP, origin) pairs unreachable.
+The benchmark measures one full prediction run for ASRank.
+"""
+
+from conftest import write_report
+
+from repro.baselines import infer_degree, infer_gao
+from repro.core.prediction import predict_paths
+
+MAX_ORIGINS = 120
+
+
+def test_e15_path_prediction(benchmark, medium_run):
+    observed = medium_run.paths.paths
+
+    asrank = benchmark.pedantic(
+        lambda: predict_paths(medium_run.result, observed,
+                              max_origins=MAX_ORIGINS),
+        rounds=2, iterations=1,
+    )
+    gao = predict_paths(infer_gao(medium_run.paths), observed,
+                        max_origins=MAX_ORIGINS)
+    degree = predict_paths(infer_degree(medium_run.paths), observed,
+                           max_origins=MAX_ORIGINS)
+
+    lines = ["E15: path prediction from inferred relationships "
+             f"(medium scenario, {asrank.compared} paths)",
+             "-" * 62,
+             f"{'algorithm':<10}{'exact':>8}{'same len':>10}"
+             f"{'reachable':>11}"]
+    for name, report in (("asrank", asrank), ("gao2001", gao),
+                         ("degree", degree)):
+        lines.append(
+            f"{name:<10}{report.exact_rate:>8.1%}"
+            f"{report.length_rate:>10.1%}{report.reachability:>11.1%}"
+        )
+    write_report("E15_prediction", lines)
+
+    assert asrank.exact_rate > gao.exact_rate
+    assert asrank.exact_rate > degree.exact_rate
+    assert asrank.reachability > 0.9

@@ -1,0 +1,64 @@
+"""E16 (extension) — IPv4/IPv6 relationship congruence.
+
+The authors' follow-on question (PAM 2015): is the inferred
+relationship between two networks the same in both address families?
+Collect and infer each plane independently over one ground-truth
+topology with partial v6 adoption, then compare link by link.  The
+benchmark measures a full v6-plane collection+inference round.
+"""
+
+from conftest import write_report
+
+from repro.analysis.congruence import congruence_report
+from repro.bgp.collector import Collector, CollectorConfig
+from repro.core.inference import infer_relationships
+from repro.core.paths import PathSet
+from repro.topology.generator import GeneratorConfig, generate_topology
+
+
+def _infer_plane(graph, plane):
+    config = CollectorConfig(n_vps=24, seed=5)
+    corpus = Collector(graph, config, plane=plane).run()
+    paths = PathSet.sanitize(corpus.paths, ixp_asns=graph.ixp_asns())
+    return infer_relationships(paths)
+
+
+def test_e16_congruence(benchmark):
+    graph = generate_topology(GeneratorConfig(n_ases=700, seed=2015))
+
+    result_v6 = benchmark.pedantic(
+        lambda: _infer_plane(graph, "v6"), rounds=2, iterations=1
+    )
+    result_v4 = _infer_plane(graph, "v4")
+    report = congruence_report(result_v4, result_v6)
+
+    lines = ["E16: IPv4/IPv6 relationship congruence (700 ASes, "
+             f"{len(graph.v6_asns())} v6-enabled)",
+             "-" * 60,
+             f"dual links          {report.dual_links:>7}",
+             f"congruent           {report.congruent:>7}  "
+             f"({report.congruence:.1%}; PAM'15: ~96-97%)",
+             f"v4-only links       {report.v4_only:>7}",
+             f"v6-only links       {report.v6_only:>7}",
+             "",
+             "agreement by relationship class (dual links):"]
+    for rel, (total, agree) in sorted(report.by_relationship.items()):
+        lines.append(f"  {rel:<6} {agree}/{total} ({agree / total:.1%})")
+    if report.disagreements:
+        lines.append("")
+        lines.append("disagreement matrix (v4 label → v6 label):")
+        for (v4_label, v6_label), count in sorted(
+            report.disagreements.items(), key=lambda kv: -kv[1]
+        )[:5]:
+            lines.append(f"  {v4_label} → {v6_label}: {count}")
+    lines.append("")
+    lines.append(f"clique v4: {report.clique_v4}")
+    lines.append(f"clique v6: {report.clique_v6} "
+                 f"(jaccard {report.clique_jaccard:.2f})")
+    write_report("E16_congruence", lines)
+
+    # the PAM'15 shape: dual links overwhelmingly congruent, the v4
+    # plane sees far more links, and the cliques largely coincide
+    assert report.congruence > 0.9
+    assert report.v4_only > report.v6_only
+    assert report.clique_jaccard > 0.5

@@ -1,0 +1,70 @@
+"""E17 (extension) — what sanitization buys.
+
+E11 counts what the sanitizers remove; this experiment measures what
+that removal is *worth* by running inference on progressively less
+clean corpora: fully sanitized, sanitized without the IXP list (route
+server ASNs stay in paths), and raw (prepending, loops and injected
+ASNs all left in).  The benchmark measures inference on the raw corpus
+(the worst case).
+"""
+
+from conftest import write_report
+
+from repro.core.inference import infer_relationships
+from repro.core.paths import PathSet
+from repro.relationships import Relationship
+from repro.validation.validator import validate_against_truth
+
+import repro.core.paths as paths_module
+
+
+def test_e17_sanitization_value(benchmark, medium_run):
+    raw = medium_run.corpus.paths
+    graph = medium_run.graph
+
+    full = medium_run.paths
+    no_ixp = PathSet.sanitize(raw)  # IXP ASNs unknown to the pipeline
+    raw_set = PathSet(list(dict.fromkeys(tuple(p) for p in raw)))
+
+    benchmark.pedantic(
+        lambda: infer_relationships(raw_set), rounds=2, iterations=1
+    )
+
+    lines = ["E17: inference accuracy versus input cleanliness "
+             "(medium scenario, oracle-scored)",
+             "-" * 66,
+             f"{'corpus':<22}{'links':>7}{'overall':>9}{'c2p':>8}{'p2p':>8}"]
+    rows = {}
+    for name, path_set in (
+        ("fully sanitized", full),
+        ("no IXP list", no_ixp),
+        ("raw (unsanitized)", raw_set),
+    ):
+        result = infer_relationships(path_set, medium_run.scenario.inference)
+        report = validate_against_truth(result, graph)
+        rows[name] = report
+        lines.append(
+            f"{name:<22}{report.total_inferences:>7}"
+            f"{report.overall_ppv:>9.4f}"
+            f"{report.ppv(Relationship.P2C):>8.4f}"
+            f"{report.ppv(Relationship.P2P):>8.4f}"
+        )
+    lines.append("")
+    lines.append(
+        "without the IXP list, route-server ASNs appear as fake transit "
+        "hops; raw corpora additionally keep loops and injected ASNs"
+    )
+    write_report("E17_sanitization_value", lines)
+
+    # dirtier corpora label more (phantom) links and score worse; the
+    # oracle cannot even judge the route-server adjacencies, so the
+    # honest comparisons are the link inflation and the raw-corpus drop
+    assert len(no_ixp.links()) > len(full.links())
+    assert len(raw_set.links()) > len(no_ixp.links())
+    assert (
+        rows["raw (unsanitized)"].overall_ppv
+        < rows["fully sanitized"].overall_ppv - 0.005
+    )
+    assert rows["fully sanitized"].overall_ppv >= (
+        rows["no IXP list"].overall_ppv - 0.005
+    )

@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures and the report writer.
+
+Every bench regenerates one of the paper's tables/figures (see
+DESIGN.md's per-experiment index).  The rows are printed (visible with
+``pytest -s``) and always written to ``benchmarks/reports/E*.txt`` so a
+normal ``pytest benchmarks/ --benchmark-only`` run leaves the artifacts
+on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+import pytest
+
+from repro.scenarios import evolution_scenario, get_scenario
+from repro.topology.evolution import generate_series
+from repro.analysis.timeseries import series_metrics
+
+REPORTS_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def write_report(name: str, lines: Iterable[str]) -> str:
+    """Persist one experiment's rows; returns the file path."""
+    os.makedirs(REPORTS_DIR, exist_ok=True)
+    path = os.path.join(REPORTS_DIR, f"{name}.txt")
+    text = "\n".join(lines) + "\n"
+    with open(path, "w") as handle:
+        handle.write(text)
+    print(f"\n{text}")
+    return path
+
+
+class ScenarioRun:
+    def __init__(self, name: str):
+        self.scenario = get_scenario(name)
+        self.graph, self.corpus, self.paths, self.result = self.scenario.run()
+
+
+@pytest.fixture(scope="session")
+def medium_run() -> ScenarioRun:
+    """The default bench workload (~800 ASes)."""
+    return ScenarioRun("medium")
+
+
+@pytest.fixture(scope="session")
+def small_run() -> ScenarioRun:
+    return ScenarioRun("small")
+
+
+@pytest.fixture(scope="session")
+def era_series():
+    """Longitudinal snapshots + per-era metrics for E5/E8."""
+    config = evolution_scenario(eras=5)
+    snapshots = generate_series(config)
+    metrics = series_metrics(snapshots, vps_per_as=0.06)
+    return snapshots, metrics

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Transit market analysis: who carries the Internet?
+
+The motivating application of customer cones (asrank.caida.org): rank
+transit providers by the share of ASes, prefixes and address space in
+their customer cone, and show how the three cone definitions disagree
+about market size.
+
+Run:  python examples/transit_market.py
+"""
+
+from repro.core.cone import ConeDefinition, CustomerCones
+from repro.core.rank import rank_ases
+from repro.scenarios import get_scenario
+
+
+def main() -> None:
+    scenario = get_scenario("medium")
+    print(f"running scenario {scenario.name!r}: {scenario.description}")
+    graph, corpus, paths, result = scenario.run()
+
+    prefixes = {asys.asn: asys.prefixes for asys in graph.ases()}
+    cones = CustomerCones.compute(
+        result,
+        ConeDefinition.PROVIDER_PEER_OBSERVED,
+        prefixes_by_asn=prefixes,
+    )
+
+    total_ases = len(paths.asns())
+    print(f"\nTop transit providers by customer cone "
+          f"({total_ases} ASes observed):\n")
+    print(f"{'rank':>4} {'ASN':>7} {'cone ASes':>10} {'share':>7} "
+          f"{'prefixes':>9} {'addresses':>12} {'customers':>10}")
+    for entry in rank_ases(result, cones, limit=15):
+        share = entry.cone_ases / total_ases
+        print(
+            f"{entry.rank:>4} {entry.asn:>7} {entry.cone_ases:>10} "
+            f"{share:>6.1%} {entry.cone_prefixes:>9} "
+            f"{entry.cone_addresses:>12,} {entry.num_customers:>10}"
+        )
+
+    # how much the cone definition matters for the market-share question
+    print("\nCone of the #1 provider under each definition:")
+    top_asn = rank_ases(result, cones, limit=1)[0].asn
+    for definition in ConeDefinition:
+        alt = CustomerCones.compute(result, definition)
+        print(f"  {definition.value:<24} {alt.size_ases(top_asn):>6} ASes")
+
+    truth = len(graph.customer_cone(top_asn))
+    print(f"  {'ground truth (recursive)':<24} {truth:>6} ASes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "AS Relationships, Customer Cones, and
+Validation" (Luckie, Huffaker, Dhamdhere, Giotsas, claffy; IMC 2013).
+
+The package implements the CAIDA ASRank system end to end on a
+synthetic substrate:
+
+* :mod:`repro.topology` — ground-truth Internet generator and a
+  longitudinal growth model;
+* :mod:`repro.bgp` — Gao–Rexford route propagation, vantage points,
+  RIB collection and measurement noise;
+* :mod:`repro.mrt` — RFC 6396 MRT binary reader/writer;
+* :mod:`repro.core` — the paper's contribution: path sanitization,
+  clique inference, the multi-step relationship-inference pipeline,
+  three customer-cone definitions, and AS rank;
+* :mod:`repro.baselines` — Gao (2001) and a degree heuristic;
+* :mod:`repro.validation` — four validation sources and PPV scoring;
+* :mod:`repro.analysis` — structural metrics and time series;
+* :mod:`repro.datasets` — CAIDA ``as-rel`` / ``ppdc-ases`` file IO;
+* :mod:`repro.scenarios` — named reproducible workloads.
+
+Quick start::
+
+    from repro.scenarios import get_scenario
+    graph, corpus, paths, result = get_scenario("small").run()
+    print(result.counts_by_relationship())
+"""
+
+from repro.relationships import RelClass, Relationship
+
+__version__ = "1.0.0"
+
+__all__ = ["Relationship", "RelClass", "__version__"]

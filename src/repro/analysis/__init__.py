@@ -1,0 +1,31 @@
+"""Topology and cone analysis used by the longitudinal experiments."""
+
+from repro.analysis.metrics import (
+    cone_overlap,
+    cone_share,
+    degree_distribution,
+    exclusive_cone,
+    hierarchy_depths,
+    link_visibility,
+    mean_path_length,
+    path_length_distribution,
+    snapshot_summary,
+)
+from repro.analysis.congruence import CongruenceReport, congruence_report
+from repro.analysis.timeseries import SnapshotMetrics, series_metrics
+
+__all__ = [
+    "CongruenceReport",
+    "congruence_report",
+    "cone_overlap",
+    "cone_share",
+    "degree_distribution",
+    "exclusive_cone",
+    "hierarchy_depths",
+    "link_visibility",
+    "mean_path_length",
+    "path_length_distribution",
+    "snapshot_summary",
+    "SnapshotMetrics",
+    "series_metrics",
+]

@@ -1,0 +1,85 @@
+"""IPv4/IPv6 relationship congruence.
+
+The authors' follow-on work ("IPv6 AS Relationships, Cliques, and
+Congruence", PAM 2015) asks whether the business relationship between
+two networks is the same in both address families.  This module
+compares two independent inference results — one per plane — link by
+link: label agreement for dual links, plane-exclusive links, and the
+overlap of the inferred cliques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.relationships import Relationship
+
+
+@dataclass
+class CongruenceReport:
+    """Link-level agreement between the v4 and v6 inferences."""
+
+    dual_links: int = 0  # observed and labeled in both planes
+    congruent: int = 0  # same relationship (and provider direction)
+    v4_only: int = 0
+    v6_only: int = 0
+    by_relationship: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    # (v4 label, v6 label) → count, for the disagreement matrix
+    disagreements: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    clique_v4: List[int] = field(default_factory=list)
+    clique_v6: List[int] = field(default_factory=list)
+
+    @property
+    def congruence(self) -> float:
+        """Fraction of dual links with identical labels (paper: ~96-97%)."""
+        return self.congruent / self.dual_links if self.dual_links else 1.0
+
+    @property
+    def clique_jaccard(self) -> float:
+        v4, v6 = set(self.clique_v4), set(self.clique_v6)
+        union = v4 | v6
+        return len(v4 & v6) / len(union) if union else 1.0
+
+
+def _label(inference, a: int, b: int) -> str:
+    """Directional label: 'p2p', 's2s', or 'p2c:<provider>'."""
+    rel = inference.relationship(a, b)
+    if rel is Relationship.P2C:
+        return f"p2c:{inference.provider_of(a, b)}"
+    return rel.label
+
+
+def congruence_report(result_v4, result_v6) -> CongruenceReport:
+    """Compare two inference results link by link.
+
+    Both arguments are :class:`~repro.core.inference.InferenceResult`
+    (or anything with the same query surface plus ``clique``).
+    """
+    links_v4 = set(result_v4.links())
+    links_v6 = set(result_v6.links())
+    report = CongruenceReport(
+        v4_only=len(links_v4 - links_v6),
+        v6_only=len(links_v6 - links_v4),
+        clique_v4=sorted(getattr(result_v4.clique, "members", [])),
+        clique_v6=sorted(getattr(result_v6.clique, "members", [])),
+    )
+    per_rel: Dict[str, List[int]] = {}
+    for a, b in sorted(links_v4 & links_v6):
+        report.dual_links += 1
+        label_v4 = _label(result_v4, a, b)
+        label_v6 = _label(result_v6, a, b)
+        rel_v4 = result_v4.relationship(a, b).label
+        agree = label_v4 == label_v6
+        if agree:
+            report.congruent += 1
+        else:
+            key = (rel_v4, result_v6.relationship(a, b).label)
+            report.disagreements[key] = report.disagreements.get(key, 0) + 1
+        bucket = per_rel.setdefault(rel_v4, [0, 0])
+        bucket[0] += 1
+        bucket[1] += 1 if agree else 0
+    report.by_relationship = {
+        rel: (total, agree) for rel, (total, agree) in per_rel.items()
+    }
+    return report

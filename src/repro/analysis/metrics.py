@@ -1,0 +1,177 @@
+"""Per-snapshot structural metrics.
+
+Everything the paper's figures summarize a snapshot with: corpus size,
+degree distributions, link visibility across vantage points, hierarchy
+depth, and cone share (the "how much of the Internet is under this AS"
+number the flattening analysis tracks).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.bgp.collector import PathCorpus
+from repro.core.cone import CustomerCones
+from repro.core.paths import PathSet
+from repro.relationships import Relationship, canonical_pair
+from repro.topology.model import ASGraph
+
+
+def snapshot_summary(corpus: PathCorpus, paths: PathSet) -> Dict[str, int]:
+    """The E1 corpus-summary row: VPs, paths, ASes, links."""
+    return {
+        "vps": len(corpus.vps),
+        "full_feeds": sum(1 for vp in corpus.vps if vp.full_feed),
+        "partial_feeds": sum(1 for vp in corpus.vps if not vp.full_feed),
+        "raw_paths": corpus.path_counts and sum(corpus.path_counts.values()) or 0,
+        "unique_paths": len(paths),
+        "ases": len(paths.asns()),
+        "links": len(paths.links()),
+        "rib_entries": len(corpus.rib),
+    }
+
+
+def degree_distribution(paths: PathSet, transit: bool = True) -> Dict[int, int]:
+    """Histogram of (transit or node) degree over observed ASes."""
+    counts: Counter = Counter()
+    for asn in paths.asns():
+        degree = paths.transit_degree(asn) if transit else paths.node_degree(asn)
+        counts[degree] += 1
+    return dict(counts)
+
+
+def link_visibility(paths: PathSet) -> Dict[Tuple[int, int], int]:
+    """How many distinct vantage points observed each link.
+
+    The first hop of each path is the VP; peering links low in the
+    hierarchy are typically visible from very few VPs — the paper's
+    core visibility argument (experiment E10).
+    """
+    seen: Dict[Tuple[int, int], Set[int]] = {}
+    for path in paths:
+        vp = path[0]
+        for a, b in zip(path, path[1:]):
+            seen.setdefault(canonical_pair(a, b), set()).add(vp)
+    return {pair: len(vps) for pair, vps in seen.items()}
+
+
+def visibility_by_relationship(
+    paths: PathSet, graph: ASGraph
+) -> Dict[str, List[int]]:
+    """VP-visibility samples grouped by the link's true relationship."""
+    visibility = link_visibility(paths)
+    grouped: Dict[str, List[int]] = {"p2c": [], "p2p": [], "s2s": []}
+    for (a, b), count in visibility.items():
+        rel = graph.relationship(a, b)
+        if rel is not None:
+            grouped[rel.label].append(count)
+    return grouped
+
+
+def true_link_coverage(paths: PathSet, graph: ASGraph) -> Dict[str, float]:
+    """Fraction of each true link class observed at all (E10).
+
+    Peering links deep in the hierarchy are invisible unless a VP sits
+    underneath one of the endpoints, so p2p coverage is always far
+    below p2c coverage — the paper's motivating observation.
+    """
+    observed = paths.links()
+    totals: Counter = Counter()
+    seen: Counter = Counter()
+    for a, b, rel in graph.links():
+        totals[rel.label] += 1
+        if canonical_pair(a, b) in observed:
+            seen[rel.label] += 1
+    return {
+        label: (seen[label] / totals[label]) if totals[label] else 0.0
+        for label in totals
+    }
+
+
+def hierarchy_depths(result) -> Dict[int, int]:
+    """Provider-chain depth of each AS (clique members are depth 0).
+
+    Uses the inferred relationships; depth is the shortest climb to a
+    provider-free AS.
+    """
+    from collections import deque
+
+    depths: Dict[int, int] = {}
+    roots = [
+        asn
+        for asn in result.paths.asns()
+        if not result.providers.get(asn)
+    ]
+    queue = deque((root, 0) for root in sorted(roots))
+    for root in roots:
+        depths[root] = 0
+    while queue:
+        node, depth = queue.popleft()
+        for customer in sorted(result.customers.get(node, ())):
+            if customer not in depths or depths[customer] > depth + 1:
+                depths[customer] = depth + 1
+                queue.append((customer, depth + 1))
+    return depths
+
+
+def cone_share(cones: CustomerCones, asn: int, total_ases: int) -> float:
+    """Cone size as a fraction of all observed ASes (flattening metric)."""
+    if total_ases <= 0:
+        return 0.0
+    return cones.size_ases(asn) / total_ases
+
+
+def cone_overlap(
+    cones: CustomerCones, asns: Sequence[int]
+) -> Dict[Tuple[int, int], float]:
+    """Jaccard overlap between the cones of the given ASes.
+
+    Large transit providers share big parts of their cones (multihomed
+    customers appear in several); the overlap matrix quantifies how
+    much of the market is contested versus captive.
+    """
+    result: Dict[Tuple[int, int], float] = {}
+    for i, a in enumerate(asns):
+        cone_a = cones.cone(a)
+        for b in asns[i + 1:]:
+            cone_b = cones.cone(b)
+            union = len(cone_a | cone_b)
+            result[(a, b)] = (
+                len(cone_a & cone_b) / union if union else 0.0
+            )
+    return result
+
+
+def exclusive_cone(cones: CustomerCones, asn: int, others: Sequence[int]) -> Set[int]:
+    """Members of ``asn``'s cone found in no other listed cone —
+    customers only reachable through this provider."""
+    exclusive = cones.cone(asn)
+    for other in others:
+        if other != asn:
+            exclusive -= cones.cone(other)
+    return exclusive
+
+
+def path_length_distribution(paths: PathSet) -> Dict[int, int]:
+    """Histogram of AS-path lengths (in hops) over the unique corpus.
+
+    The Internet's famously short paths (median 4-5 ASes) are a direct
+    consequence of the hierarchy the inference algorithm recovers.
+    """
+    counts: Counter = Counter()
+    for path in paths:
+        counts[len(path)] += 1
+    return dict(counts)
+
+
+def mean_path_length(paths: PathSet) -> float:
+    """Mean AS-path length weighted by observation count."""
+    total = 0
+    weight = 0
+    for path in paths:
+        multiplicity = paths.counts.get(path, 1)
+        total += len(path) * multiplicity
+        weight += multiplicity
+    return total / weight if weight else 0.0

@@ -1,0 +1,134 @@
+"""Longitudinal pipeline: run collection + inference over a snapshot
+series and extract the time series the paper's evolution figures plot —
+clique membership per era, top-AS cone share ("flattening"), corpus
+growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.collector import Collector, CollectorConfig
+from repro.core.cone import ConeDefinition, CustomerCones
+from repro.core.inference import InferenceConfig, InferenceResult, infer_relationships
+from repro.core.paths import PathSet
+from repro.topology.model import ASGraph
+
+
+@dataclass
+class SnapshotMetrics:
+    """Everything measured for one era of the series."""
+
+    label: str
+    n_ases: int
+    n_links: int
+    n_paths: int
+    true_clique: List[int]
+    inferred_clique: List[int]
+    cone_sizes: Dict[int, int]  # provider/peer-observed, in ASes
+    recursive_cone_sizes: Dict[int, int] = field(default_factory=dict)
+    result: InferenceResult = field(repr=False, default=None)
+    vps: list = field(repr=False, default_factory=list)
+
+    @property
+    def clique_recall(self) -> float:
+        true = set(self.true_clique)
+        if not true:
+            return 1.0
+        return len(true & set(self.inferred_clique)) / len(true)
+
+    def cone_share(self, asn: int, recursive: bool = False) -> float:
+        """Cone size as a fraction of all observed ASes.
+
+        Defaults to the provider/peer-observed cone, the paper's
+        preferred definition: the recursive cone is catastrophically
+        sensitive to a single mislabeled link between two large
+        networks (one error merges their entire cones), which is the
+        paper's argument against it.  The observed cone trades that for
+        bounded vantage-point sensitivity.
+        """
+        if not self.n_ases:
+            return 0.0
+        sizes = self.recursive_cone_sizes if recursive else self.cone_sizes
+        return sizes.get(asn, 1) / self.n_ases
+
+
+def analyze_snapshot(
+    label: str,
+    graph: ASGraph,
+    collector_config: Optional[CollectorConfig] = None,
+    inference_config: Optional[InferenceConfig] = None,
+    preset_vps=None,
+) -> SnapshotMetrics:
+    """Collect, sanitize, infer and cone-compute one snapshot."""
+    collector = Collector(graph, collector_config, preset_vps=preset_vps)
+    corpus = collector.run()
+    paths = PathSet.sanitize(corpus.paths, ixp_asns=graph.ixp_asns())
+    result = infer_relationships(paths, inference_config)
+    cones = CustomerCones.compute(result, ConeDefinition.PROVIDER_PEER_OBSERVED)
+    recursive = CustomerCones.compute(result, ConeDefinition.RECURSIVE)
+    return SnapshotMetrics(
+        label=label,
+        n_ases=len(paths.asns()),
+        n_links=len(paths.links()),
+        n_paths=len(paths),
+        true_clique=graph.clique_asns(),
+        inferred_clique=list(result.clique.members),
+        cone_sizes=cones.sizes(),
+        recursive_cone_sizes=recursive.sizes(),
+        result=result,
+        vps=list(collector.vps),
+    )
+
+
+def series_metrics(
+    snapshots: Sequence[Tuple[str, ASGraph]],
+    collector_config: Optional[CollectorConfig] = None,
+    inference_config: Optional[InferenceConfig] = None,
+    vps_per_as: float = 0.05,
+) -> List[SnapshotMetrics]:
+    """Analyze every era of a series.
+
+    The number of vantage points grows with the topology (as RouteViews
+    itself did); ``vps_per_as`` sets that proportion unless an explicit
+    collector config pins it.
+    """
+    metrics: List[SnapshotMetrics] = []
+    persistent_vps: list = []
+    for label, graph in snapshots:
+        config = collector_config
+        if config is None:
+            config = CollectorConfig(
+                n_vps=max(10, int(len(graph) * vps_per_as))
+            )
+        snapshot = analyze_snapshot(
+            label, graph, config, inference_config, preset_vps=persistent_vps
+        )
+        persistent_vps = snapshot.vps
+        metrics.append(snapshot)
+    return metrics
+
+
+def flattening_series(
+    metrics: Sequence[SnapshotMetrics],
+    track: Optional[Sequence[int]] = None,
+    recursive: bool = False,
+) -> Dict[int, List[float]]:
+    """Cone share per era for the tracked ASes (E8's figure series).
+
+    Defaults to tracking the union of every era's top-5 cones.
+    """
+    if track is None:
+        tracked: Set[int] = set()
+        for snapshot in metrics:
+            sizes = (
+                snapshot.recursive_cone_sizes if recursive else snapshot.cone_sizes
+            )
+            top = sorted(sizes.items(), key=lambda kv: -kv[1])[:5]
+            tracked.update(asn for asn, _ in top)
+        track = sorted(tracked)
+    return {
+        asn: [snapshot.cone_share(asn, recursive=recursive) for snapshot in metrics]
+        for asn in track
+    }

@@ -1,0 +1,202 @@
+"""High-level facade: the whole system behind one class.
+
+:class:`ASRank` bundles sanitize → infer → cones → rank behind a
+single object with lazy, cached stages, plus constructors for every
+input format the ecosystem uses (path lists, path files, MRT RIB dumps,
+MRT update streams) and a one-call exporter for CAIDA-format artifacts.
+
+    >>> from repro.asrank import ASRank
+    >>> asrank = ASRank.from_paths([(10, 1, 2, 20), (20, 2, 1, 10)])
+    >>> asrank.relationship(1, 2)
+    <Relationship.P2P: 0>
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cone import ConeDefinition, CustomerCones
+from repro.core.inference import (
+    InferenceConfig,
+    InferenceResult,
+    infer_relationships,
+)
+from repro.core.paths import PathSet
+from repro.core.prediction import PredictionReport, predict_paths
+from repro.core.rank import ASRankEntry, rank_ases
+from repro.datasets.serialization import (
+    load_paths,
+    save_as_rel,
+    save_ppdc_ases,
+)
+from repro.net.prefix import Prefix
+from repro.relationships import Relationship
+
+
+class ASRank:
+    """Run the full ASRank pipeline over an AS-path corpus.
+
+    All stages are computed lazily and cached: constructing the object
+    is cheap, the first query pays for inference, cone queries pay for
+    cone computation once per definition.
+    """
+
+    def __init__(
+        self,
+        paths: PathSet,
+        config: Optional[InferenceConfig] = None,
+        prefixes_by_asn: Optional[Dict[int, Sequence[Prefix]]] = None,
+    ):
+        self.paths = paths
+        self.config = config or InferenceConfig()
+        self.prefixes_by_asn = prefixes_by_asn
+        self._result: Optional[InferenceResult] = None
+        self._cones: Dict[ConeDefinition, CustomerCones] = {}
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_paths(
+        cls,
+        raw_paths: Iterable[Sequence[int]],
+        ixp_asns: FrozenSet[int] = frozenset(),
+        config: Optional[InferenceConfig] = None,
+        prefixes_by_asn: Optional[Dict[int, Sequence[Prefix]]] = None,
+    ) -> "ASRank":
+        """Build from raw (unsanitized) AS paths."""
+        return cls(
+            PathSet.sanitize(raw_paths, ixp_asns=ixp_asns),
+            config=config,
+            prefixes_by_asn=prefixes_by_asn,
+        )
+
+    @classmethod
+    def from_path_file(
+        cls,
+        path: str,
+        ixp_asns: FrozenSet[int] = frozenset(),
+        config: Optional[InferenceConfig] = None,
+    ) -> "ASRank":
+        """Build from a text path file (one space-separated path per line)."""
+        return cls.from_paths(load_paths(path), ixp_asns=ixp_asns, config=config)
+
+    @classmethod
+    def from_mrt(
+        cls,
+        path: str,
+        ixp_asns: FrozenSet[int] = frozenset(),
+        config: Optional[InferenceConfig] = None,
+    ) -> "ASRank":
+        """Build from an MRT file (RIB dump and/or update stream).
+
+        RIB rows are taken as-is; update messages are folded into a
+        last-announcement-wins table first.  Prefix origins found in
+        the dump feed the prefix/address cone metrics automatically.
+        """
+        from repro.mrt.reader import MrtReader, RibRecord, UpdateRecord
+        from repro.mrt.updates import rib_from_updates
+
+        rib_rows: List[RibRecord] = []
+        updates: List[UpdateRecord] = []
+        with open(path, "rb") as stream:
+            for record in MrtReader(stream):
+                if isinstance(record, RibRecord):
+                    rib_rows.append(record)
+                elif isinstance(record, UpdateRecord):
+                    updates.append(record)
+        rib_rows.extend(rib_from_updates(updates))
+
+        prefixes_by_asn: Dict[int, Set[Prefix]] = {}
+        for row in rib_rows:
+            if row.as_path:
+                prefixes_by_asn.setdefault(row.as_path[-1], set()).add(
+                    row.prefix
+                )
+        return cls.from_paths(
+            (row.as_path for row in rib_rows),
+            ixp_asns=ixp_asns,
+            config=config,
+            prefixes_by_asn={
+                asn: sorted(prefixes)
+                for asn, prefixes in prefixes_by_asn.items()
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # cached stages
+    # ------------------------------------------------------------------
+
+    @property
+    def result(self) -> InferenceResult:
+        """The inference result (computed on first access)."""
+        if self._result is None:
+            self._result = infer_relationships(self.paths, self.config)
+        return self._result
+
+    def cones(
+        self,
+        definition: ConeDefinition = ConeDefinition.PROVIDER_PEER_OBSERVED,
+    ) -> CustomerCones:
+        """Customer cones under ``definition`` (cached per definition)."""
+        if definition not in self._cones:
+            self._cones[definition] = CustomerCones.compute(
+                self.result, definition, prefixes_by_asn=self.prefixes_by_asn
+            )
+        return self._cones[definition]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def relationship(self, a: int, b: int) -> Optional[Relationship]:
+        return self.result.relationship(a, b)
+
+    def provider_of(self, a: int, b: int) -> Optional[int]:
+        return self.result.provider_of(a, b)
+
+    def providers(self, asn: int) -> Set[int]:
+        return self.result.providers_of_asn(asn)
+
+    def customers(self, asn: int) -> Set[int]:
+        return self.result.customers_of_asn(asn)
+
+    def peers(self, asn: int) -> Set[int]:
+        return self.result.peers_of_asn(asn)
+
+    @property
+    def clique(self) -> List[int]:
+        return list(self.result.clique.members)
+
+    def customer_cone(
+        self,
+        asn: int,
+        definition: ConeDefinition = ConeDefinition.PROVIDER_PEER_OBSERVED,
+    ) -> Set[int]:
+        return self.cones(definition).cone(asn)
+
+    def rank(self, limit: Optional[int] = None) -> List[ASRankEntry]:
+        """The AS ranking by customer cone size."""
+        return rank_ases(self.result, self.cones(), limit=limit)
+
+    def predict(self, max_origins: Optional[int] = None) -> PredictionReport:
+        """Score the inference by re-deriving the corpus paths."""
+        return predict_paths(self.result, self.paths.paths,
+                             max_origins=max_origins)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def save(self, directory: str, tag: str = "repro") -> Dict[str, str]:
+        """Write the CAIDA-format artifacts; returns name → file path."""
+        os.makedirs(directory, exist_ok=True)
+        as_rel = os.path.join(directory, f"{tag}.as-rel.txt")
+        ppdc = os.path.join(directory, f"{tag}.ppdc-ases.txt")
+        save_as_rel(as_rel, self.result,
+                    comments=[f"inferred from {len(self.paths)} paths"])
+        save_ppdc_ases(ppdc, self.cones().cones,
+                       comments=["provider/peer observed customer cones"])
+        return {"as-rel": as_rel, "ppdc-ases": ppdc}

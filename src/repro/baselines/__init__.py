@@ -1,0 +1,16 @@
+"""Baseline relationship-inference algorithms the paper compares against.
+
+* :mod:`repro.baselines.gao` — Gao's classic degree-based algorithm
+  (ToN 2001), the field's original heuristic: the highest-degree AS in
+  each path is the top of the hill, everything slopes away from it.
+* :mod:`repro.baselines.degree` — the naive strawman: on every link the
+  higher-degree endpoint is the provider unless degrees are comparable.
+
+Both consume the same sanitized :class:`~repro.core.paths.PathSet` as
+ASRank, so the E6 comparison is apples-to-apples.
+"""
+
+from repro.baselines.gao import GaoConfig, infer_gao
+from repro.baselines.degree import DegreeConfig, infer_degree
+
+__all__ = ["GaoConfig", "infer_gao", "DegreeConfig", "infer_degree"]

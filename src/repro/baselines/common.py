@@ -1,0 +1,58 @@
+"""Shared light-weight relationship container for baseline algorithms.
+
+Exposes the same query surface as
+:class:`repro.core.inference.InferenceResult` (``relationship``,
+``provider_of``, ``links``), so the validation framework can score
+ASRank and the baselines through one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.relationships import Relationship, canonical_pair
+
+
+class RelationshipMap:
+    """A plain mapping of links to inferred relationships."""
+
+    def __init__(self) -> None:
+        self._rel: Dict[Tuple[int, int], Relationship] = {}
+        self._provider: Dict[Tuple[int, int], int] = {}
+
+    def set_p2c(self, provider: int, customer: int) -> None:
+        pair = canonical_pair(provider, customer)
+        self._rel[pair] = Relationship.P2C
+        self._provider[pair] = provider
+
+    def set_p2p(self, a: int, b: int) -> None:
+        pair = canonical_pair(a, b)
+        self._rel[pair] = Relationship.P2P
+        self._provider.pop(pair, None)
+
+    def set_s2s(self, a: int, b: int) -> None:
+        pair = canonical_pair(a, b)
+        self._rel[pair] = Relationship.S2S
+        self._provider.pop(pair, None)
+
+    def relationship(self, a: int, b: int) -> Optional[Relationship]:
+        return self._rel.get(canonical_pair(a, b))
+
+    def provider_of(self, a: int, b: int) -> Optional[int]:
+        return self._provider.get(canonical_pair(a, b))
+
+    def links(self) -> List[Tuple[int, int]]:
+        return list(self._rel)
+
+    def __len__(self) -> int:
+        return len(self._rel)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, Relationship, Optional[int]]]:
+        for pair, rel in self._rel.items():
+            yield pair[0], pair[1], rel, self._provider.get(pair)
+
+    def counts(self) -> Dict[Relationship, int]:
+        out: Dict[Relationship, int] = {}
+        for rel in self._rel.values():
+            out[rel] = out.get(rel, 0) + 1
+        return out

@@ -1,0 +1,39 @@
+"""Naive degree-threshold baseline.
+
+The strawman every relationship paper measures against: on each
+observed link, the endpoint with the higher node degree is the
+provider, unless the degrees are within ``peer_ratio`` of each other,
+in which case the link is a peer link.  No path semantics, no clique,
+no valley-freeness — just local degree comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.common import RelationshipMap
+from repro.core.paths import PathSet
+
+
+@dataclass
+class DegreeConfig:
+    peer_ratio: float = 2.0  # degrees within this factor → p2p
+
+
+def infer_degree(
+    paths: PathSet, config: Optional[DegreeConfig] = None
+) -> RelationshipMap:
+    """Label every observed link by local degree comparison."""
+    config = config or DegreeConfig()
+    result = RelationshipMap()
+    for a, b in sorted(paths.links()):
+        da, db = max(paths.node_degree(a), 1), max(paths.node_degree(b), 1)
+        ratio = max(da, db) / min(da, db)
+        if ratio <= config.peer_ratio:
+            result.set_p2p(a, b)
+        elif da > db:
+            result.set_p2c(a, b)
+        else:
+            result.set_p2c(b, a)
+    return result

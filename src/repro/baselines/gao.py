@@ -1,0 +1,102 @@
+"""Gao's relationship inference algorithm (IEEE/ACM ToN 2001).
+
+The original heuristic the field — and the paper's related-work
+comparison — starts from.  Three phases over the observed paths:
+
+1. **Uphill/downhill voting.**  Each path's *top provider* is the AS
+   with the highest node degree; links before it ascend (right endpoint
+   provides), links after it descend (left endpoint provides).  Every
+   path casts one vote per link.
+2. **Relationship assignment.**  A link voted in only one direction is
+   c2p.  A link voted both ways is transit-in-both-directions: with
+   more than ``sibling_votes`` votes each way it is labeled sibling
+   (s2s), otherwise the majority direction wins.
+3. **Peering refinement.**  Links adjacent to a path's top provider
+   whose endpoints have comparable degree (within ``degree_ratio``) and
+   that never transit for each other are relabeled p2p.
+
+This is the "refined algorithm" of the Gao paper with her final
+peering heuristic; parameters default to the published values
+(L = 1 vote, R = 60 degree ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.common import RelationshipMap
+from repro.core.paths import PathSet
+from repro.relationships import Relationship, canonical_pair
+
+
+@dataclass
+class GaoConfig:
+    """Published parameter values from the 2001 paper."""
+
+    sibling_votes: int = 1  # L: votes each way beyond which s2s is inferred
+    degree_ratio: float = 60.0  # R: max degree ratio between peers
+    infer_siblings: bool = True
+
+
+def infer_gao(
+    paths: PathSet, config: Optional[GaoConfig] = None
+) -> RelationshipMap:
+    """Run Gao's algorithm over a sanitized path corpus."""
+    config = config or GaoConfig()
+    degree = {asn: paths.node_degree(asn) for asn in paths.asns()}
+
+    # phase 1: uphill/downhill voting around each path's top provider
+    votes: Dict[Tuple[int, int], List[int]] = {}
+
+    def vote(provider: int, customer: int) -> None:
+        pair = canonical_pair(provider, customer)
+        tally = votes.setdefault(pair, [0, 0])
+        tally[0 if provider == pair[0] else 1] += 1
+
+    for path in paths:
+        top = max(range(len(path)), key=lambda i: (degree[path[i]], -i))
+        for j in range(top):
+            vote(path[j + 1], path[j])  # ascending: right side provides
+        for j in range(top, len(path) - 1):
+            vote(path[j], path[j + 1])  # descending: left side provides
+
+    # phase 2: assign c2p / s2s from the vote tallies
+    result = RelationshipMap()
+    for (a, b), (a_provides, b_provides) in votes.items():
+        if (
+            config.infer_siblings
+            and a_provides > config.sibling_votes
+            and b_provides > config.sibling_votes
+        ):
+            result.set_s2s(a, b)
+        elif a_provides >= b_provides:
+            result.set_p2c(a, b)
+        else:
+            result.set_p2c(b, a)
+
+    # phase 3: peering refinement near each path's top provider
+    #
+    # a link is a peering candidate when it touches some path's top
+    # provider; it is relabeled p2p when the endpoints have comparable
+    # degree and the link is never observed strictly inside a path's
+    # uphill or downhill segment (which would prove one side transits
+    # for the other).
+    top_adjacent: Set[Tuple[int, int]] = set()
+    interior: Set[Tuple[int, int]] = set()
+    for path in paths:
+        top = max(range(len(path)), key=lambda i: (degree[path[i]], -i))
+        for j in range(len(path) - 1):
+            pair = canonical_pair(path[j], path[j + 1])
+            if j == top or j + 1 == top:
+                top_adjacent.add(pair)
+            else:
+                interior.add(pair)
+
+    for a, b in top_adjacent - interior:
+        if result.relationship(a, b) is Relationship.S2S:
+            continue
+        da, db = max(degree[a], 1), max(degree[b], 1)
+        if max(da, db) / min(da, db) <= config.degree_ratio:
+            result.set_p2p(a, b)
+    return result

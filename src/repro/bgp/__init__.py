@@ -1,0 +1,35 @@
+"""BGP substrate: policy routing, vantage points, and RIB collection.
+
+Implements Gao–Rexford route propagation over a ground-truth AS graph
+(prefer customer > peer > provider routes; export customer routes to
+everyone, peer/provider routes to customers only), and a RouteViews-like
+collector that records each vantage point's best AS path per prefix.
+
+The output — a corpus of AS paths plus per-prefix RIB entries carrying
+BGP communities — is the only thing the inference algorithm ever sees,
+exactly as in the paper.
+"""
+
+from repro.bgp.propagation import GraphIndex, RouteState, propagate_origin
+from repro.bgp.collector import (
+    Collector,
+    CollectorConfig,
+    PathCorpus,
+    RibEntry,
+    VantagePoint,
+    collect,
+)
+from repro.bgp.noise import NoiseConfig
+
+__all__ = [
+    "GraphIndex",
+    "RouteState",
+    "propagate_origin",
+    "Collector",
+    "CollectorConfig",
+    "PathCorpus",
+    "RibEntry",
+    "VantagePoint",
+    "collect",
+    "NoiseConfig",
+]

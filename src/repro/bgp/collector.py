@@ -1,0 +1,334 @@
+"""RouteViews-style collection: vantage points, RIBs, path corpora.
+
+A :class:`Collector` peers with a set of vantage-point ASes.  Each full
+feed exports the VP's entire best-route table; each partial feed
+exports only customer-learned and originated routes (many real VPs
+peer with collectors and send only what they would send a peer — this
+is the visibility artifact behind the paper's discussion of partial
+views).
+
+Collection runs one propagation per origin AS and materializes, per
+vantage point, the observed AS path (with measurement noise applied)
+and per-prefix RIB entries carrying relationship-encoding BGP
+communities for the ASes that tag (the validation substrate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.noise import NoiseConfig, PathNoiser
+from repro.bgp.propagation import (
+    CLS_CUSTOMER,
+    CLS_ORIGIN,
+    GraphIndex,
+    RouteState,
+    propagate_origin,
+)
+from repro.net.prefix import Prefix
+from repro.relationships import RelClass
+from repro.topology.model import ASGraph, ASType
+
+# community encoding used by tagging ASes: (tagger_asn, _REL_CODE[relclass])
+REL_CODE = {
+    RelClass.CUSTOMER: 1001,
+    RelClass.PEER: 1002,
+    RelClass.PROVIDER: 1003,
+}
+CODE_REL = {code: rel for rel, code in REL_CODE.items()}
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """An AS exporting its table to the collector."""
+
+    asn: int
+    full_feed: bool = True
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """One collector RIB row: who said it, for what, via which path."""
+
+    vp: int
+    prefix: Prefix
+    path: Tuple[int, ...]  # collector order: VP first, origin last
+    communities: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def origin(self) -> int:
+        return self.path[-1]
+
+
+@dataclass
+class PathCorpus:
+    """Everything collected in one snapshot.
+
+    ``paths`` is the deduplicated multiset of observed AS paths (the
+    inference input); ``rib`` the prefix-level entries (the MRT and
+    communities substrate).
+    """
+
+    vps: List[VantagePoint]
+    paths: List[Tuple[int, ...]] = field(default_factory=list)
+    path_counts: Dict[Tuple[int, ...], int] = field(default_factory=dict)
+    rib: List[RibEntry] = field(default_factory=list)
+
+    def add_path(self, path: Tuple[int, ...]) -> None:
+        if path in self.path_counts:
+            self.path_counts[path] += 1
+        else:
+            self.path_counts[path] = 1
+            self.paths.append(path)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def observed_asns(self) -> Set[int]:
+        return {asn for path in self.paths for asn in path}
+
+    def observed_links(self) -> Set[Tuple[int, int]]:
+        """Unordered AS adjacencies present in the observed paths."""
+        links: Set[Tuple[int, int]] = set()
+        for path in self.paths:
+            for a, b in zip(path, path[1:]):
+                if a != b:
+                    links.add((a, b) if a < b else (b, a))
+        return links
+
+
+@dataclass
+class CollectorConfig:
+    """How many VPs to deploy and how they are chosen.
+
+    Mirrors reality: collectors preferentially attract feeds from large
+    transit networks, with a minority of partial feeds.
+    """
+
+    n_vps: int = 20
+    partial_feed_fraction: float = 0.25
+    seed: int = 99
+    # chance per (tagging AS) of attaching relationship communities
+    community_tagger_fraction: float = 0.3
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+    # when False, skip per-prefix RIB materialization (path corpus only)
+    build_rib: bool = True
+    # route leaks: this many multihomed ASes mis-export routes upward,
+    # each for ``leak_origin_fraction`` of origins (a partial-table leak)
+    n_route_leakers: int = 0
+    leak_origin_fraction: float = 0.05
+
+
+class Collector:
+    """Runs the propagation and assembles the snapshot corpus.
+
+    ``preset_vps`` lets a longitudinal caller keep the same feeds across
+    snapshots (as RouteViews peers persist for years): existing VPs are
+    retained when their AS still exists, and new ones are recruited only
+    to reach the configured count.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        config: Optional[CollectorConfig] = None,
+        preset_vps: Optional[Sequence[VantagePoint]] = None,
+        plane: str = "v4",
+    ):
+        """``plane`` selects the address family: ``"v6"`` routes over the
+        subgraph of v6-enabled ASes and announces IPv6 prefixes."""
+        if plane not in ("v4", "v6"):
+            raise ValueError(f"unknown plane {plane!r}")
+        self.graph = graph
+        self.plane = plane
+        self.config = config or CollectorConfig()
+        restrict = graph.v6_asns() if plane == "v6" else None
+        self.index = GraphIndex(graph, restrict=restrict)
+        self._rng = random.Random(self.config.seed)
+        retained = [
+            vp for vp in (preset_vps or []) if vp.asn in self.index.index
+        ]
+        needed = max(0, self.config.n_vps - len(retained))
+        exclude = {vp.asn for vp in retained}
+        self.vps = sorted(
+            retained + self._choose_vps(needed, exclude),
+            key=lambda vp: vp.asn,
+        )
+        self.taggers = self._choose_taggers()
+        self.leakers = self._choose_leakers()
+        self._noiser = PathNoiser(graph, self.config.noise)
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def _choose_vps(self, count: int, exclude: Set[int]) -> List[VantagePoint]:
+        """Prefer transit networks (weighted by customer count), mimic the
+        RouteViews feed mix; deterministic under the seed."""
+        candidates = [
+            asys.asn
+            for asys in self.graph.ases()
+            if asys.type
+            in (ASType.CLIQUE, ASType.LARGE_TRANSIT, ASType.SMALL_TRANSIT,
+                ASType.ACCESS)
+            and asys.asn not in exclude
+            and asys.asn in self.index.index  # v6 plane: v6 VPs only
+        ]
+        candidates.sort()
+        weights = [len(self.graph.customers[asn]) + 1 for asn in candidates]
+        chosen: List[int] = []
+        pool = list(zip(candidates, weights))
+        n = min(count, len(pool))
+        for _ in range(n):
+            total = sum(w for _, w in pool)
+            pick = self._rng.uniform(0, total)
+            acc = 0.0
+            for i, (asn, w) in enumerate(pool):
+                acc += w
+                if pick <= acc:
+                    chosen.append(asn)
+                    pool.pop(i)
+                    break
+        vps = []
+        for asn in sorted(chosen):
+            partial = self._rng.random() < self.config.partial_feed_fraction
+            vps.append(VantagePoint(asn=asn, full_feed=not partial))
+        return vps
+
+    def _choose_taggers(self) -> FrozenSet[int]:
+        """ASes that attach relationship-encoding communities at ingress."""
+        taggers = {
+            asys.asn
+            for asys in self.graph.ases()
+            if asys.type is not ASType.IXP_RS
+            and self._rng.random() < self.config.community_tagger_fraction
+        }
+        return frozenset(taggers)
+
+    def _choose_leakers(self) -> List[int]:
+        """Multihomed ASes that mis-export routes to their providers."""
+        if self.config.n_route_leakers <= 0:
+            return []
+        candidates = sorted(
+            asys.asn
+            for asys in self.graph.ases()
+            if len(self.graph.providers[asys.asn]) >= 2
+        )
+        count = min(self.config.n_route_leakers, len(candidates))
+        return sorted(self._rng.sample(candidates, count))
+
+    def _leakers_for_origin(self, origin_asn: int) -> Set[int]:
+        """Which leakers mis-export this origin's routes (deterministic)."""
+        if not self.leakers:
+            return set()
+        active = set()
+        for leaker in self.leakers:
+            draw = random.Random(
+                (self.config.seed << 20) ^ (origin_asn << 8) ^ leaker
+            ).random()
+            if draw < self.config.leak_origin_fraction:
+                active.add(leaker)
+        return active
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+
+    def run(self, origins: Optional[Sequence[int]] = None) -> PathCorpus:
+        """Collect one snapshot.
+
+        ``origins`` restricts which ASes announce (defaults to every
+        routing AS with at least one prefix).
+        """
+        prefix_origins = (
+            self.graph.prefix6_origins()
+            if self.plane == "v6"
+            else self.graph.prefix_origins()
+        )
+        by_origin: Dict[int, List[Prefix]] = {}
+        for prefix, asn in prefix_origins.items():
+            if asn in self.index.index:
+                by_origin.setdefault(asn, []).append(prefix)
+        if origins is None:
+            origin_list = sorted(by_origin)
+        else:
+            origin_list = sorted(set(origins) & set(by_origin))
+
+        corpus = PathCorpus(vps=list(self.vps))
+        vp_indexes = [
+            (vp, self.index.index[vp.asn])
+            for vp in self.vps
+            if vp.asn in self.index.index
+        ]
+        for origin_asn in origin_list:
+            state = propagate_origin(
+                self.index, origin_asn,
+                leakers=self._leakers_for_origin(origin_asn),
+            )
+            for vp, vp_idx in vp_indexes:
+                self._collect_at_vp(
+                    corpus, state, vp, vp_idx, by_origin[origin_asn]
+                )
+        return corpus
+
+    def _collect_at_vp(
+        self,
+        corpus: PathCorpus,
+        state: RouteState,
+        vp: VantagePoint,
+        vp_idx: int,
+        prefixes: List[Prefix],
+    ) -> None:
+        route_cls = state.cls[vp_idx]
+        if route_cls == 0:
+            return  # no route at this VP
+        if not vp.full_feed and route_cls not in (CLS_ORIGIN, CLS_CUSTOMER):
+            return  # partial feeds export only customer/originated routes
+        true_path = state.path_from(self.index, vp_idx)
+        assert true_path is not None
+        observed = self._noiser.apply(true_path)
+        corpus.add_path(observed)
+        if self.config.build_rib:
+            communities = self._communities_for(state, vp_idx)
+            for prefix in prefixes:
+                corpus.rib.append(
+                    RibEntry(
+                        vp=vp.asn,
+                        prefix=prefix,
+                        path=observed,
+                        communities=communities,
+                    )
+                )
+
+    def _communities_for(
+        self, state: RouteState, vp_idx: int
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Relationship communities accumulated along the selected path.
+
+        Each tagging AS on the path marks the class of the session the
+        route entered on — exactly the convention community-based
+        validation mines.
+        """
+        tags: List[Tuple[int, int]] = []
+        node = vp_idx
+        while node != -1 and node != state.origin:
+            asn = self.index.asns[node]
+            relclass = state.relclass(node)
+            nexthop = state.nexthop[node]
+            if asn in self.taggers and relclass in REL_CODE:
+                # internal (sibling) sessions carry no external
+                # relationship communities
+                neighbor = self.index.asns[nexthop] if nexthop != -1 else None
+                if neighbor is None or neighbor not in self.graph.siblings[asn]:
+                    tags.append((asn, REL_CODE[relclass]))
+            node = nexthop
+        return tuple(tags)
+
+
+def collect(
+    graph: ASGraph, config: Optional[CollectorConfig] = None
+) -> PathCorpus:
+    """One-call convenience: build a collector and run a full snapshot."""
+    return Collector(graph, config).run()

@@ -1,0 +1,117 @@
+"""Measurement-noise model for observed AS paths.
+
+Real BGP data is not a clean print-out of the routing state: ASes
+prepend their own ASN for traffic engineering, IXP route servers leave
+their ASN in paths, and origins sometimes *poison* announcements with a
+third-party ASN.  The paper's sanitization stage exists to strip or
+discard exactly these artifacts, so the substrate must produce them.
+
+Noise is applied at path-materialization time, deterministically from
+the scenario seed, so corpora are reproducible.  (Prepending in the
+real world also influences path *selection*; we apply it after
+selection, a simplification that preserves what matters here — the
+pattern the sanitizer must remove.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.relationships import canonical_pair
+from repro.topology.model import ASGraph
+
+
+@dataclass
+class NoiseConfig:
+    """Rates for each artifact class; zero disables the artifact."""
+
+    seed: int = 1
+    # whether IXP route servers leave their ASN in observed paths
+    ixp_insertion: bool = True
+    # fraction of (AS, neighbor) export adjacencies that prepend
+    prepend_prob: float = 0.03
+    max_prepend: int = 3
+    # fraction of materialized paths that carry an injected clique ASN
+    # between two genuine hops (the "poisoned path" artifact)
+    poison_prob: float = 0.002
+    # fraction of paths where the origin appears twice (loop artifact —
+    # e.g. BGP poisoning for measurement, discarded by sanitization)
+    loop_prob: float = 0.001
+    # fraction of paths corrupted with a reserved/private ASN
+    reserved_asn_prob: float = 0.0005
+
+    @classmethod
+    def none(cls) -> "NoiseConfig":
+        """A configuration with every artifact turned off."""
+        return cls(ixp_insertion=False, prepend_prob=0.0, poison_prob=0.0,
+                   loop_prob=0.0, reserved_asn_prob=0.0)
+
+
+#: a private-use ASN occasionally leaking into paths
+RESERVED_ASN = 64512
+
+
+class PathNoiser:
+    """Applies IXP insertion, prepending, poisoning and loop artifacts.
+
+    Prepend behaviour is a deterministic function of the (AS, next-hop)
+    pair, mirroring per-session prepend policy; the per-path artifacts
+    (poison/loop/reserved) are drawn from the corpus RNG.
+    """
+
+    def __init__(self, graph: ASGraph, config: NoiseConfig):
+        self._config = config
+        self._rng = random.Random(config.seed)
+        self._via_ixp: Dict[Tuple[int, int], int] = (
+            getattr(graph, "via_ixp", {}) if config.ixp_insertion else {}
+        )
+        self._clique = graph.clique_asns()
+        self._prepend_cache: Dict[Tuple[int, int], int] = {}
+
+    def _prepend_count(self, asn: int, toward: int) -> int:
+        """How many extra copies ``asn`` inserts when exporting to ``toward``."""
+        key = (asn, toward)
+        count = self._prepend_cache.get(key)
+        if count is None:
+            # deterministic per adjacency: hash into a local RNG
+            local = random.Random((self._config.seed << 32) ^ (asn << 16) ^ toward)
+            if local.random() < self._config.prepend_prob:
+                count = local.randint(1, max(1, self._config.max_prepend))
+            else:
+                count = 0
+            self._prepend_cache[key] = count
+        return count
+
+    def apply(self, path: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Return the observed form of a true AS path."""
+        observed: List[int] = []
+        cfg = self._config
+        for i, asn in enumerate(path):
+            observed.append(asn)
+            if cfg.prepend_prob > 0 and i > 0:
+                # `asn` exported toward path[i-1]; prepends show up after
+                # the first occurrence in collector order
+                observed.extend([asn] * self._prepend_count(asn, path[i - 1]))
+            if i + 1 < len(path):
+                rs = self._via_ixp.get(canonical_pair(asn, path[i + 1]))
+                if rs is not None:
+                    observed.append(rs)
+
+        if cfg.poison_prob > 0 and len(observed) >= 3 and self._clique:
+            if self._rng.random() < cfg.poison_prob:
+                spot = self._rng.randrange(1, len(observed) - 1)
+                poison = self._rng.choice(self._clique)
+                if poison not in observed:
+                    observed.insert(spot, poison)
+        if cfg.loop_prob > 0 and len(observed) >= 3:
+            if self._rng.random() < cfg.loop_prob:
+                # origin ASN re-appears earlier in the path (loop artifact)
+                observed.insert(self._rng.randrange(1, len(observed) - 1),
+                                observed[-1])
+        if cfg.reserved_asn_prob > 0 and len(observed) >= 2:
+            if self._rng.random() < cfg.reserved_asn_prob:
+                observed.insert(self._rng.randrange(1, len(observed)),
+                                RESERVED_ASN)
+        return tuple(observed)

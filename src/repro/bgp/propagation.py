@@ -1,0 +1,393 @@
+"""Gao–Rexford route propagation.
+
+For one origin AS, computes the route every other AS selects under the
+standard policy model:
+
+* **preference** — customer-learned routes beat peer-learned routes
+  beat provider-learned routes; within a class, shorter AS paths win,
+  and ties break on the lowest next-hop ASN (deterministic);
+* **export** — routes learned from customers (or originated) are
+  exported to everyone; routes learned from peers or providers are
+  exported only to customers.
+
+These two rules produce exactly the valley-free paths whose shape the
+paper's inference algorithm exploits, and the limited-visibility
+artifacts (peering links seen only from below) its heuristics survive.
+
+The implementation is three deterministic sweeps:
+
+1. customer routes climb provider edges (level-synchronous BFS);
+2. peer routes hop one peering edge off any AS with a customer route;
+3. selected routes descend customer edges (bucketed by path length).
+
+Results are flat arrays indexed by a dense AS index, so a full
+propagation is O(V + E) per origin with small constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.relationships import RelClass
+from repro.topology.model import ASGraph, ASType
+
+# route classes as small ints for the flat arrays
+NO_ROUTE = 0
+CLS_ORIGIN = 1
+CLS_CUSTOMER = 2
+CLS_PEER = 3
+CLS_PROVIDER = 4
+
+_CLASS_TO_RELCLASS = {
+    CLS_ORIGIN: RelClass.ORIGIN,
+    CLS_CUSTOMER: RelClass.CUSTOMER,
+    CLS_PEER: RelClass.PEER,
+    CLS_PROVIDER: RelClass.PROVIDER,
+}
+
+
+class GraphIndex:
+    """Dense-integer view of an :class:`ASGraph` for fast propagation.
+
+    ASNs are mapped to indexes ``0..n-1``; adjacency is stored as lists
+    of index lists.  Sibling links are treated as peering links for
+    propagation purposes (the generator defaults to zero siblings).
+    IXP route-server ASes do not participate in routing at all — they
+    are data-plane artifacts injected later by the noise model.
+    """
+
+    def __init__(self, graph: ASGraph, restrict: Optional[Set[int]] = None):
+        """``restrict`` limits routing to a subset of ASNs — used for the
+        IPv6 plane, where only v6-enabled networks participate."""
+        self.graph = graph
+        routing_asns = sorted(
+            asys.asn
+            for asys in graph.ases()
+            if asys.type is not ASType.IXP_RS
+            and (restrict is None or asys.asn in restrict)
+        )
+        self.asns: List[int] = routing_asns
+        self.index: Dict[int, int] = {asn: i for i, asn in enumerate(routing_asns)}
+        n = len(routing_asns)
+        self.providers: List[List[int]] = [[] for _ in range(n)]
+        self.customers: List[List[int]] = [[] for _ in range(n)]
+        self.peers: List[List[int]] = [[] for _ in range(n)]
+        for asn in routing_asns:
+            i = self.index[asn]
+            self.providers[i] = sorted(
+                self.index[p] for p in graph.providers[asn] if p in self.index
+            )
+            self.customers[i] = sorted(
+                self.index[c] for c in graph.customers[asn] if c in self.index
+            )
+            peerish = graph.peers[asn] | graph.siblings[asn]
+            self.peers[i] = sorted(
+                self.index[p] for p in peerish if p in self.index
+            )
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+
+@dataclass
+class RouteState:
+    """Per-AS selected route for a single origin.
+
+    ``cls[i]`` is one of the ``CLS_*``/``NO_ROUTE`` constants,
+    ``nexthop[i]`` the index of the neighbor the route was learned from
+    (-1 for the origin), ``pathlen[i]`` the AS-path length in edges.
+    """
+
+    origin: int  # dense index of the origin
+    cls: List[int]
+    nexthop: List[int]
+    pathlen: List[int]
+
+    def relclass(self, i: int) -> Optional[RelClass]:
+        code = self.cls[i]
+        if code == NO_ROUTE:
+            return None
+        return _CLASS_TO_RELCLASS[code]
+
+    def path_from(self, index: GraphIndex, i: int) -> Optional[Tuple[int, ...]]:
+        """AS path (ASNs, collector order: ``i`` first, origin last)."""
+        if self.cls[i] == NO_ROUTE:
+            return None
+        hops: List[int] = []
+        node = i
+        while node != -1:
+            hops.append(index.asns[node])
+            if node == self.origin:
+                break
+            node = self.nexthop[node]
+        return tuple(hops)
+
+
+def propagate_origin(
+    index: GraphIndex,
+    origin_asn: int,
+    leakers: Optional[Set[int]] = None,
+) -> RouteState:
+    """Compute every AS's selected route toward ``origin_asn``.
+
+    ``leakers`` (ASNs) violate export policy: they re-announce their
+    selected route to their providers even when it was learned from a
+    peer or provider — the classic *route leak*.  Because leaked routes
+    arrive at the provider looking like customer routes, they are
+    highly preferred and can hijack selection far beyond the leaker;
+    the resulting observed paths contain valleys, which is exactly the
+    artifact the inference pipeline must survive.
+    """
+    n = len(index)
+    origin = index.index[origin_asn]
+    cls = [NO_ROUTE] * n
+    nexthop = [-1] * n
+    pathlen = [0] * n
+
+    _sweep_up(index, origin, cls, nexthop, pathlen)
+    _sweep_peers(index, cls, nexthop, pathlen)
+    _sweep_down(index, cls, nexthop, pathlen)
+    if leakers:
+        leak_indexes = {
+            index.index[asn] for asn in leakers if asn in index.index
+        }
+        _leak_pass(index, leak_indexes, cls, nexthop, pathlen)
+    return RouteState(origin=origin, cls=cls, nexthop=nexthop, pathlen=pathlen)
+
+
+def _sweep_up(
+    index: GraphIndex,
+    origin: int,
+    cls: List[int],
+    nexthop: List[int],
+    pathlen: List[int],
+) -> None:
+    """Phase 1: customer routes climb provider edges, BFS by level.
+
+    At each level every newly reached provider picks, among its
+    customers reached at the previous level, the one with the lowest
+    ASN — the deterministic tie-break.
+    """
+    cls[origin] = CLS_ORIGIN
+    frontier = [origin]
+    depth = 0
+    while frontier:
+        depth += 1
+        candidates: Dict[int, int] = {}  # provider index -> best customer index
+        for node in frontier:
+            node_asn = index.asns[node]
+            for provider in index.providers[node]:
+                if cls[provider] != NO_ROUTE:
+                    continue
+                best = candidates.get(provider)
+                if best is None or node_asn < index.asns[best]:
+                    candidates[provider] = node
+        next_frontier: List[int] = []
+        for provider, via in candidates.items():
+            cls[provider] = CLS_CUSTOMER
+            nexthop[provider] = via
+            pathlen[provider] = depth
+            next_frontier.append(provider)
+        frontier = next_frontier
+
+
+def _sweep_peers(
+    index: GraphIndex, cls: List[int], nexthop: List[int], pathlen: List[int]
+) -> None:
+    """Phase 2: one peering hop off every AS holding a customer route.
+
+    Peer-learned routes are not re-exported to peers or providers, so a
+    single relaxation suffices.  An AS prefers the peer route with the
+    shortest path, then the lowest peer ASN.
+    """
+    n = len(index)
+    best: Dict[int, Tuple[int, int]] = {}  # node -> (pathlen, peer index)
+    for node in range(n):
+        if cls[node] not in (CLS_ORIGIN, CLS_CUSTOMER):
+            continue
+        offer = (pathlen[node] + 1, node)
+        for peer in index.peers[node]:
+            if cls[peer] in (CLS_ORIGIN, CLS_CUSTOMER):
+                continue  # peer prefers its customer route
+            current = best.get(peer)
+            if current is None or _offer_beats(index, offer, current):
+                best[peer] = offer
+    for node, (length, via) in best.items():
+        cls[node] = CLS_PEER
+        nexthop[node] = via
+        pathlen[node] = length
+
+
+def _offer_beats(
+    index: GraphIndex, offer: Tuple[int, int], current: Tuple[int, int]
+) -> bool:
+    if offer[0] != current[0]:
+        return offer[0] < current[0]
+    return index.asns[offer[1]] < index.asns[current[1]]
+
+
+def _better(
+    index: GraphIndex,
+    offer_cls: int,
+    offer_len: int,
+    offer_via: int,
+    cls: List[int],
+    pathlen: List[int],
+    nexthop: List[int],
+    node: int,
+) -> bool:
+    """Does the offered route beat ``node``'s current selection?
+
+    Preference: route class (origin/customer/peer/provider), then path
+    length, then lowest next-hop ASN — the same total order the normal
+    sweeps implement implicitly.
+    """
+    current_cls = cls[node]
+    if current_cls == NO_ROUTE:
+        return True
+    if current_cls == CLS_ORIGIN:
+        return False
+    if offer_cls != current_cls:
+        return offer_cls < current_cls
+    if offer_len != pathlen[node]:
+        return offer_len < pathlen[node]
+    current_via = nexthop[node]
+    return index.asns[offer_via] < index.asns[current_via]
+
+
+def _leak_pass(
+    index: GraphIndex,
+    leakers: Set[int],
+    cls: List[int],
+    nexthop: List[int],
+    pathlen: List[int],
+) -> None:
+    """One round of route-leak convergence.
+
+    Each leaker holding a peer- or provider-learned route exports it
+    upward; receivers treat it as a customer route (they cannot tell),
+    re-export it everywhere a customer route goes, and better routes
+    displace worse ones.  A single deterministic pass (up, then peers,
+    then down) is sufficient to materialize the leak's footprint.
+    """
+    seeds = sorted(
+        node
+        for node in leakers
+        if cls[node] in (CLS_PEER, CLS_PROVIDER)
+    )
+    if not seeds:
+        return
+    seed_set = set(seeds)
+
+    def on_chain(node: int, via: int) -> bool:
+        """Is ``node`` already on the route ``via`` would hand it?
+
+        BGP's loop prevention: a router rejects paths containing its
+        own ASN.  Chains are short; walk with a hard cap for safety.
+        """
+        current = via
+        for _ in range(len(cls) + 1):
+            if current == node:
+                return True
+            if current == -1:
+                return False
+            current = nexthop[current]
+        return True  # cap hit: treat as looped, refuse
+
+    # upward: leaked routes climb provider chains as customer routes
+    updated: List[int] = []
+    frontier = list(seeds)
+    while frontier:
+        next_frontier: List[int] = []
+        for node in sorted(frontier, key=lambda i: index.asns[i]):
+            offer_len = pathlen[node] + 1
+            for provider in index.providers[node]:
+                if provider in seed_set:
+                    continue  # the leaker keeps its original route
+                if on_chain(provider, node):
+                    continue
+                if _better(index, CLS_CUSTOMER, offer_len, node,
+                           cls, pathlen, nexthop, provider):
+                    cls[provider] = CLS_CUSTOMER
+                    nexthop[provider] = node
+                    pathlen[provider] = offer_len
+                    updated.append(provider)
+                    next_frontier.append(provider)
+        frontier = next_frontier
+
+    # sideways: the (apparent) customer routes go to peers too
+    peer_updated: List[int] = []
+    for node in sorted(set(updated) | seed_set, key=lambda i: index.asns[i]):
+        offer_len = pathlen[node] + 1
+        for peer in index.peers[node]:
+            if peer in seed_set or on_chain(peer, node):
+                continue
+            if _better(index, CLS_PEER, offer_len, node,
+                       cls, pathlen, nexthop, peer):
+                cls[peer] = CLS_PEER
+                nexthop[peer] = node
+                pathlen[peer] = offer_len
+                peer_updated.append(peer)
+
+    # downward: every AS whose selection changed re-exports to customers
+    frontier = sorted(set(updated) | set(peer_updated) | seed_set,
+                      key=lambda i: index.asns[i])
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            offer_len = pathlen[node] + 1
+            for customer in index.customers[node]:
+                if customer in seed_set or on_chain(customer, node):
+                    continue
+                if _better(index, CLS_PROVIDER, offer_len, node,
+                           cls, pathlen, nexthop, customer):
+                    cls[customer] = CLS_PROVIDER
+                    nexthop[customer] = node
+                    pathlen[customer] = offer_len
+                    next_frontier.append(customer)
+        frontier = sorted(set(next_frontier), key=lambda i: index.asns[i])
+
+
+def _sweep_down(
+    index: GraphIndex, cls: List[int], nexthop: List[int], pathlen: List[int]
+) -> None:
+    """Phase 3: selected routes descend customer edges.
+
+    Every AS holding a route (customer, peer, or — recursively —
+    provider class) exports it to its customers; a customer adopts a
+    provider route only when it has nothing better.  Routes descend in
+    order of path length (a bucket queue), so each AS settles on its
+    shortest provider route, ties broken by lowest provider ASN.
+    """
+    n = len(index)
+    buckets: List[List[int]] = []
+
+    def put(length: int, node: int) -> None:
+        while len(buckets) <= length:
+            buckets.append([])
+        buckets[length].append(node)
+
+    for node in range(n):
+        if cls[node] != NO_ROUTE:
+            put(pathlen[node], node)
+
+    depth = 0
+    while depth < len(buckets):
+        candidates: Dict[int, int] = {}  # customer -> best provider index
+        for node in buckets[depth]:
+            if pathlen[node] != depth:
+                continue  # stale entry
+            node_asn = index.asns[node]
+            for customer in index.customers[node]:
+                if cls[customer] != NO_ROUTE:
+                    continue
+                best = candidates.get(customer)
+                if best is None or node_asn < index.asns[best]:
+                    candidates[customer] = node
+        for customer, via in candidates.items():
+            cls[customer] = CLS_PROVIDER
+            nexthop[customer] = via
+            pathlen[customer] = depth + 1
+            put(depth + 1, customer)
+        depth += 1

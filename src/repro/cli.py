@@ -1,0 +1,219 @@
+"""Command-line interface: the full pipeline from a shell.
+
+Subcommands mirror the library stages::
+
+    repro-asrank simulate --scenario medium --out-dir ./run
+    repro-asrank infer    --paths ./run/paths.txt --as-rel ./run/as-rel.txt
+    repro-asrank cones    --paths ./run/paths.txt --as-rel ./run/as-rel.txt \
+                          --ppdc ./run/ppdc-ases.txt
+    repro-asrank validate --scenario medium
+    repro-asrank rank     --scenario medium --top 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.timeseries import flattening_series, series_metrics
+from repro.core.cone import ConeDefinition, CustomerCones
+from repro.core.inference import infer_relationships
+from repro.core.paths import PathSet
+from repro.core.rank import rank_ases
+from repro.datasets.serialization import save_as_rel, save_paths, save_ppdc_ases, load_paths
+from repro.mrt.updates import write_update_dump
+from repro.mrt.writer import write_rib_dump
+from repro.topology.evolution import generate_series
+from repro.relationships import Relationship
+from repro.scenarios import SCENARIOS, get_scenario
+from repro.validation import (
+    communities_corpus,
+    direct_report_corpus,
+    routing_policy_corpus,
+    rpsl_corpus,
+    validate,
+)
+
+
+def _add_scenario_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        default="medium",
+        choices=sorted(SCENARIOS),
+        help="named workload to run (default: medium)",
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    graph, corpus = scenario.collect()
+    os.makedirs(args.out_dir, exist_ok=True)
+    paths_file = os.path.join(args.out_dir, "paths.txt")
+    count = save_paths(
+        paths_file,
+        corpus.paths,
+        comments=[f"scenario: {scenario.name}", f"vps: {len(corpus.vps)}"],
+    )
+    print(f"wrote {count} paths to {paths_file}")
+    if args.mrt:
+        mrt_file = os.path.join(args.out_dir, "rib.mrt")
+        records = write_rib_dump(mrt_file, corpus.rib)
+        print(f"wrote {records} RIB records to {mrt_file}")
+    if args.updates:
+        updates_file = os.path.join(args.out_dir, "updates.mrt")
+        messages = write_update_dump(updates_file, corpus.rib)
+        print(f"wrote {messages} UPDATE messages to {updates_file}")
+    return 0
+
+
+def _cmd_evolve(args: argparse.Namespace) -> int:
+    from repro.scenarios import evolution_scenario
+
+    config = evolution_scenario(eras=args.eras)
+    snapshots = generate_series(config)
+    metrics = series_metrics(snapshots)
+    print(f"{'era':<8}{'ases':>6}{'links':>7}{'paths':>8}"
+          f"{'clique':>8}{'recall':>8}")
+    for m in metrics:
+        print(
+            f"{m.label:<8}{m.n_ases:>6}{m.n_links:>7}{m.n_paths:>8}"
+            f"{len(m.inferred_clique):>8}{m.clique_recall:>8.0%}"
+        )
+    tracked = flattening_series(metrics)
+    print("\ncone share of the largest providers per era:")
+    for asn, shares in sorted(tracked.items(), key=lambda kv: -kv[1][0])[:5]:
+        print(f"  AS{asn:<7}" + " ".join(f"{s:>6.1%}" for s in shares))
+    return 0
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    raw = load_paths(args.paths)
+    paths = PathSet.sanitize(raw)
+    result = infer_relationships(paths)
+    for name, value in paths.stats.as_rows():
+        print(f"  {name:<26}{value}")
+    counts = result.counts_by_relationship()
+    print(
+        f"inferred {len(result)} links: "
+        f"{counts.get(Relationship.P2C, 0)} c2p, "
+        f"{counts.get(Relationship.P2P, 0)} p2p; "
+        f"clique = {result.clique.members}"
+    )
+    if args.as_rel:
+        written = save_as_rel(args.as_rel, result, comments=["inferred by repro-asrank"])
+        print(f"wrote {written} relationships to {args.as_rel}")
+    return 0
+
+
+def _cmd_cones(args: argparse.Namespace) -> int:
+    raw = load_paths(args.paths)
+    paths = PathSet.sanitize(raw)
+    result = infer_relationships(paths)
+    definition = ConeDefinition(args.definition)
+    cones = CustomerCones.compute(result, definition)
+    print(f"cone definition: {definition.value}")
+    for asn, size in cones.top(args.top):
+        print(f"  AS{asn:<8} cone {size} ASes")
+    if args.ppdc:
+        written = save_ppdc_ases(args.ppdc, cones.cones)
+        print(f"wrote {written} cones to {args.ppdc}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    graph, corpus, paths, result = scenario.run()
+    sources = (
+        direct_report_corpus(graph)
+        .merge(communities_corpus(corpus.rib, graph.ixp_asns()))
+        .merge(rpsl_corpus(graph))
+        .merge(routing_policy_corpus(graph))
+    )
+    report = validate(result, sources, step_lookup=result.step_of)
+    print(f"scenario {scenario.name}: {len(result)} inferences, "
+          f"{report.validated} validated ({report.coverage:.1%} coverage)")
+    for rel in (Relationship.P2C, Relationship.P2P):
+        metrics = report.by_class.get(rel)
+        if metrics:
+            print(f"  {rel.label} PPV: {metrics.ppv:.4f} ({metrics.total} judged)")
+    print("  by source:", {s: m.total for s, m in sorted(report.by_source.items())})
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    graph, corpus, paths, result = scenario.run()
+    prefixes = {asys.asn: asys.prefixes for asys in graph.ases()}
+    cones = CustomerCones.compute(
+        result, ConeDefinition.PROVIDER_PEER_OBSERVED, prefixes_by_asn=prefixes
+    )
+    print(f"{'rank':>4} {'asn':>7} {'cone':>6} {'pfx':>6} {'addrs':>12} "
+          f"{'transit':>8} {'cust':>5} {'peer':>5} {'prov':>5}")
+    for entry in rank_ases(result, cones, limit=args.top):
+        print(
+            f"{entry.rank:>4} {entry.asn:>7} {entry.cone_ases:>6} "
+            f"{entry.cone_prefixes:>6} {entry.cone_addresses:>12} "
+            f"{entry.transit_degree:>8} {entry.num_customers:>5} "
+            f"{entry.num_peers:>5} {entry.num_providers:>5}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-asrank",
+        description="AS relationship inference, customer cones and validation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate topology + collect BGP paths")
+    _add_scenario_arg(simulate)
+    simulate.add_argument("--out-dir", default=".", help="output directory")
+    simulate.add_argument("--mrt", action="store_true", help="also write an MRT RIB dump")
+    simulate.add_argument("--updates", action="store_true",
+                          help="also write a BGP4MP update-stream dump")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    evolve = sub.add_parser(
+        "evolve", help="run the longitudinal era series and print the trends"
+    )
+    evolve.add_argument("--eras", type=int, default=4)
+    evolve.set_defaults(func=_cmd_evolve)
+
+    infer = sub.add_parser("infer", help="infer relationships from a path file")
+    infer.add_argument("--paths", required=True, help="path file (one AS path per line)")
+    infer.add_argument("--as-rel", help="write inferred relationships here")
+    infer.set_defaults(func=_cmd_infer)
+
+    cones = sub.add_parser("cones", help="compute customer cones from a path file")
+    cones.add_argument("--paths", required=True)
+    cones.add_argument(
+        "--definition",
+        default=ConeDefinition.PROVIDER_PEER_OBSERVED.value,
+        choices=[d.value for d in ConeDefinition],
+    )
+    cones.add_argument("--top", type=int, default=15)
+    cones.add_argument("--ppdc", help="write ppdc-ases file here")
+    cones.set_defaults(func=_cmd_cones)
+
+    val = sub.add_parser("validate", help="run a scenario and score PPV")
+    _add_scenario_arg(val)
+    val.set_defaults(func=_cmd_validate)
+
+    rank = sub.add_parser("rank", help="run a scenario and print the AS ranking")
+    _add_scenario_arg(rank)
+    rank.add_argument("--top", type=int, default=15)
+    rank.set_defaults(func=_cmd_rank)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's primary contribution: ASRank relationship inference.
+
+Pipeline: sanitize observed AS paths → rank ASes by transit degree →
+infer the tier-1 clique (Bron–Kerbosch) → discard poisoned paths →
+infer c2p links top-down with a cascade of heuristics → remaining links
+are p2p → compute customer cones under three definitions → rank ASes by
+cone size.
+"""
+
+from repro.core.paths import PathSet, SanitizeStats, is_reserved_asn
+from repro.core.clique import CliqueResult, infer_clique
+from repro.core.inference import (
+    InferenceConfig,
+    InferenceResult,
+    InferredRelationship,
+    Step,
+    infer_relationships,
+)
+from repro.core.cone import ConeDefinition, CustomerCones, compute_cones
+from repro.core.prediction import PredictionReport, predict_paths
+from repro.core.rank import ASRankEntry, rank_ases
+
+__all__ = [
+    "PathSet",
+    "SanitizeStats",
+    "is_reserved_asn",
+    "CliqueResult",
+    "infer_clique",
+    "InferenceConfig",
+    "InferenceResult",
+    "InferredRelationship",
+    "Step",
+    "infer_relationships",
+    "ConeDefinition",
+    "CustomerCones",
+    "compute_cones",
+    "PredictionReport",
+    "predict_paths",
+    "ASRankEntry",
+    "rank_ases",
+]

@@ -1,0 +1,163 @@
+"""Tier-1 clique inference (the algorithm's anchor step).
+
+The paper assumes a clique of transit-free providers at the top of the
+hierarchy and infers it from the path data itself:
+
+1. take the top ``seed_size`` ASes by transit degree;
+2. among them, find the largest clique in the observed adjacency graph
+   (Bron–Kerbosch with pivoting; ties broken by total transit degree);
+3. walk the remaining ranking in order, admitting any AS adjacent to
+   every current member, and stop after ``stop_after`` consecutive
+   candidates fail — large transit providers that peer with everyone at
+   the top are in, regional networks are out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.paths import PathSet
+
+
+@dataclass
+class CliqueResult:
+    """The inferred clique plus provenance for diagnostics."""
+
+    members: List[int]
+    seed_members: List[int]  # found by Bron–Kerbosch among the top ASes
+    added_members: List[int]  # admitted during the rank-order walk
+    considered: int = 0  # candidates examined during the walk
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._member_set
+
+    def __post_init__(self) -> None:
+        self._member_set = set(self.members)
+
+    @property
+    def member_set(self) -> Set[int]:
+        return set(self._member_set)
+
+
+def bron_kerbosch(
+    vertices: Sequence[int], adjacency: Dict[int, Set[int]]
+) -> List[FrozenSet[int]]:
+    """All maximal cliques of the graph induced on ``vertices``.
+
+    Classic Bron–Kerbosch with pivoting; fine for the small candidate
+    sets this module feeds it (tens of vertices).
+    """
+    vertex_set = set(vertices)
+    neighbors = {v: adjacency.get(v, set()) & vertex_set for v in vertex_set}
+    cliques: List[FrozenSet[int]] = []
+
+    def expand(r: Set[int], p: Set[int], x: Set[int]) -> None:
+        if not p and not x:
+            cliques.append(frozenset(r))
+            return
+        pivot = max(p | x, key=lambda v: len(neighbors[v] & p))
+        for v in sorted(p - neighbors[pivot]):
+            expand(r | {v}, p & neighbors[v], x & neighbors[v])
+            p = p - {v}
+            x = x | {v}
+
+    expand(set(), set(vertex_set), set())
+    return cliques
+
+
+def _customer_evidence(
+    triples: Sequence[Tuple[int, int, int]], clique: Set[int]
+) -> Dict[int, int]:
+    """Count, per AS, path evidence that it is a *customer* of a clique
+    member rather than a peer.
+
+    The pattern ``[x, y, cand]`` (or its mirror) with ``x`` and ``y``
+    both clique members proves ``y`` exported cand's route to its peer
+    ``x`` — only customer routes are exported to peers, so cand buys
+    transit from ``y``.  A true clique member can never appear in this
+    pattern: it would require a route to cross two peer links in a row.
+    """
+    evidence: Dict[int, int] = {}
+    for left, mid, right in triples:
+        if mid not in clique:
+            continue
+        if left in clique and right not in clique:
+            evidence[right] = evidence.get(right, 0) + 1
+        elif right in clique and left not in clique:
+            evidence[left] = evidence.get(left, 0) + 1
+    return evidence
+
+
+def _prune_customers(
+    clique: Set[int], triples: Sequence[Tuple[int, int, int]]
+) -> Set[int]:
+    """Iteratively drop clique members that the path data shows buying
+    transit from other members (multihomed-to-the-whole-clique transit
+    networks survive Bron–Kerbosch but fail this test)."""
+    clique = set(clique)
+    while len(clique) > 2:
+        evidence = _customer_evidence(triples, clique)
+        guilty = {m: n for m, n in evidence.items() if m in clique}
+        if not guilty:
+            break
+        worst = max(sorted(guilty), key=lambda m: guilty[m])
+        clique.discard(worst)
+    return clique
+
+
+def infer_clique(
+    paths: PathSet,
+    seed_size: int = 10,
+    stop_after: int = 10,
+    max_walk: int = 50,
+) -> CliqueResult:
+    """Infer the tier-1 clique from a sanitized path corpus."""
+    ranking = paths.ranked_asns()
+    if not ranking:
+        return CliqueResult(members=[], seed_members=[], added_members=[])
+    adjacency = paths.node_neighbors
+
+    seeds = ranking[:seed_size]
+    cliques = bron_kerbosch(seeds, adjacency)
+    if not cliques:
+        return CliqueResult(members=[], seed_members=[], added_members=[])
+
+    def clique_weight(members: FrozenSet[int]) -> Tuple[int, int, Tuple[int, ...]]:
+        # transit-degree mass first: a large clique of middleweights
+        # (e.g. a transit network plus the subset of tier-1s it buys
+        # from) must not outrank the true heavyweight clique
+        return (
+            sum(paths.transit_degree(m) for m in members),
+            len(members),
+            tuple(sorted(members)),
+        )
+
+    triples = list(paths.triples())
+    best = max(cliques, key=clique_weight)
+    clique: Set[int] = _prune_customers(set(best), triples)
+
+    added: List[int] = []
+    failures = 0
+    considered = 0
+    for asn in ranking[seed_size:]:
+        if failures >= stop_after or considered >= max_walk:
+            break
+        considered += 1
+        if (
+            clique <= adjacency.get(asn, set())
+            and paths.transit_degree(asn) > 0  # a tier-1 transits, always
+            and _customer_evidence(triples, clique | {asn}).get(asn, 0) == 0
+        ):
+            clique.add(asn)
+            added.append(asn)
+            failures = 0
+        else:
+            failures += 1
+
+    return CliqueResult(
+        members=sorted(clique),
+        seed_members=sorted(best),
+        added_members=added,
+        considered=considered,
+    )

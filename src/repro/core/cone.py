@@ -1,0 +1,176 @@
+"""Customer cones under the paper's three definitions.
+
+The *customer cone* of an AS is the set of ASes it can reach through
+customer links alone — its "market share" of the routing system.  The
+paper contrasts three ways of computing it:
+
+* **RECURSIVE** — transitive closure over all inferred p2c links.
+  Over-counts: an AS need not announce every customer route to every
+  provider, so not all closure members are actually reachable.
+* **BGP_OBSERVED** — B is in A's cone if some observed path contains a
+  contiguous descending (all-p2c) segment from A to B.  Conservative:
+  bounded by where the vantage points happen to look from.
+* **PROVIDER_PEER_OBSERVED** ("PPDC", the paper's preferred definition
+  and CAIDA's published dataset) — B is in A's cone if some path
+  enters A from one of A's providers or peers and later reaches B.
+  By the export rules, everything A announces to a provider or peer is
+  a customer route, so the whole observed suffix is in A's cone.
+
+All cones include the AS itself, matching CAIDA's convention.  Cones
+can be sized in ASes, announced prefixes, or IPv4 addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.inference import InferenceResult
+from repro.net.prefix import Prefix, summarize_address_space
+from repro.relationships import Relationship
+
+
+class ConeDefinition(enum.Enum):
+    RECURSIVE = "recursive"
+    BGP_OBSERVED = "bgp-observed"
+    PROVIDER_PEER_OBSERVED = "provider/peer-observed"
+
+
+def _recursive_cones(result: InferenceResult) -> Dict[int, Set[int]]:
+    """Transitive closure over the inferred p2c DAG, memoized bottom-up."""
+    customers = result.customers
+    asns = result.paths.asns()
+    cones: Dict[int, Set[int]] = {}
+    # iterative post-order over the DAG
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {}
+    for root in asns:
+        if color.get(root, WHITE) is not WHITE:
+            continue
+        stack: List[Tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                cone = {node}
+                for child in customers.get(node, ()):
+                    cone |= cones[child]
+                cones[node] = cone
+                color[node] = BLACK
+                continue
+            if color.get(node, WHITE) is not WHITE:
+                continue
+            color[node] = GRAY
+            stack.append((node, True))
+            for child in customers.get(node, ()):
+                if color.get(child, WHITE) is WHITE:
+                    stack.append((child, False))
+    for asn in asns:
+        cones.setdefault(asn, {asn})
+    return cones
+
+
+def _descending_runs(
+    result: InferenceResult, path: Tuple[int, ...]
+) -> List[int]:
+    """For each link index j, 1 if the link is inferred p2c descending
+    toward the origin (left endpoint is the provider), else 0."""
+    flags: List[int] = []
+    for j in range(len(path) - 1):
+        provider = result.provider_of(path[j], path[j + 1])
+        flags.append(1 if provider == path[j] else 0)
+    return flags
+
+
+def _bgp_observed_cones(result: InferenceResult) -> Dict[int, Set[int]]:
+    cones: Dict[int, Set[int]] = {asn: {asn} for asn in result.paths.asns()}
+    for path in result.paths:
+        descending = _descending_runs(result, path)
+        # for each start, extend while links keep descending
+        for i in range(len(path) - 1):
+            j = i
+            while j < len(descending) and descending[j]:
+                cones[path[i]].add(path[j + 1])
+                j += 1
+    return cones
+
+
+def _ppdc_cones(result: InferenceResult) -> Dict[int, Set[int]]:
+    cones: Dict[int, Set[int]] = {asn: {asn} for asn in result.paths.asns()}
+    for path in result.paths:
+        for i in range(1, len(path) - 1):
+            upstream, here = path[i - 1], path[i]
+            rel = result.relationship(upstream, here)
+            if rel is Relationship.P2P or (
+                rel is Relationship.P2C
+                and result.provider_of(upstream, here) == upstream
+            ):
+                # the route entered `here` from above: the whole suffix
+                # is an observed customer chain
+                cones[here].update(path[i + 1:])
+    return cones
+
+
+def compute_cones(
+    result: InferenceResult, definition: ConeDefinition
+) -> Dict[int, Set[int]]:
+    """Customer cone (including self) for every AS, under ``definition``."""
+    if definition is ConeDefinition.RECURSIVE:
+        return _recursive_cones(result)
+    if definition is ConeDefinition.BGP_OBSERVED:
+        return _bgp_observed_cones(result)
+    if definition is ConeDefinition.PROVIDER_PEER_OBSERVED:
+        return _ppdc_cones(result)
+    raise ValueError(f"unknown cone definition {definition!r}")
+
+
+@dataclass
+class CustomerCones:
+    """Cones under one definition, sizable in ASes/prefixes/addresses."""
+
+    definition: ConeDefinition
+    cones: Dict[int, Set[int]]
+    prefixes_by_asn: Optional[Mapping[int, Sequence[Prefix]]] = None
+
+    @classmethod
+    def compute(
+        cls,
+        result: InferenceResult,
+        definition: ConeDefinition = ConeDefinition.PROVIDER_PEER_OBSERVED,
+        prefixes_by_asn: Optional[Mapping[int, Sequence[Prefix]]] = None,
+    ) -> "CustomerCones":
+        return cls(
+            definition=definition,
+            cones=compute_cones(result, definition),
+            prefixes_by_asn=prefixes_by_asn,
+        )
+
+    def cone(self, asn: int) -> Set[int]:
+        return set(self.cones.get(asn, {asn}))
+
+    def size_ases(self, asn: int) -> int:
+        return len(self.cones.get(asn, {asn}))
+
+    def _cone_prefixes(self, asn: int) -> List[Prefix]:
+        if self.prefixes_by_asn is None:
+            raise ValueError("prefix data not attached to these cones")
+        prefixes: List[Prefix] = []
+        for member in self.cones.get(asn, {asn}):
+            prefixes.extend(self.prefixes_by_asn.get(member, ()))
+        return prefixes
+
+    def size_prefixes(self, asn: int) -> int:
+        return len(set(self._cone_prefixes(asn)))
+
+    def size_addresses(self, asn: int) -> int:
+        return summarize_address_space(self._cone_prefixes(asn))
+
+    def sizes(self) -> Dict[int, int]:
+        """AS-count cone size for every AS."""
+        return {asn: len(cone) for asn, cone in self.cones.items()}
+
+    def top(self, k: int = 15) -> List[Tuple[int, int]]:
+        """The ``k`` largest cones as ``(asn, size_in_ases)`` rows."""
+        return sorted(
+            self.sizes().items(), key=lambda item: (-item[1], item[0])
+        )[:k]

@@ -1,0 +1,620 @@
+"""ASRank relationship inference (the paper's core algorithm).
+
+Given a sanitized AS-path corpus, label every observed AS link as
+customer-to-provider (c2p) or peer-to-peer (p2p) under the paper's
+three assumptions: (1) a clique of large transit providers sits at the
+top of the hierarchy, (2) ASes buy transit to be globally reachable,
+and (3) provider links form no cycles.
+
+The pipeline runs ordered, individually attributable steps (the exact
+step wording of the paper is reconstructed — see DESIGN.md — but each
+heuristic here is the published system's known mechanism):
+
+* **S3_CLIQUE** — adjacent clique members are peers.
+* **S4_POISONED** — discard paths that traverse the clique other than
+  as one contiguous run of ≤ 2 members (valley or poisoning artifact).
+* **S5_TOPDOWN** — for each path, locate the highest-ranked AS (the
+  "peak"); every link not adjacent to the peak descends away from it,
+  so its upper endpoint is the provider.  The two peak-adjacent links
+  are left open (either may be the path's single p2p crossing).
+  Paths are processed in order of peak rank, so inferences made by the
+  largest networks take precedence.
+* **S6_FOLD** — valley-free constraint propagation to fixpoint: in any
+  path, once a link descends (or peers), every later link descends;
+  while a link ascends (or peers), every earlier link ascends.
+* **S7_STUB** — an AS that never appears to transit (transit degree 0)
+  is the customer on its unclassified links.
+* **S8_PROVIDERLESS** — a non-clique AS with no inferred provider gets
+  one: the highest-ranked neighbor on an unclassified link
+  (reachability assumption).
+* **S9_REMAINING_P2P** — everything still unclassified is p2p.
+
+Provider cycles are refused at every step, and every conflicting vote
+is recorded for diagnostics rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.clique import CliqueResult, infer_clique
+from repro.core.paths import PathSet
+from repro.relationships import Relationship, canonical_pair
+
+
+class Step(enum.Enum):
+    """Attribution tag: which pipeline stage labeled a link."""
+
+    S2B_SIBLING = "sibling"
+    S3_CLIQUE = "clique"
+    S4B_PARTIAL_VP = "partial VP"
+    S5_TOPDOWN = "top-down"
+    S6_FOLD = "valley-free fold"
+    S7_STUB = "stub"
+    S7B_GAP = "degree gap"
+    S8_PROVIDERLESS = "provider-less"
+    S9_REMAINING_P2P = "remaining p2p"
+
+
+@dataclass
+class InferenceConfig:
+    """Pipeline knobs; the disables exist for the E12 ablations."""
+
+    clique_seed_size: int = 10
+    clique_stop_after: int = 10
+    # canonical AS pairs known to be under one organization (from WHOIS
+    # org data, see repro.topology.orgs); labeled s2s before any other
+    # inference, as CAIDA's sibling handling does
+    known_siblings: FrozenSet[Tuple[int, int]] = frozenset()
+    enable_clique: bool = True
+    enable_poisoned_filter: bool = True
+    enable_partial_vp: bool = True
+    # a VP whose paths reach fewer than this fraction of all observed
+    # origins is inferred to export only customer routes
+    partial_vp_coverage: float = 0.5
+    enable_topdown: bool = True
+    enable_fold: bool = True
+    enable_stub: bool = True
+    enable_degree_gap: bool = True
+    enable_providerless: bool = True
+    max_fold_rounds: int = 10
+    # S7B: a network this many times larger (by transit degree) than its
+    # neighbor is its provider, not its peer — settlement-free peering
+    # presumes comparable size.  Applied only when the smaller side is
+    # itself small in absolute terms.
+    gap_factor: float = 8.0
+    gap_small_max: int = 12
+
+
+@dataclass(frozen=True)
+class InferredRelationship:
+    """One labeled link.  For P2C, ``provider``/``customer`` are set."""
+
+    a: int
+    b: int
+    relationship: Relationship
+    step: Step
+    provider: Optional[int] = None
+
+    @property
+    def customer(self) -> Optional[int]:
+        if self.provider is None:
+            return None
+        return self.b if self.provider == self.a else self.a
+
+
+@dataclass
+class Conflict:
+    """A vote that contradicted an existing inference (kept for audit)."""
+
+    pair: Tuple[int, int]
+    existing: Relationship
+    existing_provider: Optional[int]
+    attempted_provider: Optional[int]
+    step: Step
+
+
+class InferenceResult:
+    """All inferred relationships plus provenance and diagnostics."""
+
+    def __init__(
+        self,
+        paths: PathSet,
+        clique: CliqueResult,
+        config: InferenceConfig,
+    ):
+        self.paths = paths
+        self.clique = clique
+        self.config = config
+        self._clique_set = set(clique.members)
+        self._rel: Dict[Tuple[int, int], Relationship] = {}
+        self._provider: Dict[Tuple[int, int], int] = {}
+        self._step: Dict[Tuple[int, int], Step] = {}
+        self.conflicts: List[Conflict] = []
+        self.discarded_poisoned = 0
+        # provider -> customers adjacency for cycle checks / cones
+        self.customers: Dict[int, Set[int]] = {}
+        self.providers: Dict[int, Set[int]] = {}
+        self.peers: Dict[int, Set[int]] = {}
+        self.siblings: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # mutation (used by the engine)
+    # ------------------------------------------------------------------
+
+    def _would_cycle(self, provider: int, customer: int) -> bool:
+        """Would ``provider→customer`` close a loop in the p2c DAG?"""
+        if provider == customer:
+            return True
+        queue = deque([customer])
+        seen = {customer}
+        while queue:
+            node = queue.popleft()
+            for nxt in self.customers.get(node, ()):
+                if nxt == provider:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return False
+
+    def set_p2c(self, provider: int, customer: int, step: Step) -> bool:
+        """Record ``provider→customer``; False if refused or conflicting.
+
+        Clique members are transit-free by assumption: any vote that
+        would give one a provider is refused (and logged)."""
+        pair = canonical_pair(provider, customer)
+        if customer in self._clique_set:
+            self.conflicts.append(
+                Conflict(
+                    pair=pair,
+                    existing=Relationship.P2P,
+                    existing_provider=None,
+                    attempted_provider=provider,
+                    step=step,
+                )
+            )
+            return False
+        existing = self._rel.get(pair)
+        if existing is not None:
+            if (
+                existing is Relationship.P2C
+                and self._provider[pair] == provider
+            ):
+                return True  # agreeing vote
+            self.conflicts.append(
+                Conflict(
+                    pair=pair,
+                    existing=existing,
+                    existing_provider=self._provider.get(pair),
+                    attempted_provider=provider,
+                    step=step,
+                )
+            )
+            return False
+        if self._would_cycle(provider, customer):
+            self.conflicts.append(
+                Conflict(
+                    pair=pair,
+                    existing=Relationship.P2C,
+                    existing_provider=None,
+                    attempted_provider=provider,
+                    step=step,
+                )
+            )
+            return False
+        self._rel[pair] = Relationship.P2C
+        self._provider[pair] = provider
+        self._step[pair] = step
+        self.customers.setdefault(provider, set()).add(customer)
+        self.providers.setdefault(customer, set()).add(provider)
+        return True
+
+    def set_p2p(self, a: int, b: int, step: Step) -> bool:
+        """Record a peer link; False if the pair is already labeled c2p."""
+        pair = canonical_pair(a, b)
+        existing = self._rel.get(pair)
+        if existing is not None:
+            if existing is Relationship.P2P:
+                return True
+            self.conflicts.append(
+                Conflict(
+                    pair=pair,
+                    existing=existing,
+                    existing_provider=self._provider.get(pair),
+                    attempted_provider=None,
+                    step=step,
+                )
+            )
+            return False
+        self._rel[pair] = Relationship.P2P
+        self._step[pair] = step
+        self.peers.setdefault(a, set()).add(b)
+        self.peers.setdefault(b, set()).add(a)
+        return True
+
+    def set_s2s(self, a: int, b: int, step: Step) -> bool:
+        """Record a sibling link (always applied first, so never conflicts
+        unless the caller mixes orders)."""
+        pair = canonical_pair(a, b)
+        existing = self._rel.get(pair)
+        if existing is not None:
+            return existing is Relationship.S2S
+        self._rel[pair] = Relationship.S2S
+        self._step[pair] = step
+        self.siblings.setdefault(a, set()).add(b)
+        self.siblings.setdefault(b, set()).add(a)
+        return True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def relationship(self, a: int, b: int) -> Optional[Relationship]:
+        return self._rel.get(canonical_pair(a, b))
+
+    def links(self) -> List[Tuple[int, int]]:
+        """All labeled links as canonical pairs."""
+        return list(self._rel)
+
+    def provider_of(self, a: int, b: int) -> Optional[int]:
+        pair = canonical_pair(a, b)
+        if self._rel.get(pair) is not Relationship.P2C:
+            return None
+        return self._provider[pair]
+
+    def step_of(self, a: int, b: int) -> Optional[Step]:
+        return self._step.get(canonical_pair(a, b))
+
+    def __len__(self) -> int:
+        return len(self._rel)
+
+    def __iter__(self) -> Iterator[InferredRelationship]:
+        for pair, rel in self._rel.items():
+            provider = self._provider.get(pair)
+            yield InferredRelationship(
+                a=pair[0],
+                b=pair[1],
+                relationship=rel,
+                step=self._step[pair],
+                provider=provider,
+            )
+
+    def counts_by_relationship(self) -> Dict[Relationship, int]:
+        counts: Dict[Relationship, int] = {}
+        for rel in self._rel.values():
+            counts[rel] = counts.get(rel, 0) + 1
+        return counts
+
+    def counts_by_step(self) -> Dict[Step, int]:
+        counts: Dict[Step, int] = {}
+        for step in self._step.values():
+            counts[step] = counts.get(step, 0) + 1
+        return counts
+
+    def complex_candidates(self) -> Dict[Tuple[int, int], int]:
+        """Links with contradicting votes: candidates for *complex*
+        relationships (hybrid/partial transit), which the paper flags
+        as future work.  Returns pair → number of conflicting votes."""
+        counts: Dict[Tuple[int, int], int] = {}
+        for conflict in self.conflicts:
+            counts[conflict.pair] = counts.get(conflict.pair, 0) + 1
+        return counts
+
+    def providers_of_asn(self, asn: int) -> Set[int]:
+        return set(self.providers.get(asn, ()))
+
+    def customers_of_asn(self, asn: int) -> Set[int]:
+        return set(self.customers.get(asn, ()))
+
+    def peers_of_asn(self, asn: int) -> Set[int]:
+        return set(self.peers.get(asn, ()))
+
+
+# link direction codes used while folding along a path
+_UNKNOWN, _UP, _DOWN, _PEERLINK, _SIBLINK = 0, 1, 2, 3, 4
+
+
+class _Engine:
+    """Runs the pipeline; kept separate so the result object stays lean."""
+
+    def __init__(self, paths: PathSet, config: InferenceConfig):
+        self.config = config
+        self.raw_paths = paths
+
+    def run(self) -> InferenceResult:
+        config = self.config
+        clique = (
+            infer_clique(
+                self.raw_paths,
+                seed_size=config.clique_seed_size,
+                stop_after=config.clique_stop_after,
+            )
+            if config.enable_clique
+            else CliqueResult(members=[], seed_members=[], added_members=[])
+        )
+
+        paths = self.raw_paths
+        discarded = 0
+        if config.enable_poisoned_filter and clique.members:
+            paths, discarded = _discard_poisoned(paths, clique.member_set)
+
+        result = InferenceResult(paths=paths, clique=clique, config=config)
+        result.discarded_poisoned = discarded
+
+        rank = {asn: i for i, asn in enumerate(paths.ranked_asns())}
+
+        if config.known_siblings:
+            _step_siblings(result, paths, config)
+        if config.enable_clique:
+            _step_clique(result, paths, clique)
+        if config.enable_partial_vp:
+            _step_partial_vp(result, paths, config)
+        if config.enable_topdown:
+            _step_topdown(result, paths, rank)
+        if config.enable_fold:
+            _step_fold(result, paths)
+        if config.enable_stub:
+            _step_stub(result, paths)
+            if config.enable_fold:
+                _step_fold(result, paths)
+        if config.enable_degree_gap:
+            _step_degree_gap(result, paths, config)
+            if config.enable_fold:
+                _step_fold(result, paths)
+        if config.enable_providerless:
+            _step_providerless(result, paths, rank)
+            if config.enable_fold:
+                _step_fold(result, paths)
+        _step_remaining_p2p(result, paths)
+        return result
+
+
+def infer_relationships(
+    paths: PathSet, config: Optional[InferenceConfig] = None
+) -> InferenceResult:
+    """Run the full ASRank pipeline over a sanitized path corpus."""
+    return _Engine(paths, config or InferenceConfig()).run()
+
+
+# ---------------------------------------------------------------------------
+# pipeline steps
+# ---------------------------------------------------------------------------
+
+
+def _discard_poisoned(
+    paths: PathSet, clique: Set[int]
+) -> Tuple[PathSet, int]:
+    """Drop paths that traverse the clique illegally (S4).
+
+    A clean valley-free path crosses the top of the hierarchy at most
+    once, so clique members must appear as one contiguous run of length
+    ≤ 2.  Anything else is a poisoned announcement or a route leak.
+    """
+    kept: List[Tuple[int, ...]] = []
+    discarded = 0
+    for path in paths:
+        positions = [i for i, asn in enumerate(path) if asn in clique]
+        if len(positions) > 2:
+            discarded += 1
+            continue
+        if len(positions) == 2 and positions[1] - positions[0] != 1:
+            discarded += 1
+            continue
+        kept.append(path)
+    return paths.filtered(kept), discarded
+
+
+def _step_siblings(
+    result: InferenceResult, paths: PathSet, config: InferenceConfig
+) -> None:
+    """S2B: links between ASes of one organization are siblings.
+
+    Applied before everything else, as CAIDA does with WHOIS org data —
+    a sibling link must never be mistaken for transit or peering, and
+    it carries no valley-free information (siblings exchange all
+    routes in both directions)."""
+    for a, b in sorted(paths.links()):
+        if canonical_pair(a, b) in config.known_siblings:
+            result.set_s2s(a, b, Step.S2B_SIBLING)
+
+
+def _step_clique(
+    result: InferenceResult, paths: PathSet, clique: CliqueResult
+) -> None:
+    """S3: adjacent clique members are peers."""
+    members = clique.member_set
+    for a, b in paths.links():
+        if a in members and b in members:
+            result.set_p2p(a, b, Step.S3_CLIQUE)
+
+
+def _step_partial_vp(
+    result: InferenceResult, paths: PathSet, config: InferenceConfig
+) -> None:
+    """S4B: paths from partial-feed VPs are pure customer chains.
+
+    Some vantage points export only the routes they would send a peer:
+    customer-learned and originated ones.  Such a VP is recognizable
+    because its paths reach only a small fraction of all observed
+    origins.  Every path it exports descends from the first hop, so
+    every link on it is p2c with the left endpoint as provider.
+    """
+    origins_total = {path[-1] for path in paths}
+    if not origins_total:
+        return
+    by_vp: Dict[int, Set[int]] = {}
+    for path in paths:
+        by_vp.setdefault(path[0], set()).add(path[-1])
+    partial_vps = {
+        vp
+        for vp, origins in by_vp.items()
+        if len(origins) < config.partial_vp_coverage * len(origins_total)
+    }
+    for path in paths:
+        if path[0] not in partial_vps:
+            continue
+        for j in range(len(path) - 1):
+            if not result.set_p2c(path[j], path[j + 1], Step.S4B_PARTIAL_VP):
+                break
+
+
+def _step_topdown(
+    result: InferenceResult, paths: PathSet, rank: Dict[int, int]
+) -> None:
+    """S5: peak-relative sweep, highest peaks first."""
+
+    def peak_index(path: Tuple[int, ...]) -> int:
+        best = 0
+        for i, asn in enumerate(path):
+            if rank.get(asn, 1 << 30) < rank.get(path[best], 1 << 30):
+                best = i
+        return best
+
+    order: List[Tuple[int, int, Tuple[int, ...]]] = []
+    for path in paths:
+        i = peak_index(path)
+        order.append((rank.get(path[i], 1 << 30), i, path))
+    order.sort(key=lambda item: (item[0], item[2]))
+
+    for _, i, path in order:
+        # descend right of the peak: path[j] provides for path[j+1];
+        # stop at the first contradiction — the path's shape no longer
+        # matches our peak assumption beyond that point
+        for j in range(i + 1, len(path) - 1):
+            if not result.set_p2c(path[j], path[j + 1], Step.S5_TOPDOWN):
+                break
+        # descend left of the peak: path[j+1] provides for path[j]
+        for j in range(i - 2, -1, -1):
+            if not result.set_p2c(path[j + 1], path[j], Step.S5_TOPDOWN):
+                break
+
+
+def _link_state(result: InferenceResult, left: int, right: int) -> int:
+    rel = result.relationship(left, right)
+    if rel is None:
+        return _UNKNOWN
+    if rel is Relationship.P2P:
+        return _PEERLINK
+    if rel is Relationship.S2S:
+        return _SIBLINK
+    provider = result.provider_of(left, right)
+    return _DOWN if provider == left else _UP
+
+
+def _step_fold(result: InferenceResult, paths: PathSet) -> None:
+    """S6: valley-free constraint propagation to fixpoint.
+
+    In collector order a clean path ascends, crosses at most one peer
+    link, then descends.  So any link after a DOWN/PEER link must be
+    DOWN, and any link before an UP/PEER link must be UP.
+    """
+    for _ in range(result.config.max_fold_rounds):
+        changed = False
+        for path in paths:
+            states = [
+                _link_state(result, path[j], path[j + 1])
+                for j in range(len(path) - 1)
+            ]
+            # forward: after the first DOWN or PEER everything descends —
+            # but a sibling link is a wildcard that resets the constraint
+            # (siblings re-export anything in any direction)
+            seen_descent = False
+            for j, state in enumerate(states):
+                if state == _SIBLINK:
+                    seen_descent = False
+                    continue
+                if seen_descent and state == _UNKNOWN:
+                    if result.set_p2c(path[j], path[j + 1], Step.S6_FOLD):
+                        states[j] = _DOWN
+                        changed = True
+                if state in (_DOWN, _PEERLINK):
+                    seen_descent = True
+            # backward: before the last UP or PEER everything ascends
+            seen_ascent = False
+            for j in range(len(states) - 1, -1, -1):
+                state = states[j]
+                if state == _SIBLINK:
+                    seen_ascent = False
+                    continue
+                if seen_ascent and state == _UNKNOWN:
+                    if result.set_p2c(path[j + 1], path[j], Step.S6_FOLD):
+                        states[j] = _UP
+                        changed = True
+                if state in (_UP, _PEERLINK):
+                    seen_ascent = True
+        if not changed:
+            return
+
+
+def _step_stub(result: InferenceResult, paths: PathSet) -> None:
+    """S7: a stub attached to a clique member is its customer.
+
+    Restricted to the clique on purpose: a tier-1 does not peer with a
+    network that never transits, but two mid-size networks where one
+    merely *looks* transit-free from the vantage points might well be
+    peers — the paper keeps this heuristic narrow for that reason.
+    """
+    clique = result.clique.member_set
+    for a, b in sorted(paths.links()):
+        if result.relationship(a, b) is not None:
+            continue
+        ta, tb = paths.transit_degree(a), paths.transit_degree(b)
+        if ta == 0 and b in clique:
+            result.set_p2c(b, a, Step.S7_STUB)
+        elif tb == 0 and a in clique:
+            result.set_p2c(a, b, Step.S7_STUB)
+
+
+def _step_degree_gap(
+    result: InferenceResult, paths: PathSet, config: InferenceConfig
+) -> None:
+    """S7B: vastly mismatched neighbors are provider and customer.
+
+    Settlement-free peering presumes roughly comparable networks; when
+    one side's transit degree dwarfs the other's *and* the smaller side
+    is small in absolute terms, the link is transit.  This reconstructs
+    the paper's stub↔clique reasoning in a degree-ratio form (a clique
+    member does not peer with a regional stub)."""
+    for a, b in sorted(paths.links()):
+        if result.relationship(a, b) is not None:
+            continue
+        ta, tb = paths.transit_degree(a), paths.transit_degree(b)
+        big, small = (a, b) if ta >= tb else (b, a)
+        t_big, t_small = max(ta, tb), min(ta, tb)
+        if t_small > config.gap_small_max:
+            continue
+        if t_big >= config.gap_factor * max(1, t_small):
+            result.set_p2c(big, small, Step.S7B_GAP)
+
+
+def _step_providerless(
+    result: InferenceResult, paths: PathSet, rank: Dict[int, int]
+) -> None:
+    """S8: give every provider-less non-clique AS its best provider."""
+    clique = result.clique.member_set
+    neighbors = paths.node_neighbors
+    for asn in paths.ranked_asns():
+        if asn in clique or result.providers.get(asn):
+            continue
+        open_neighbors = [
+            n
+            for n in neighbors.get(asn, ())
+            if result.relationship(asn, n) is None
+        ]
+        if not open_neighbors:
+            continue
+        open_neighbors.sort(key=lambda n: (rank.get(n, 1 << 30), n))
+        for candidate in open_neighbors:
+            if result.set_p2c(candidate, asn, Step.S8_PROVIDERLESS):
+                break
+
+
+def _step_remaining_p2p(result: InferenceResult, paths: PathSet) -> None:
+    """S9: unclassified links default to peer-to-peer."""
+    for a, b in sorted(paths.links()):
+        if result.relationship(a, b) is None:
+            result.set_p2p(a, b, Step.S9_REMAINING_P2P)

@@ -1,0 +1,240 @@
+"""AS-path corpus and sanitization (the algorithm's stage 1).
+
+The paper sanitizes raw BGP paths before inference: compress AS-path
+prepending, discard paths with loops or reserved/private ASNs, and
+splice out IXP route-server ASNs.  Every action is counted so the
+sanitization table (experiment E11) can be regenerated.
+
+The sanitized :class:`PathSet` also precomputes the two degree notions
+the algorithm ranks ASes by:
+
+* **node degree** — distinct neighbors in any path;
+* **transit degree** — distinct neighbors across the positions where
+  the AS appears *between* two other ASes, i.e. where it demonstrably
+  provides transit.  Transit degree is the paper's primary ranking key
+  because node degree conflates peering richness with transit size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+# Reserved / private ASN space (RFC 6996, RFC 5398, AS_TRANS, 32-bit
+# private).  Paths carrying these are measurement artifacts.
+_RESERVED_RANGES: Tuple[Tuple[int, int], ...] = (
+    (0, 0),
+    (23456, 23456),  # AS_TRANS
+    (64496, 64511),  # documentation
+    (64512, 65534),  # 16-bit private use
+    (65535, 65535),
+    (65536, 65551),  # documentation (32-bit)
+    (4200000000, 4294967295),  # 32-bit private use + reserved
+)
+
+
+def is_reserved_asn(asn: int) -> bool:
+    """True for ASNs that must never appear in a clean public path."""
+    for low, high in _RESERVED_RANGES:
+        if low <= asn <= high:
+            return True
+    return False
+
+
+@dataclass
+class SanitizeStats:
+    """Counters for every sanitization action (experiment E11)."""
+
+    input_paths: int = 0
+    prepending_compressed: int = 0  # paths that had prepending removed
+    discarded_loops: int = 0
+    discarded_reserved_asn: int = 0
+    discarded_short: int = 0  # fewer than two hops after cleaning
+    ixp_hops_removed: int = 0  # paths that had an IXP RS spliced out
+    duplicates_merged: int = 0
+    kept: int = 0
+
+    def as_rows(self) -> List[Tuple[str, int]]:
+        return [
+            ("input paths", self.input_paths),
+            ("prepending compressed", self.prepending_compressed),
+            ("discarded: loop", self.discarded_loops),
+            ("discarded: reserved ASN", self.discarded_reserved_asn),
+            ("discarded: short", self.discarded_short),
+            ("IXP hop removed", self.ixp_hops_removed),
+            ("duplicates merged", self.duplicates_merged),
+            ("kept (unique)", self.kept),
+        ]
+
+
+def compress_prepending(path: Sequence[int]) -> Tuple[int, ...]:
+    """Collapse runs of the same ASN into a single hop."""
+    out: List[int] = []
+    for asn in path:
+        if not out or out[-1] != asn:
+            out.append(asn)
+    return tuple(out)
+
+
+def has_loop(path: Sequence[int]) -> bool:
+    """True when any ASN appears more than once (after compression)."""
+    return len(set(path)) != len(path)
+
+
+class PathSet:
+    """A deduplicated corpus of sanitized AS paths with degree indexes."""
+
+    def __init__(
+        self,
+        paths: Iterable[Tuple[int, ...]],
+        counts: Optional[Dict[Tuple[int, ...], int]] = None,
+        stats: Optional[SanitizeStats] = None,
+    ):
+        self.paths: List[Tuple[int, ...]] = list(paths)
+        self.counts: Dict[Tuple[int, ...], int] = counts or {
+            p: 1 for p in self.paths
+        }
+        self.stats = stats or SanitizeStats(
+            input_paths=len(self.paths), kept=len(self.paths)
+        )
+        self._node_neighbors: Optional[Dict[int, Set[int]]] = None
+        self._transit_neighbors: Optional[Dict[int, Set[int]]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def sanitize(
+        cls,
+        raw_paths: Iterable[Sequence[int]],
+        ixp_asns: FrozenSet[int] = frozenset(),
+    ) -> "PathSet":
+        """Apply the paper's stage-1 cleaning to raw observed paths."""
+        stats = SanitizeStats()
+        kept: List[Tuple[int, ...]] = []
+        counts: Dict[Tuple[int, ...], int] = {}
+        for raw in raw_paths:
+            stats.input_paths += 1
+            path = tuple(raw)
+            if not path:
+                stats.discarded_short += 1
+                continue
+            compressed = compress_prepending(path)
+            if len(compressed) != len(path):
+                stats.prepending_compressed += 1
+            path = compressed
+            if any(is_reserved_asn(asn) for asn in path):
+                stats.discarded_reserved_asn += 1
+                continue
+            if ixp_asns and any(asn in ixp_asns for asn in path):
+                path = tuple(asn for asn in path if asn not in ixp_asns)
+                stats.ixp_hops_removed += 1
+                path = compress_prepending(path)
+            if has_loop(path):
+                stats.discarded_loops += 1
+                continue
+            if len(path) < 2:
+                stats.discarded_short += 1
+                continue
+            if path in counts:
+                counts[path] += 1
+                stats.duplicates_merged += 1
+            else:
+                counts[path] = 1
+                kept.append(path)
+        stats.kept = len(kept)
+        return cls(kept, counts, stats)
+
+    def filtered(self, keep: Iterable[Tuple[int, ...]]) -> "PathSet":
+        """A new PathSet restricted to ``keep`` (shares the stats object)."""
+        keep_list = list(keep)
+        keep_set = set(keep_list)
+        counts = {p: self.counts.get(p, 1) for p in keep_set}
+        return PathSet(keep_list, counts, self.stats)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self.paths)
+
+    def asns(self) -> Set[int]:
+        return {asn for path in self.paths for asn in path}
+
+    def links(self) -> Set[Tuple[int, int]]:
+        """Unordered adjacencies across the corpus."""
+        links: Set[Tuple[int, int]] = set()
+        for path in self.paths:
+            for a, b in zip(path, path[1:]):
+                links.add((a, b) if a < b else (b, a))
+        return links
+
+    def triples(self) -> Iterator[Tuple[int, int, int]]:
+        """All consecutive (left, middle, right) hops across the corpus."""
+        for path in self.paths:
+            for i in range(1, len(path) - 1):
+                yield path[i - 1], path[i], path[i + 1]
+
+    # ------------------------------------------------------------------
+    # degrees
+    # ------------------------------------------------------------------
+
+    def _build_degrees(self) -> None:
+        node: Dict[int, Set[int]] = {}
+        transit: Dict[int, Set[int]] = {}
+        for path in self.paths:
+            for i, asn in enumerate(path):
+                neighbors = node.setdefault(asn, set())
+                if i > 0:
+                    neighbors.add(path[i - 1])
+                if i + 1 < len(path):
+                    neighbors.add(path[i + 1])
+                if 0 < i < len(path) - 1:
+                    mid = transit.setdefault(asn, set())
+                    mid.add(path[i - 1])
+                    mid.add(path[i + 1])
+        self._node_neighbors = node
+        self._transit_neighbors = transit
+
+    @property
+    def node_neighbors(self) -> Dict[int, Set[int]]:
+        if self._node_neighbors is None:
+            self._build_degrees()
+        assert self._node_neighbors is not None
+        return self._node_neighbors
+
+    def node_degree(self, asn: int) -> int:
+        return len(self.node_neighbors.get(asn, ()))
+
+    def transit_degree(self, asn: int) -> int:
+        if self._transit_neighbors is None:
+            self._build_degrees()
+        assert self._transit_neighbors is not None
+        return len(self._transit_neighbors.get(asn, ()))
+
+    def transit_degrees(self) -> Dict[int, int]:
+        """Transit degree for every AS in the corpus (0 for pure edges)."""
+        return {asn: self.transit_degree(asn) for asn in self.asns()}
+
+    def ranked_asns(self) -> List[int]:
+        """ASes sorted by the paper's ranking: transit degree desc, then
+        node degree desc, then ASN asc (determinism)."""
+        return sorted(
+            self.asns(),
+            key=lambda asn: (-self.transit_degree(asn), -self.node_degree(asn), asn),
+        )

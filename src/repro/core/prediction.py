@@ -1,0 +1,122 @@
+"""Path prediction from inferred relationships.
+
+A classic end-to-end check on a relationship inference (used since
+Gao 2001): rebuild the routing system *from the inferred labels*,
+re-run policy routing, and compare the predicted AS paths against the
+observed ones.  Good relationships predict real paths; wrong labels
+send predicted routes through links BGP would never use.
+
+The predictor reuses the Gao–Rexford propagation engine over a graph
+assembled from any inference result (ASRank or a baseline), so the
+comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bgp.propagation import GraphIndex, propagate_origin
+from repro.relationships import Relationship
+from repro.topology.model import AS, ASGraph, ASType, TopologyError
+
+
+def graph_from_inference(inference) -> ASGraph:
+    """Materialize an :class:`ASGraph` from inferred relationships.
+
+    ``inference`` is anything with ``links()`` / ``relationship()`` /
+    ``provider_of()``.  Inferred p2c edges that would close a provider
+    cycle (possible for baseline algorithms, which lack a cycle guard)
+    are demoted to p2p rather than dropped, so the predicted topology
+    keeps every adjacency.
+    """
+    graph = ASGraph()
+    asns: Set[int] = set()
+    for a, b in inference.links():
+        asns.add(a)
+        asns.add(b)
+    for asn in sorted(asns):
+        graph.add_as(AS(asn=asn, type=ASType.SMALL_TRANSIT))
+    for a, b in sorted(inference.links()):
+        rel = inference.relationship(a, b)
+        if rel is Relationship.P2C:
+            provider = inference.provider_of(a, b)
+            customer = b if provider == a else a
+            try:
+                graph.add_p2c(provider, customer)
+            except TopologyError:
+                graph.add_p2p(a, b)  # cycle: keep the adjacency as peering
+        elif rel is Relationship.S2S:
+            graph.add_s2s(a, b)
+        else:
+            graph.add_p2p(a, b)
+    return graph
+
+
+@dataclass
+class PredictionReport:
+    """Aggregate accuracy of predicted paths versus observed paths."""
+
+    compared: int = 0
+    exact: int = 0  # predicted path identical to the observed one
+    same_length: int = 0  # lengths agree (path diversity tolerated)
+    unreachable: int = 0  # prediction found no route where one was seen
+
+    @property
+    def exact_rate(self) -> float:
+        return self.exact / self.compared if self.compared else 0.0
+
+    @property
+    def length_rate(self) -> float:
+        return self.same_length / self.compared if self.compared else 0.0
+
+    @property
+    def reachability(self) -> float:
+        if not self.compared:
+            return 0.0
+        return 1.0 - self.unreachable / self.compared
+
+
+def predict_paths(
+    inference,
+    observations: Iterable[Tuple[int, ...]],
+    max_origins: Optional[int] = None,
+) -> PredictionReport:
+    """Score ``inference`` by re-deriving the observed paths.
+
+    ``observations`` are collector-order paths (VP first, origin last);
+    for each (VP, origin) pair, policy routing runs over the inferred
+    graph and the predicted path is compared with the observed one.
+    Each (VP, origin) pair is judged once (the first observation wins),
+    and ``max_origins`` bounds the propagation work.
+    """
+    graph = graph_from_inference(inference)
+    index = GraphIndex(graph)
+
+    by_origin: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+    for path in observations:
+        if len(path) < 2:
+            continue
+        vp, origin = path[0], path[-1]
+        if vp not in index.index or origin not in index.index:
+            continue
+        by_origin.setdefault(origin, {}).setdefault(vp, path)
+
+    report = PredictionReport()
+    origins = sorted(by_origin)
+    if max_origins is not None:
+        origins = origins[:max_origins]
+    for origin in origins:
+        state = propagate_origin(index, origin)
+        for vp, observed in sorted(by_origin[origin].items()):
+            predicted = state.path_from(index, index.index[vp])
+            report.compared += 1
+            if predicted is None:
+                report.unreachable += 1
+                continue
+            if predicted == observed:
+                report.exact += 1
+                report.same_length += 1
+            elif len(predicted) == len(observed):
+                report.same_length += 1
+    return report

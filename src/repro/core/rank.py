@@ -1,0 +1,69 @@
+"""AS rank: ordering ASes by customer cone size.
+
+asrank.caida.org orders ASes by the size of their provider/peer
+observed customer cone, breaking ties by transit degree and then ASN.
+This module produces that ranking together with the per-AS metrics the
+paper's top-k tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.cone import CustomerCones
+from repro.core.inference import InferenceResult
+from repro.net.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class ASRankEntry:
+    """One row of the AS ranking."""
+
+    rank: int
+    asn: int
+    cone_ases: int
+    cone_prefixes: Optional[int]
+    cone_addresses: Optional[int]
+    transit_degree: int
+    node_degree: int
+    num_customers: int
+    num_peers: int
+    num_providers: int
+
+
+def rank_ases(
+    result: InferenceResult,
+    cones: CustomerCones,
+    limit: Optional[int] = None,
+) -> List[ASRankEntry]:
+    """Rank every observed AS by cone size (desc), transit degree, ASN."""
+    paths = result.paths
+    with_prefixes = cones.prefixes_by_asn is not None
+    order = sorted(
+        paths.asns(),
+        key=lambda asn: (
+            -cones.size_ases(asn),
+            -paths.transit_degree(asn),
+            asn,
+        ),
+    )
+    if limit is not None:
+        order = order[:limit]
+    entries: List[ASRankEntry] = []
+    for position, asn in enumerate(order, start=1):
+        entries.append(
+            ASRankEntry(
+                rank=position,
+                asn=asn,
+                cone_ases=cones.size_ases(asn),
+                cone_prefixes=cones.size_prefixes(asn) if with_prefixes else None,
+                cone_addresses=cones.size_addresses(asn) if with_prefixes else None,
+                transit_degree=paths.transit_degree(asn),
+                node_degree=paths.node_degree(asn),
+                num_customers=len(result.customers_of_asn(asn)),
+                num_peers=len(result.peers_of_asn(asn)),
+                num_providers=len(result.providers_of_asn(asn)),
+            )
+        )
+    return entries

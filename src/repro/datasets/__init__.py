@@ -1,0 +1,22 @@
+"""Dataset IO: CAIDA's published file formats plus graph archives."""
+
+from repro.datasets.graph_io import load_graph, save_graph
+from repro.datasets.serialization import (
+    load_as_rel,
+    load_paths,
+    load_ppdc_ases,
+    save_as_rel,
+    save_paths,
+    save_ppdc_ases,
+)
+
+__all__ = [
+    "load_as_rel",
+    "load_graph",
+    "load_paths",
+    "load_ppdc_ases",
+    "save_as_rel",
+    "save_graph",
+    "save_paths",
+    "save_ppdc_ases",
+]

@@ -1,0 +1,99 @@
+"""Ground-truth graph serialization.
+
+Persists a complete :class:`~repro.topology.model.ASGraph` — ASes with
+role/region/prefixes, every labeled link, and the via-IXP metadata — as
+a line-oriented text format, so an expensive topology can be generated
+once and shared across processes, or archived next to the experiment
+artifacts it produced.
+
+Format (sections in order, ``#``-comments ignored)::
+
+    @as <asn> <type> <region> [prefix ...]
+    @v6 <asn> <prefix6> [...]  # IPv6 space of a previously declared AS
+    @link <a> <b> <rel>        # rel: -1 p2c (a provider), 0 p2p, 2 s2s
+    @ixp <a> <b> <rs_asn>      # peer link a-b traverses route server
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.datasets.serialization import DatasetFormatError
+from repro.net.prefix import Prefix, PrefixError
+from repro.net.prefix6 import Prefix6
+from repro.relationships import Relationship, canonical_pair
+from repro.topology.model import AS, ASGraph, ASType, TopologyError
+
+
+def save_graph(path: str, graph: ASGraph, comments=()) -> int:
+    """Write the graph; returns the number of ASes written."""
+    lines: List[str] = [f"# {comment}" for comment in comments]
+    count = 0
+    for asys in sorted(graph.ases(), key=lambda a: a.asn):
+        prefixes = " ".join(str(p) for p in asys.prefixes)
+        entry = f"@as {asys.asn} {asys.type.value} {asys.region}"
+        lines.append(f"{entry} {prefixes}".rstrip())
+        if asys.prefixes6:
+            prefixes6 = " ".join(str(p) for p in asys.prefixes6)
+            lines.append(f"@v6 {asys.asn} {prefixes6}")
+        count += 1
+    for a, b, rel in sorted(graph.links()):
+        lines.append(f"@link {a} {b} {int(rel)}")
+    via_ixp: Dict[Tuple[int, int], int] = getattr(graph, "via_ixp", {})
+    for (a, b), rs in sorted(via_ixp.items()):
+        lines.append(f"@ixp {a} {b} {rs}")
+    with open(path, "w") as stream:
+        stream.write("\n".join(lines) + "\n")
+    return count
+
+
+def load_graph(path: str) -> ASGraph:
+    """Read a graph written by :func:`save_graph`."""
+    graph = ASGraph()
+    via_ixp: Dict[Tuple[int, int], int] = {}
+    with open(path) as stream:
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            tag = fields[0]
+            try:
+                if tag == "@as":
+                    asn = int(fields[1])
+                    as_type = ASType(fields[2])
+                    region = int(fields[3])
+                    prefixes = [Prefix.parse(p) for p in fields[4:]]
+                    graph.add_as(
+                        AS(asn=asn, type=as_type, region=region,
+                           prefixes=prefixes)
+                    )
+                elif tag == "@v6":
+                    asn = int(fields[1])
+                    graph.get_as(asn).prefixes6.extend(
+                        Prefix6.parse(p) for p in fields[2:]
+                    )
+                elif tag == "@link":
+                    a, b, code = int(fields[1]), int(fields[2]), int(fields[3])
+                    rel = Relationship(code)
+                    if rel is Relationship.P2C:
+                        graph.add_p2c(a, b)
+                    elif rel is Relationship.P2P:
+                        graph.add_p2p(a, b)
+                    else:
+                        graph.add_s2s(a, b)
+                elif tag == "@ixp":
+                    a, b, rs = int(fields[1]), int(fields[2]), int(fields[3])
+                    via_ixp[canonical_pair(a, b)] = rs
+                else:
+                    raise DatasetFormatError(
+                        f"{path}:{line_number}: unknown tag {tag!r}"
+                    )
+            except (ValueError, IndexError, PrefixError, TopologyError) as err:
+                if isinstance(err, DatasetFormatError):
+                    raise
+                raise DatasetFormatError(
+                    f"{path}:{line_number}: {err}"
+                ) from err
+    graph.via_ixp = via_ixp  # type: ignore[attr-defined]
+    return graph

@@ -1,0 +1,156 @@
+"""CAIDA file formats: ``as-rel``, ``ppdc-ases`` and raw path files.
+
+The paper's outputs ship as two text formats still published monthly:
+
+* ``as-rel``: one link per line, ``<a>|<b>|<rel>`` where rel is ``-1``
+  (a is b's provider) or ``0`` (peers), with ``#`` comments;
+* ``ppdc-ases``: one cone per line, ``<asn> <member> <member> …``.
+
+Writing and reading these exactly keeps the reproduction's artifacts
+drop-in compatible with tooling built for CAIDA's data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, TextIO, Tuple
+
+from repro.relationships import Relationship
+
+
+class DatasetFormatError(ValueError):
+    """Raised on malformed dataset text."""
+
+
+# ---------------------------------------------------------------------------
+# as-rel
+# ---------------------------------------------------------------------------
+
+
+def save_as_rel(path: str, inference, comments: Iterable[str] = ()) -> int:
+    """Write inferred relationships in ``as-rel`` format.
+
+    ``inference`` is anything with ``links()`` / ``relationship()`` /
+    ``provider_of()``.  Returns the number of links written.
+    """
+    lines: List[str] = [f"# {comment}" for comment in comments]
+    rows: List[Tuple[int, int, int]] = []
+    for a, b in inference.links():
+        rel = inference.relationship(a, b)
+        if rel is Relationship.P2C:
+            provider = inference.provider_of(a, b)
+            customer = b if provider == a else a
+            rows.append((provider, customer, -1))
+        elif rel is Relationship.P2P:
+            rows.append((a, b, 0))
+        elif rel is Relationship.S2S:
+            rows.append((a, b, 2))
+    rows.sort()
+    lines.extend(f"{a}|{b}|{code}" for a, b, code in rows)
+    with open(path, "w") as stream:
+        stream.write("\n".join(lines) + "\n")
+    return len(rows)
+
+
+def load_as_rel(path: str) -> List[Tuple[int, int, Relationship]]:
+    """Read an ``as-rel`` file into ``(a, b, rel)`` rows.
+
+    For P2C rows, ``a`` is the provider — CAIDA's convention.
+    """
+    rows: List[Tuple[int, int, Relationship]] = []
+    with open(path) as stream:
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("|")
+            if len(parts) < 3:
+                raise DatasetFormatError(
+                    f"{path}:{line_number}: expected a|b|rel, got {line!r}"
+                )
+            try:
+                a, b, code = int(parts[0]), int(parts[1]), int(parts[2])
+            except ValueError:
+                raise DatasetFormatError(
+                    f"{path}:{line_number}: non-numeric field in {line!r}"
+                ) from None
+            try:
+                rel = Relationship(code)
+            except ValueError:
+                raise DatasetFormatError(
+                    f"{path}:{line_number}: unknown relationship code {code}"
+                ) from None
+            rows.append((a, b, rel))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# ppdc-ases
+# ---------------------------------------------------------------------------
+
+
+def save_ppdc_ases(
+    path: str, cones: Mapping[int, Set[int]], comments: Iterable[str] = ()
+) -> int:
+    """Write customer cones in ``ppdc-ases`` format."""
+    lines: List[str] = [f"# {comment}" for comment in comments]
+    for asn in sorted(cones):
+        members = " ".join(str(m) for m in sorted(cones[asn]))
+        lines.append(f"{asn} {members}" if members else str(asn))
+    with open(path, "w") as stream:
+        stream.write("\n".join(lines) + "\n")
+    return len(cones)
+
+
+def load_ppdc_ases(path: str) -> Dict[int, Set[int]]:
+    """Read a ``ppdc-ases`` file back into a cone mapping."""
+    cones: Dict[int, Set[int]] = {}
+    with open(path) as stream:
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            try:
+                values = [int(field) for field in fields]
+            except ValueError:
+                raise DatasetFormatError(
+                    f"{path}:{line_number}: non-numeric ASN in {line!r}"
+                ) from None
+            cones[values[0]] = set(values[1:])
+    return cones
+
+
+# ---------------------------------------------------------------------------
+# raw path files
+# ---------------------------------------------------------------------------
+
+
+def save_paths(
+    path: str, paths: Iterable[Tuple[int, ...]], comments: Iterable[str] = ()
+) -> int:
+    """Write AS paths one per line, hops separated by spaces."""
+    lines: List[str] = [f"# {comment}" for comment in comments]
+    count = 0
+    for as_path in paths:
+        lines.append(" ".join(str(asn) for asn in as_path))
+        count += 1
+    with open(path, "w") as stream:
+        stream.write("\n".join(lines) + "\n")
+    return count
+
+
+def load_paths(path: str) -> List[Tuple[int, ...]]:
+    """Read a path file written by :func:`save_paths`."""
+    paths: List[Tuple[int, ...]] = []
+    with open(path) as stream:
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                paths.append(tuple(int(tok) for tok in line.split()))
+            except ValueError:
+                raise DatasetFormatError(
+                    f"{path}:{line_number}: non-numeric hop in {line!r}"
+                ) from None
+    return paths

@@ -1,0 +1,23 @@
+"""MRT (RFC 6396) routing-information export format.
+
+The paper's input is RouteViews / RIPE RIS RIB dumps, distributed as
+MRT ``TABLE_DUMP_V2`` files.  This package implements a binary writer
+and parser for that format (``PEER_INDEX_TABLE`` + ``RIB_IPV4_UNICAST``
+with ORIGIN / AS_PATH / NEXT_HOP / COMMUNITIES attributes, plus a
+minimal ``BGP4MP`` UPDATE codec), so the reproduction pipeline can
+round-trip its synthetic RIBs through the same bytes a consumer of
+public BGP data parses.
+"""
+
+from repro.mrt.writer import MrtWriter, write_rib_dump
+from repro.mrt.reader import MrtReader, RibRecord, read_rib_dump
+from repro.mrt.constants import MrtFormatError
+
+__all__ = [
+    "MrtWriter",
+    "MrtReader",
+    "RibRecord",
+    "MrtFormatError",
+    "write_rib_dump",
+    "read_rib_dump",
+]

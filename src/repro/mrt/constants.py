@@ -1,0 +1,58 @@
+"""Wire-format constants from RFC 6396 (MRT) and RFC 4271 (BGP-4)."""
+
+from __future__ import annotations
+
+
+class MrtFormatError(ValueError):
+    """Raised on malformed MRT bytes."""
+
+
+# MRT record types
+TYPE_TABLE_DUMP = 12  # legacy, one record per (prefix, peer); 2-byte ASNs
+TYPE_TABLE_DUMP_V2 = 13
+TYPE_BGP4MP = 16
+
+# TABLE_DUMP subtypes
+SUBTYPE_AFI_IPV4 = 1
+
+# TABLE_DUMP_V2 subtypes
+SUBTYPE_PEER_INDEX_TABLE = 1
+SUBTYPE_RIB_IPV4_UNICAST = 2
+SUBTYPE_RIB_IPV6_UNICAST = 4
+
+# BGP4MP subtypes
+SUBTYPE_BGP4MP_MESSAGE_AS4 = 4
+
+# peer-entry type bits (PEER_INDEX_TABLE)
+PEER_TYPE_AS32 = 0x02  # peer AS number is 4 bytes
+PEER_TYPE_IPV6 = 0x01  # peer address is IPv6 (we only emit IPv4)
+
+# BGP path attribute type codes
+ATTR_ORIGIN = 1
+ATTR_AS_PATH = 2
+ATTR_NEXT_HOP = 3
+ATTR_COMMUNITIES = 8
+ATTR_AS4_PATH = 17  # RFC 6793: 4-byte path carried across 2-byte sessions
+
+# the 2-byte stand-in for a 4-byte ASN (RFC 6793)
+AS_TRANS = 23456
+
+# BGP path attribute flags
+FLAG_OPTIONAL = 0x80
+FLAG_TRANSITIVE = 0x40
+FLAG_EXTENDED_LENGTH = 0x10
+
+# AS_PATH segment types
+SEGMENT_AS_SET = 1
+SEGMENT_AS_SEQUENCE = 2
+
+# BGP message types
+BGP_MSG_UPDATE = 2
+
+# the all-ones BGP message marker
+BGP_MARKER = b"\xff" * 16
+
+# ORIGIN attribute values
+ORIGIN_IGP = 0
+
+MRT_COMMON_HEADER_LEN = 12

@@ -1,0 +1,314 @@
+"""MRT TABLE_DUMP_V2 / BGP4MP parser.
+
+Strict, validating parser for the records the writer emits — and for
+the subset of real RouteViews dumps the paper consumes.  Unknown MRT
+record types are skipped (real dumps interleave types); malformed
+framing raises :class:`MrtFormatError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import IO, Iterator, List, Optional, Tuple
+
+from repro.mrt import constants as c
+from repro.net.prefix import Prefix
+from repro.net.prefix6 import Prefix6
+
+
+@dataclass(frozen=True)
+class RibRecord:
+    """One (prefix, peer) RIB row decoded from a TABLE_DUMP_V2 record."""
+
+    prefix: Prefix
+    peer_asn: int
+    as_path: Tuple[int, ...]
+    communities: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """A decoded BGP4MP UPDATE."""
+
+    peer_asn: int
+    local_asn: int
+    as_path: Tuple[int, ...]
+    announced: Tuple[Prefix, ...]
+    communities: Tuple[Tuple[int, int], ...]
+
+
+def _read_exact(stream: IO[bytes], n: int) -> bytes:
+    data = stream.read(n)
+    if len(data) != n:
+        raise c.MrtFormatError(f"truncated record: wanted {n}, got {len(data)}")
+    return data
+
+
+def decode_as_path(blob: bytes, asn_size: int = 4) -> Tuple[int, ...]:
+    """Decode an AS_PATH attribute value (sequences and sets)."""
+    fmt_char = "I" if asn_size == 4 else "H"
+    path: List[int] = []
+    offset = 0
+    while offset < len(blob):
+        if offset + 2 > len(blob):
+            raise c.MrtFormatError("truncated AS_PATH segment header")
+        seg_type, count = blob[offset], blob[offset + 1]
+        offset += 2
+        need = count * asn_size
+        if offset + need > len(blob):
+            raise c.MrtFormatError("truncated AS_PATH segment body")
+        asns = struct.unpack(f"!{count}{fmt_char}", blob[offset:offset + need])
+        offset += need
+        if seg_type == c.SEGMENT_AS_SEQUENCE:
+            path.extend(asns)
+        elif seg_type == c.SEGMENT_AS_SET:
+            # sets are unordered; keep deterministic order
+            path.extend(sorted(asns))
+        else:
+            raise c.MrtFormatError(f"unknown AS_PATH segment type {seg_type}")
+    return tuple(path)
+
+
+def merge_as4_path(
+    as_path: Tuple[int, ...], as4_path: Tuple[int, ...]
+) -> Tuple[int, ...]:
+    """RFC 6793 reconstruction: the AS4_PATH replaces the tail of the
+    2-byte AS_PATH (which carries AS_TRANS placeholders)."""
+    if not as4_path or len(as4_path) > len(as_path):
+        return as_path
+    keep = len(as_path) - len(as4_path)
+    return as_path[:keep] + as4_path
+
+
+def decode_attributes(
+    blob: bytes, asn_size: int = 4
+) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]:
+    """Extract (as_path, communities) from a BGP attribute blob.
+
+    For 2-byte sessions (``asn_size=2``), an AS4_PATH attribute — if
+    present — is merged into the path, recovering the true 4-byte ASNs.
+    """
+    as_path: Tuple[int, ...] = ()
+    as4_path: Tuple[int, ...] = ()
+    communities: Tuple[Tuple[int, int], ...] = ()
+    offset = 0
+    while offset < len(blob):
+        if offset + 2 > len(blob):
+            raise c.MrtFormatError("truncated attribute header")
+        flags, type_code = blob[offset], blob[offset + 1]
+        offset += 2
+        if flags & c.FLAG_EXTENDED_LENGTH:
+            if offset + 2 > len(blob):
+                raise c.MrtFormatError("truncated extended length")
+            (length,) = struct.unpack("!H", blob[offset:offset + 2])
+            offset += 2
+        else:
+            if offset + 1 > len(blob):
+                raise c.MrtFormatError("truncated attribute length")
+            length = blob[offset]
+            offset += 1
+        if offset + length > len(blob):
+            raise c.MrtFormatError("attribute overruns blob")
+        value = blob[offset:offset + length]
+        offset += length
+        if type_code == c.ATTR_AS_PATH:
+            as_path = decode_as_path(value, asn_size)
+        elif type_code == c.ATTR_AS4_PATH:
+            as4_path = decode_as_path(value, 4)
+        elif type_code == c.ATTR_COMMUNITIES:
+            if length % 4:
+                raise c.MrtFormatError("COMMUNITIES length not multiple of 4")
+            communities = tuple(
+                struct.unpack("!HH", value[i:i + 4]) for i in range(0, length, 4)
+            )
+    if asn_size == 2 and as4_path:
+        as_path = merge_as4_path(as_path, as4_path)
+    return as_path, communities
+
+
+def _decode_nlri_prefix(
+    blob: bytes, offset: int, address_bytes: int = 4
+) -> Tuple[object, int]:
+    length = blob[offset]
+    offset += 1
+    octets = (length + 7) // 8
+    if offset + octets > len(blob):
+        raise c.MrtFormatError("truncated NLRI prefix")
+    network = int.from_bytes(
+        blob[offset:offset + octets].ljust(address_bytes, b"\0"), "big"
+    )
+    offset += octets
+    # mask stray host bits (real dumps occasionally carry them)
+    bits = address_bytes * 8
+    full = (1 << bits) - 1
+    if length:
+        network &= (full >> length) ^ full
+    else:
+        network = 0
+    if address_bytes == 16:
+        return Prefix6(network, length), offset
+    return Prefix(network, length), offset
+
+
+class MrtReader:
+    """Iterates decoded records from an MRT byte stream."""
+
+    def __init__(self, stream: IO[bytes]):
+        self._stream = stream
+        self._peer_asns: List[int] = []
+
+    def __iter__(self) -> Iterator[object]:
+        while True:
+            header = self._stream.read(c.MRT_COMMON_HEADER_LEN)
+            if not header:
+                return
+            if len(header) != c.MRT_COMMON_HEADER_LEN:
+                raise c.MrtFormatError("truncated MRT common header")
+            _ts, mrt_type, subtype, length = struct.unpack("!IHHI", header)
+            body = _read_exact(self._stream, length)
+            if mrt_type == c.TYPE_TABLE_DUMP:
+                if subtype == c.SUBTYPE_AFI_IPV4:
+                    yield self._parse_table_dump_v1(body)
+            elif mrt_type == c.TYPE_TABLE_DUMP_V2:
+                if subtype == c.SUBTYPE_PEER_INDEX_TABLE:
+                    self._parse_peer_index(body)
+                elif subtype == c.SUBTYPE_RIB_IPV4_UNICAST:
+                    yield from self._parse_rib(body, address_bytes=4)
+                elif subtype == c.SUBTYPE_RIB_IPV6_UNICAST:
+                    yield from self._parse_rib(body, address_bytes=16)
+                # other TABLE_DUMP_V2 subtypes skipped
+            elif mrt_type == c.TYPE_BGP4MP:
+                if subtype == c.SUBTYPE_BGP4MP_MESSAGE_AS4:
+                    record = self._parse_bgp4mp(body)
+                    if record is not None:
+                        yield record
+            # unknown MRT types are skipped silently, as real tooling does
+
+    # ------------------------------------------------------------------
+
+    def _parse_table_dump_v1(self, body: bytes) -> RibRecord:
+        """Legacy TABLE_DUMP: fixed header, 2-byte peer AS, then attrs."""
+        # view(2) seq(2) prefix(4) plen(1) status(1) time(4) peer_ip(4)
+        # peer_as(2) attr_len(2) = 22 bytes
+        if len(body) < 22:
+            raise c.MrtFormatError("short TABLE_DUMP record")
+        network, plen = struct.unpack("!IB", body[4:9])
+        if plen:
+            network &= (0xFFFFFFFF >> plen) ^ 0xFFFFFFFF
+        else:
+            network = 0
+        (peer_asn,) = struct.unpack("!H", body[18:20])
+        (attr_len,) = struct.unpack("!H", body[20:22])
+        if 22 + attr_len > len(body):
+            raise c.MrtFormatError("TABLE_DUMP attributes overrun")
+        as_path, communities = decode_attributes(
+            body[22:22 + attr_len], asn_size=2
+        )
+        return RibRecord(
+            prefix=Prefix(network, plen),
+            peer_asn=peer_asn,
+            as_path=as_path,
+            communities=communities,
+        )
+
+    def _parse_peer_index(self, body: bytes) -> None:
+        if len(body) < 8:
+            raise c.MrtFormatError("short PEER_INDEX_TABLE")
+        (name_len,) = struct.unpack("!H", body[4:6])
+        offset = 6 + name_len
+        if offset + 2 > len(body):
+            raise c.MrtFormatError("truncated PEER_INDEX_TABLE header")
+        (peer_count,) = struct.unpack("!H", body[offset:offset + 2])
+        offset += 2
+        peers: List[int] = []
+        for _ in range(peer_count):
+            if offset >= len(body):
+                raise c.MrtFormatError("truncated peer entry")
+            peer_type = body[offset]
+            offset += 1
+            ip_len = 16 if peer_type & c.PEER_TYPE_IPV6 else 4
+            as_len = 4 if peer_type & c.PEER_TYPE_AS32 else 2
+            need = 4 + ip_len + as_len
+            if offset + need > len(body):
+                raise c.MrtFormatError("truncated peer entry body")
+            offset += 4 + ip_len  # BGP ID + address
+            asn = int.from_bytes(body[offset:offset + as_len], "big")
+            offset += as_len
+            peers.append(asn)
+        self._peer_asns = peers
+
+    def _parse_rib(
+        self, body: bytes, address_bytes: int = 4
+    ) -> Iterator[RibRecord]:
+        if not self._peer_asns:
+            raise c.MrtFormatError("RIB record before PEER_INDEX_TABLE")
+        if len(body) < 5:
+            raise c.MrtFormatError("short RIB record")
+        offset = 4  # sequence number
+        prefix, offset = _decode_nlri_prefix(body, offset, address_bytes)
+        if offset + 2 > len(body):
+            raise c.MrtFormatError("truncated RIB entry count")
+        (entry_count,) = struct.unpack("!H", body[offset:offset + 2])
+        offset += 2
+        for _ in range(entry_count):
+            if offset + 8 > len(body):
+                raise c.MrtFormatError("truncated RIB entry header")
+            peer_idx, _orig_time, attr_len = struct.unpack(
+                "!HIH", body[offset:offset + 8]
+            )
+            offset += 8
+            if offset + attr_len > len(body):
+                raise c.MrtFormatError("RIB entry attributes overrun")
+            if peer_idx >= len(self._peer_asns):
+                raise c.MrtFormatError(f"peer index {peer_idx} out of range")
+            as_path, communities = decode_attributes(
+                body[offset:offset + attr_len]
+            )
+            offset += attr_len
+            yield RibRecord(
+                prefix=prefix,
+                peer_asn=self._peer_asns[peer_idx],
+                as_path=as_path,
+                communities=communities,
+            )
+
+    def _parse_bgp4mp(self, body: bytes) -> Optional[UpdateRecord]:
+        if len(body) < 20:
+            raise c.MrtFormatError("short BGP4MP record")
+        peer_asn, local_asn, _ifindex, afi = struct.unpack("!IIHH", body[:12])
+        if afi != 1:
+            return None  # IPv6 session, not modeled
+        offset = 12 + 8  # two IPv4 addresses
+        message = body[offset:]
+        if len(message) < 19 or message[:16] != c.BGP_MARKER:
+            raise c.MrtFormatError("bad BGP message framing")
+        msg_len, msg_type = struct.unpack("!HB", message[16:19])
+        if msg_len != len(message):
+            raise c.MrtFormatError("BGP message length mismatch")
+        if msg_type != c.BGP_MSG_UPDATE:
+            return None
+        body = message[19:]
+        (withdrawn_len,) = struct.unpack("!H", body[:2])
+        offset = 2 + withdrawn_len
+        (attr_len,) = struct.unpack("!H", body[offset:offset + 2])
+        offset += 2
+        as_path, communities = decode_attributes(body[offset:offset + attr_len])
+        offset += attr_len
+        announced: List[Prefix] = []
+        while offset < len(body):
+            prefix, offset = _decode_nlri_prefix(body, offset)
+            announced.append(prefix)
+        return UpdateRecord(
+            peer_asn=peer_asn,
+            local_asn=local_asn,
+            as_path=as_path,
+            announced=tuple(announced),
+            communities=communities,
+        )
+
+
+def read_rib_dump(path: str) -> List[RibRecord]:
+    """Parse a TABLE_DUMP_V2 file into RIB rows."""
+    with open(path, "rb") as stream:
+        return [r for r in MrtReader(stream) if isinstance(r, RibRecord)]

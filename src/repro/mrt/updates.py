@@ -1,0 +1,83 @@
+"""Update-stream dumps: the other half of a collector archive.
+
+RouteViews publishes both periodic RIB snapshots (``TABLE_DUMP_V2``)
+and continuous ``BGP4MP`` update streams.  A consumer can rebuild a
+path corpus from either.  This module serializes a collected RIB as a
+burst of UPDATE messages — what a collector writes right after a
+session reset — and rebuilds RIB rows from a parsed update stream,
+last-announcement-wins, as real tooling does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.mrt.reader import MrtReader, RibRecord, UpdateRecord
+from repro.mrt.writer import MrtWriter
+from repro.net.prefix import Prefix
+
+#: collector-side ASN stamped as "local AS" on emitted updates
+COLLECTOR_ASN = 64700
+
+# keep NLRI bundles small, as real updates are MTU-bounded
+_MAX_PREFIXES_PER_UPDATE = 24
+
+
+def write_update_dump(
+    path: str,
+    rib: Iterable,
+    timestamp: int = 0,
+    local_asn: int = COLLECTOR_ASN,
+) -> int:
+    """Serialize RIB rows (``repro.bgp.RibEntry``) as BGP4MP updates.
+
+    Entries sharing (peer, path, communities) are packed into common
+    UPDATE messages.  Returns the number of UPDATE records written.
+    """
+    grouped: Dict[Tuple[int, Tuple[int, ...], Tuple[Tuple[int, int], ...]],
+                  List[Prefix]] = {}
+    for entry in rib:
+        key = (entry.vp, tuple(entry.path), tuple(entry.communities))
+        grouped.setdefault(key, []).append(entry.prefix)
+
+    written = 0
+    with open(path, "wb") as stream:
+        writer = MrtWriter(stream, timestamp=timestamp)
+        for (peer, as_path, communities), prefixes in sorted(
+            grouped.items()
+        ):
+            prefixes.sort()
+            for start in range(0, len(prefixes), _MAX_PREFIXES_PER_UPDATE):
+                writer.write_bgp4mp_update(
+                    peer_asn=peer,
+                    local_asn=local_asn,
+                    as_path=as_path,
+                    announced=prefixes[start:start + _MAX_PREFIXES_PER_UPDATE],
+                    communities=communities,
+                )
+                written += 1
+    return written
+
+
+def read_update_dump(path: str) -> List[UpdateRecord]:
+    """Parse every UPDATE record from a BGP4MP file."""
+    with open(path, "rb") as stream:
+        return [r for r in MrtReader(stream) if isinstance(r, UpdateRecord)]
+
+
+def rib_from_updates(updates: Iterable[UpdateRecord]) -> List[RibRecord]:
+    """Rebuild per-(prefix, peer) RIB rows from an update stream.
+
+    Later announcements for the same (prefix, peer) replace earlier
+    ones — the stream-processing rule every MRT consumer implements.
+    """
+    table: Dict[Tuple[Prefix, int], RibRecord] = {}
+    for update in updates:
+        for prefix in update.announced:
+            table[(prefix, update.peer_asn)] = RibRecord(
+                prefix=prefix,
+                peer_asn=update.peer_asn,
+                as_path=update.as_path,
+                communities=update.communities,
+            )
+    return [table[key] for key in sorted(table, key=lambda k: (k[0], k[1]))]

@@ -1,0 +1,19 @@
+"""IPv4 prefix machinery used throughout the reproduction.
+
+The paper measures customer cones in three units: ASes, announced
+prefixes, and IPv4 addresses.  This package provides the prefix type,
+prefix allocation to ASes, and a longest-prefix-match trie used when
+counting addresses without double-counting overlapping announcements.
+"""
+
+from repro.net.prefix import Prefix, PrefixError, summarize_address_space
+from repro.net.allocation import PrefixAllocator
+from repro.net.trie import PrefixTrie
+
+__all__ = [
+    "Prefix",
+    "PrefixError",
+    "PrefixAllocator",
+    "PrefixTrie",
+    "summarize_address_space",
+]

@@ -1,0 +1,83 @@
+"""Deterministic prefix allocation to ASes.
+
+The topology generator assigns every AS an address block sized by its
+role (large transit networks originate more space than stubs), carving
+non-overlapping prefixes out of a configurable pool the way an RIR
+would.  Allocations are deterministic given the same request sequence,
+which keeps every downstream artifact (RIBs, MRT files, cones)
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.prefix import Prefix, PrefixError
+
+# Unit-test-friendly default pool: 1.0.0.0/8 .. 223.0.0.0/8 minus the
+# conventional private/reserved /8s, mirroring the unicast IPv4 space.
+_RESERVED_FIRST_OCTETS = {0, 10, 127}
+
+
+class PrefixAllocator:
+    """Carves non-overlapping prefixes from a pool of /8 blocks.
+
+    The allocator hands out prefixes in address order using a simple
+    buddy scheme: each /8 is split on demand into aligned blocks of the
+    requested length.  ``allocate`` never returns overlapping prefixes.
+    """
+
+    def __init__(self, first_octets: Optional[List[int]] = None):
+        if first_octets is None:
+            first_octets = [o for o in range(1, 224) if o not in _RESERVED_FIRST_OCTETS]
+        if not first_octets:
+            raise PrefixError("allocator needs at least one /8")
+        # free lists keyed by prefix length; seed with the /8 pool
+        self._free: Dict[int, List[Prefix]] = {8: []}
+        for octet in sorted(first_octets, reverse=True):
+            if not 0 <= octet <= 223:
+                raise PrefixError(f"first octet {octet} outside unicast space")
+            self._free[8].append(Prefix(octet << 24, 8))
+        self._allocated: List[Prefix] = []
+
+    @property
+    def allocated(self) -> List[Prefix]:
+        """All prefixes handed out so far, in allocation order."""
+        return list(self._allocated)
+
+    def remaining_addresses(self) -> int:
+        """Addresses still available in the pool."""
+        return sum(
+            prefix.num_addresses
+            for prefixes in self._free.values()
+            for prefix in prefixes
+        )
+
+    def allocate(self, length: int) -> Prefix:
+        """Return one unused prefix of exactly ``length`` bits.
+
+        Raises :class:`PrefixError` when the pool is exhausted.
+        """
+        if not 8 <= length <= 32:
+            raise PrefixError(f"allocation length /{length} outside /8../32")
+        # find the longest free block that can satisfy the request
+        source_length = length
+        while source_length >= 8:
+            if self._free.get(source_length):
+                break
+            source_length -= 1
+        else:
+            raise PrefixError(f"pool exhausted: no space for a /{length}")
+        block = self._free[source_length].pop()
+        # split down to the requested size, returning the low half and
+        # keeping the high halves on the free lists
+        while block.length < length:
+            low, high = block.subnets(block.length + 1)
+            self._free.setdefault(high.length, []).append(high)
+            block = low
+        self._allocated.append(block)
+        return block
+
+    def allocate_many(self, length: int, count: int) -> List[Prefix]:
+        """Allocate ``count`` prefixes of the same length."""
+        return [self.allocate(length) for _ in range(count)]

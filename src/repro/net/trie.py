@@ -1,0 +1,149 @@
+"""Binary prefix trie with longest-prefix match.
+
+The collector uses this to answer "which origin AS announces the most
+specific prefix covering this address", and the cone analysis uses it to
+deduplicate overlapping announcements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.net.prefix import Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """Maps :class:`Prefix` keys to arbitrary values with LPM lookup."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._find(prefix)
+        return node is not None and node.has_value
+
+    @staticmethod
+    def _bits(prefix: Prefix) -> Iterator[int]:
+        for depth in range(prefix.length):
+            yield (prefix.network >> (31 - depth)) & 1
+
+    def _find(self, prefix: Prefix) -> Optional[_Node[V]]:
+        node: Optional[_Node[V]] = self._root
+        for bit in self._bits(prefix):
+            if node is None:
+                return None
+            node = node.children[bit]
+        return node
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert or replace the value stored at ``prefix``."""
+        node = self._root
+        for bit in self._bits(prefix):
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def get(self, prefix: Prefix, default: Optional[V] = None) -> Optional[V]:
+        """Exact-match lookup."""
+        node = self._find(prefix)
+        if node is not None and node.has_value:
+            return node.value
+        return default
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Delete the exact entry; returns True when something was removed."""
+        node = self._find(prefix)
+        if node is None or not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        return True
+
+    def longest_match(self, address: int) -> Optional[Tuple[Prefix, V]]:
+        """Longest-prefix match for a 32-bit address.
+
+        Returns the matching ``(prefix, value)`` pair, or None when no
+        entry covers the address.
+        """
+        node: Optional[_Node[V]] = self._root
+        best: Optional[Tuple[int, V]] = None
+        network = 0
+        for depth in range(33):
+            assert node is not None
+            if node.has_value:
+                best = (depth, node.value)  # type: ignore[assignment]
+            if depth == 32:
+                break
+            bit = (address >> (31 - depth)) & 1
+            nxt = node.children[bit]
+            if nxt is None:
+                break
+            network = (network << 1) | bit
+            node = nxt
+        if best is None:
+            return None
+        length, value = best
+        return Prefix((address >> (32 - length) << (32 - length)) if length else 0, length), value
+
+    def covering(self, prefix: Prefix) -> Optional[Tuple[Prefix, V]]:
+        """Most specific stored entry that covers ``prefix`` (including itself)."""
+        node: Optional[_Node[V]] = self._root
+        best: Optional[Tuple[int, V]] = None
+        depth = 0
+        for bit in self._bits(prefix):
+            assert node is not None
+            if node.has_value:
+                best = (depth, node.value)  # type: ignore[assignment]
+            node = node.children[bit]
+            if node is None:
+                break
+            depth += 1
+        else:
+            if node is not None and node.has_value:
+                best = (prefix.length, node.value)  # type: ignore[assignment]
+        if best is None:
+            return None
+        length, value = best
+        mask = ((1 << length) - 1) << (32 - length) if length else 0
+        return Prefix(prefix.network & mask, length), value
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate all stored entries in trie (address) order."""
+        stack: List[Tuple[_Node[V], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, network, depth = stack.pop()
+            if node.has_value:
+                yield Prefix(network << (32 - depth) if depth else 0, depth), node.value  # type: ignore[misc]
+            # push right child first so left (0-bit) pops first: address order
+            right = node.children[1]
+            if right is not None:
+                stack.append((right, (network << 1) | 1, depth + 1))
+            left = node.children[0]
+            if left is not None:
+                stack.append((left, network << 1, depth + 1))
+
+    def to_dict(self) -> Dict[Prefix, V]:
+        """Materialize the trie as a plain dict."""
+        return dict(self.items())

@@ -1,0 +1,51 @@
+"""Shared AS-relationship vocabulary.
+
+The encoding mirrors CAIDA's published ``as-rel`` files: ``-1`` for a
+provider→customer edge and ``0`` for a peer edge, with ``2`` reserved
+for siblings (ASes under common ownership) which appear in validation
+data but are not inferred by the IMC 2013 algorithm.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class Relationship(enum.IntEnum):
+    """Business relationship between two ASes, CAIDA ``as-rel`` codes."""
+
+    P2C = -1  # first AS is the provider of the second
+    P2P = 0  # settlement-free peers
+    S2S = 2  # siblings (same organization)
+
+    @property
+    def label(self) -> str:
+        return {
+            Relationship.P2C: "p2c",
+            Relationship.P2P: "p2p",
+            Relationship.S2S: "s2s",
+        }[self]
+
+
+class RelClass(enum.Enum):
+    """How an AS learned a route — drives Gao–Rexford export policy."""
+
+    ORIGIN = "origin"
+    CUSTOMER = "customer"
+    PEER = "peer"
+    PROVIDER = "provider"
+
+
+# Preference order for BGP decision process: customer routes first.
+ROUTE_PREFERENCE = {
+    RelClass.ORIGIN: 0,
+    RelClass.CUSTOMER: 1,
+    RelClass.PEER: 2,
+    RelClass.PROVIDER: 3,
+}
+
+
+def canonical_pair(a: int, b: int) -> Tuple[int, int]:
+    """Unordered link key: the pair sorted ascending."""
+    return (a, b) if a <= b else (b, a)

@@ -1,0 +1,104 @@
+"""Named, reproducible end-to-end scenarios.
+
+Examples, tests and benchmarks all pull workloads from here so that
+"the medium Internet" means the same topology, vantage points and noise
+everywhere.  A scenario bundles the generator, collector and inference
+configurations plus helpers that run the full pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.bgp.collector import Collector, CollectorConfig, PathCorpus
+from repro.bgp.noise import NoiseConfig
+from repro.core.inference import InferenceConfig, InferenceResult, infer_relationships
+from repro.core.paths import PathSet
+from repro.topology.evolution import EvolutionConfig
+from repro.topology.generator import GeneratorConfig, generate_topology
+from repro.topology.model import ASGraph
+
+
+@dataclass
+class Scenario:
+    """One fully specified workload."""
+
+    name: str
+    description: str
+    generator: GeneratorConfig
+    collector: CollectorConfig
+    inference: InferenceConfig = field(default_factory=InferenceConfig)
+
+    def build_graph(self) -> ASGraph:
+        return generate_topology(self.generator)
+
+    def collect(self, graph: Optional[ASGraph] = None) -> Tuple[ASGraph, PathCorpus]:
+        graph = graph or self.build_graph()
+        return graph, Collector(graph, self.collector).run()
+
+    def run(self) -> Tuple[ASGraph, PathCorpus, PathSet, InferenceResult]:
+        """Full pipeline: generate → simulate → sanitize → infer."""
+        graph, corpus = self.collect()
+        paths = PathSet.sanitize(corpus.paths, ixp_asns=graph.ixp_asns())
+        result = infer_relationships(paths, self.inference)
+        return graph, corpus, paths, result
+
+
+def _vps_for(n_ases: int) -> int:
+    """VP count proportional to topology size, like RouteViews' growth."""
+    return max(12, n_ases // 35)
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "tiny": Scenario(
+        name="tiny",
+        description="Smoke-test topology: fast enough for unit tests.",
+        generator=GeneratorConfig(n_ases=150, seed=1, clique_size=6),
+        collector=CollectorConfig(n_vps=10, seed=101),
+    ),
+    "small": Scenario(
+        name="small",
+        description="Small Internet (~300 ASes): quick experiments.",
+        generator=GeneratorConfig(n_ases=300, seed=7),
+        # proportionally generous VP deployment: a 300-AS world needs
+        # more relative coverage than the real one for clique visibility
+        collector=CollectorConfig(n_vps=20, seed=102),
+    ),
+    "medium": Scenario(
+        name="medium",
+        description="Medium Internet (~800 ASes): the default bench workload.",
+        generator=GeneratorConfig(n_ases=800, seed=42),
+        collector=CollectorConfig(n_vps=_vps_for(800), seed=103),
+    ),
+    "large": Scenario(
+        name="large",
+        description="Large Internet (~1500 ASes): headline-result scale.",
+        generator=GeneratorConfig(n_ases=1500, seed=2013),
+        collector=CollectorConfig(n_vps=_vps_for(1500), seed=104),
+    ),
+    "clean": Scenario(
+        name="clean",
+        description="Medium Internet with all measurement noise disabled.",
+        generator=GeneratorConfig(n_ases=800, seed=42, ixps_enabled=False),
+        collector=CollectorConfig(
+            n_vps=_vps_for(800), seed=103, noise=NoiseConfig.none(),
+            partial_feed_fraction=0.0,
+        ),
+    ),
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario; raises KeyError with the available names."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def evolution_scenario(eras: int = 6, seed: int = 7) -> EvolutionConfig:
+    """The default longitudinal series for E5/E8."""
+    return EvolutionConfig.default_series(start_ases=400, eras=eras, seed=seed)

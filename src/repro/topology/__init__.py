@@ -1,0 +1,24 @@
+"""Synthetic AS-level Internet topology with planted ground truth.
+
+The generator produces a hierarchical AS graph — a fully meshed clique
+of tier-1 transit providers, regional transit tiers, and a long tail of
+access/content/enterprise/stub networks — with every link labeled with
+its true business relationship.  The BGP simulator propagates routes
+over this graph; the inference algorithm only ever sees AS paths, and
+the planted labels become the validation oracle.
+"""
+
+from repro.topology.model import AS, ASGraph, ASType, TopologyError
+from repro.topology.generator import GeneratorConfig, generate_topology
+from repro.topology.evolution import EvolutionConfig, generate_series
+
+__all__ = [
+    "AS",
+    "ASGraph",
+    "ASType",
+    "TopologyError",
+    "GeneratorConfig",
+    "generate_topology",
+    "EvolutionConfig",
+    "generate_series",
+]

@@ -1,0 +1,218 @@
+"""Longitudinal topology series: a growing, flattening Internet.
+
+The paper's evaluation spans 1998–2013 snapshots.  This module grows a
+single topology through a sequence of *eras*: each era adds new edge
+ASes (preferential attachment keeps the degree distribution heavy
+tailed), densifies peering — especially content↔access peering, the
+"flattening" signal — and occasionally promotes a large transit AS into
+the tier-1 clique (clique churn).  Because growth is incremental, ASNs
+are stable across snapshots and per-AS time series (cone sizes, clique
+membership) are meaningful.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.allocation import PrefixAllocator
+from repro.relationships import Relationship
+from repro.topology.generator import (
+    GeneratorConfig,
+    _PREFIX_PLAN,
+    generate_topology,
+)
+from repro.topology.model import AS, ASGraph, ASType, TopologyError
+
+
+@dataclass
+class Era:
+    """One growth step: a labeled snapshot target."""
+
+    label: str
+    new_ases: int
+    peering_boost: float = 0.0  # extra content/access peer probability
+    clique_entrants: int = 0  # large-transit ASes promoted into the clique
+    # probability that an arriving network shops regionally (buys from a
+    # non-clique provider).  Ramping this up across eras is what makes
+    # the tier-1 cone *share* decline — the paper's flattening signal.
+    regional_bias: float = 0.0
+
+
+@dataclass
+class EvolutionConfig:
+    """Initial topology plus the era schedule."""
+
+    base: GeneratorConfig = field(default_factory=GeneratorConfig)
+    eras: List[Era] = field(default_factory=list)
+
+    @classmethod
+    def default_series(
+        cls, start_ases: int = 600, eras: int = 6, growth: float = 0.35, seed: int = 7
+    ) -> "EvolutionConfig":
+        """A 1998→2013-style schedule: growth plus accelerating peering."""
+        base = GeneratorConfig(
+            n_ases=start_ases, seed=seed, peering_richness=0.6, ixps_enabled=True
+        )
+        schedule = []
+        for i in range(eras):
+            schedule.append(
+                Era(
+                    label=f"era-{i + 1}",
+                    new_ases=int(start_ases * growth * (1.0 + 0.4 * i)),
+                    peering_boost=0.015 * (i + 1),
+                    clique_entrants=1 if i in (2, 4) else 0,
+                    regional_bias=min(0.9, 0.25 + 0.13 * i),
+                )
+            )
+        return cls(base=base, eras=schedule)
+
+
+def generate_series(config: EvolutionConfig) -> List[Tuple[str, ASGraph]]:
+    """Produce ``[(label, graph), ...]`` snapshots, one per era plus base.
+
+    Snapshots are deep copies: mutating a later era never changes an
+    earlier snapshot.
+    """
+    allocator = PrefixAllocator()
+    rng = random.Random(config.base.seed ^ 0x5EED)
+    graph = generate_topology(config.base, allocator=allocator)
+    snapshots: List[Tuple[str, ASGraph]] = [("base", copy.deepcopy(graph))]
+    next_asn = max(a.asn for a in graph.ases()) + 1
+
+    for era in config.eras:
+        next_asn = _grow(graph, era, rng, allocator, next_asn)
+        _densify_peering(graph, era, rng)
+        _promote_clique_entrants(graph, era, rng)
+        problems = graph.validate_invariants()
+        if problems:
+            raise TopologyError(f"era {era.label} broke invariants: {problems[:3]}")
+        snapshots.append((era.label, copy.deepcopy(graph)))
+    return snapshots
+
+
+# role mix for newly arriving ASes: edge-heavy, like the real growth
+_ARRIVAL_MIX: Sequence[Tuple[ASType, float]] = (
+    (ASType.SMALL_TRANSIT, 0.05),
+    (ASType.ACCESS, 0.22),
+    (ASType.CONTENT, 0.15),
+    (ASType.ENTERPRISE, 0.28),
+    (ASType.STUB, 0.30),
+)
+
+
+def _types_by_role(graph: ASGraph) -> Dict[ASType, List[int]]:
+    result: Dict[ASType, List[int]] = {}
+    for asys in graph.ases():
+        result.setdefault(asys.type, []).append(asys.asn)
+    return result
+
+
+def _weighted_provider(
+    rng: random.Random, graph: ASGraph, pool: Sequence[int], exclude: set
+) -> int:
+    candidates = [c for c in pool if c not in exclude]
+    if not candidates:
+        raise TopologyError("no provider candidates during growth")
+    weights = [len(graph.customers[c]) + 1 for c in candidates]
+    return rng.choices(candidates, weights=weights, k=1)[0]
+
+
+def _grow(
+    graph: ASGraph,
+    era: Era,
+    rng: random.Random,
+    allocator: PrefixAllocator,
+    next_asn: int,
+) -> int:
+    roles = _types_by_role(graph)
+    transit_pool = (
+        roles.get(ASType.SMALL_TRANSIT, [])
+        + roles.get(ASType.LARGE_TRANSIT, [])
+        + roles.get(ASType.CLIQUE, [])
+    )
+    edge_pool = transit_pool + roles.get(ASType.ACCESS, [])
+    regions = max((a.region for a in graph.ases()), default=0) + 1
+    type_choices = [t for t, _ in _ARRIVAL_MIX]
+    type_weights = [w for _, w in _ARRIVAL_MIX]
+
+    for _ in range(era.new_ases):
+        as_type = rng.choices(type_choices, weights=type_weights, k=1)[0]
+        asn = next_asn
+        next_asn += 1
+        new_as = AS(asn=asn, type=as_type, region=rng.randrange(regions))
+        graph.add_as(new_as)
+        lo, hi, len_lo, len_hi = _PREFIX_PLAN[as_type]
+        for _ in range(rng.randint(lo, max(lo, hi))):
+            new_as.prefixes.append(allocator.allocate(rng.randint(len_lo, len_hi)))
+
+        pool = edge_pool if as_type in (ASType.ENTERPRISE, ASType.STUB) else transit_pool
+        exclude = {asn}
+        n_providers = 1 if as_type is ASType.STUB else rng.choice((1, 1, 2))
+        clique_set = {
+            a.asn for a in graph.ases() if a.type is ASType.CLIQUE
+        }
+        for _ in range(n_providers):
+            choices = pool
+            if era.regional_bias and rng.random() < era.regional_bias:
+                regional = [c for c in pool if c not in clique_set]
+                if regional:
+                    choices = regional
+            provider = _weighted_provider(rng, graph, choices, exclude)
+            graph.add_p2c(provider, asn)
+            exclude.add(provider)
+        roles.setdefault(as_type, []).append(asn)
+        if as_type is ASType.SMALL_TRANSIT:
+            transit_pool.append(asn)
+            edge_pool.append(asn)
+        elif as_type is ASType.ACCESS:
+            edge_pool.append(asn)
+    return next_asn
+
+
+def _densify_peering(graph: ASGraph, era: Era, rng: random.Random) -> None:
+    """Add new content↔access and content↔content peer links."""
+    if era.peering_boost <= 0:
+        return
+    roles = _types_by_role(graph)
+    content = roles.get(ASType.CONTENT, [])
+    access = roles.get(ASType.ACCESS, [])
+    for a in content:
+        for b in access:
+            if graph.relationship(a, b) is None and rng.random() < era.peering_boost:
+                graph.add_p2p(a, b)
+        for b in content:
+            if (
+                a < b
+                and graph.relationship(a, b) is None
+                and rng.random() < era.peering_boost
+            ):
+                graph.add_p2p(a, b)
+
+
+def _promote_clique_entrants(graph: ASGraph, era: Era, rng: random.Random) -> None:
+    """Promote large-transit ASes to tier-1: peer with the whole clique,
+    drop all providers (they become transit-free)."""
+    for _ in range(era.clique_entrants):
+        roles = _types_by_role(graph)
+        candidates = sorted(
+            roles.get(ASType.LARGE_TRANSIT, []),
+            key=lambda asn: len(graph.customers[asn]),
+            reverse=True,
+        )
+        if not candidates:
+            return
+        entrant = candidates[0]
+        clique = graph.clique_asns()
+        for provider in list(graph.providers[entrant]):
+            graph.remove_link(provider, entrant)
+        for member in clique:
+            existing = graph.relationship(entrant, member)
+            if existing is Relationship.P2C:
+                graph.remove_link(entrant, member)
+                existing = None
+            if existing is None:
+                graph.add_p2p(entrant, member)
+        graph.get_as(entrant).type = ASType.CLIQUE

@@ -1,0 +1,470 @@
+"""Hierarchical synthetic Internet generator.
+
+Builds an :class:`~repro.topology.model.ASGraph` with the structural
+features the IMC 2013 algorithm's assumptions and heuristics exist to
+exploit or survive:
+
+* a fully meshed clique of transit-free tier-1 providers at the top;
+* power-law customer degrees via preferential attachment;
+* regional peering (dense within a region, sparse across);
+* content networks that peer widely (the "flattening" Internet);
+* IXP route servers that leave their ASN in the data plane and must be
+  sanitized out of AS paths;
+* every non-clique AS reachable through at least one provider chain.
+
+All randomness flows through one seeded :class:`random.Random`, so a
+configuration is a complete, reproducible description of a topology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.allocation import PrefixAllocator
+from repro.relationships import Relationship, canonical_pair
+from repro.topology.model import AS, ASGraph, ASType, TopologyError
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for the synthetic Internet.
+
+    ``peering_richness`` scales all peering probabilities; sweeping it
+    upward across snapshots models the historical densification of
+    peering ("flattening") the paper's longitudinal analysis observes.
+    """
+
+    n_ases: int = 1000
+    seed: int = 42
+    regions: int = 5
+    clique_size: int = 10
+    # fractions of the non-clique population per role
+    frac_large_transit: float = 0.03
+    frac_small_transit: float = 0.07
+    frac_access: float = 0.22
+    frac_content: float = 0.10
+    frac_enterprise: float = 0.26
+    # remainder are stubs
+    # multihoming: probability of adding each extra provider beyond the first
+    extra_provider_prob: float = 0.45
+    max_providers: int = 4
+    # peering probabilities (before richness scaling)
+    # large tier-2s peer with some tier-1s while buying from others
+    clique_large_transit_peer: float = 0.12
+    large_transit_peer_same_region: float = 0.55
+    large_transit_peer_cross_region: float = 0.12
+    small_transit_peer_same_region: float = 0.10
+    content_peer_access: float = 0.04
+    content_peer_content: float = 0.06
+    peering_richness: float = 1.0
+    # IXPs: one route server per region when enabled
+    ixps_enabled: bool = True
+    ixp_link_fraction: float = 0.35  # fraction of eligible p2p links via IXP
+    # siblings (validation realism; 0 keeps propagation strictly GR)
+    sibling_pairs: int = 0
+    # prefix allocation scale: multiplies per-type prefix counts
+    prefix_scale: float = 1.0
+    # IPv6 adoption: overall scaling of the per-role adoption rates
+    # below (0 disables the v6 plane entirely)
+    v6_adoption: float = 1.0
+    # base for allocated ASNs
+    first_asn: int = 1
+
+    def role_counts(self) -> Dict[ASType, int]:
+        """Absolute population per role implied by the fractions."""
+        if self.n_ases < self.clique_size + 10:
+            raise TopologyError(
+                f"n_ases={self.n_ases} too small for clique_size={self.clique_size}"
+            )
+        rest = self.n_ases - self.clique_size
+        counts = {
+            ASType.CLIQUE: self.clique_size,
+            ASType.LARGE_TRANSIT: max(3, int(rest * self.frac_large_transit)),
+            ASType.SMALL_TRANSIT: max(5, int(rest * self.frac_small_transit)),
+            ASType.ACCESS: int(rest * self.frac_access),
+            ASType.CONTENT: int(rest * self.frac_content),
+            ASType.ENTERPRISE: int(rest * self.frac_enterprise),
+        }
+        used = sum(counts.values()) - self.clique_size
+        counts[ASType.STUB] = max(0, rest - used)
+        return counts
+
+
+# per-type IPv6 adoption probability (scaled by config.v6_adoption) and
+# prefix plan: backbones deployed first, stubs last — the mid-2010s shape
+_V6_ADOPTION: Dict[ASType, float] = {
+    ASType.CLIQUE: 1.0,
+    ASType.LARGE_TRANSIT: 0.9,
+    ASType.SMALL_TRANSIT: 0.7,
+    ASType.ACCESS: 0.5,
+    ASType.CONTENT: 0.8,
+    ASType.ENTERPRISE: 0.3,
+    ASType.STUB: 0.2,
+    ASType.IXP_RS: 0.0,
+}
+_PREFIX6_PLAN: Dict[ASType, Tuple[int, int, int]] = {
+    # (min_count, max_count, length)
+    ASType.CLIQUE: (2, 4, 32),
+    ASType.LARGE_TRANSIT: (1, 3, 32),
+    ASType.SMALL_TRANSIT: (1, 2, 36),
+    ASType.ACCESS: (1, 2, 36),
+    ASType.CONTENT: (1, 2, 40),
+    ASType.ENTERPRISE: (1, 1, 44),
+    ASType.STUB: (1, 1, 48),
+    ASType.IXP_RS: (0, 0, 48),
+}
+
+# per-type prefix plan: (min_count, max_count, min_len, max_len)
+_PREFIX_PLAN: Dict[ASType, Tuple[int, int, int, int]] = {
+    ASType.CLIQUE: (4, 12, 14, 16),
+    ASType.LARGE_TRANSIT: (2, 8, 15, 17),
+    ASType.SMALL_TRANSIT: (1, 4, 17, 19),
+    ASType.ACCESS: (1, 6, 16, 19),
+    ASType.CONTENT: (1, 4, 18, 20),
+    ASType.ENTERPRISE: (1, 2, 20, 22),
+    ASType.STUB: (1, 1, 22, 24),
+    ASType.IXP_RS: (0, 0, 24, 24),
+}
+
+
+@dataclass
+class _Builder:
+    """Internal mutable state while wiring the topology together."""
+
+    config: GeneratorConfig
+    rng: random.Random
+    graph: ASGraph = field(default_factory=ASGraph)
+    by_type: Dict[ASType, List[int]] = field(default_factory=dict)
+    next_asn: int = 1
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+
+
+def generate_topology(
+    config: GeneratorConfig, allocator: PrefixAllocator = None
+) -> ASGraph:
+    """Build a ground-truth AS graph from ``config``.
+
+    The returned graph carries one extra attribute, ``via_ixp``: a dict
+    mapping canonical p2p link pairs to the ASN of the IXP route server
+    those peers exchange routes through (the sanitization target).
+
+    ``allocator`` lets a caller (the evolution model) share one prefix
+    pool across several snapshots so allocations never collide.
+    """
+    rng = random.Random(config.seed)
+    builder = _Builder(config=config, rng=rng, next_asn=config.first_asn)
+    counts = config.role_counts()
+
+    _create_ases(builder, counts)
+    _wire_clique(builder)
+    _wire_transit_tiers(builder)
+    _wire_edge(builder)
+    _wire_peering(builder)
+    _wire_siblings(builder)
+    _allocate_prefixes(builder, allocator or PrefixAllocator())
+    _allocate_prefixes6(builder)
+    _attach_ixps(builder)
+
+    problems = builder.graph.validate_invariants()
+    if problems:
+        raise TopologyError(f"generator produced invalid graph: {problems[:5]}")
+    return builder.graph
+
+
+def _new_as(builder: _Builder, as_type: ASType, region: int) -> int:
+    asn = builder.next_asn
+    builder.next_asn += 1
+    builder.graph.add_as(AS(asn=asn, type=as_type, region=region))
+    builder.by_type.setdefault(as_type, []).append(asn)
+    return asn
+
+
+def _create_ases(builder: _Builder, counts: Dict[ASType, int]) -> None:
+    rng = builder.rng
+    regions = builder.config.regions
+    for as_type in (
+        ASType.CLIQUE,
+        ASType.LARGE_TRANSIT,
+        ASType.SMALL_TRANSIT,
+        ASType.ACCESS,
+        ASType.CONTENT,
+        ASType.ENTERPRISE,
+        ASType.STUB,
+    ):
+        for _ in range(counts.get(as_type, 0)):
+            _new_as(builder, as_type, rng.randrange(regions))
+
+
+def _wire_clique(builder: _Builder) -> None:
+    clique = builder.by_type.get(ASType.CLIQUE, [])
+    for i, a in enumerate(clique):
+        for b in clique[i + 1:]:
+            builder.graph.add_p2p(a, b)
+
+
+# base attractiveness for preferential attachment: a tier-1 starts out
+# far more likely to win customers than a regional, so realized customer
+# counts correlate with role (as they do in the real Internet)
+_ATTACH_BASE = {
+    ASType.CLIQUE: 30,
+    ASType.LARGE_TRANSIT: 12,
+    ASType.SMALL_TRANSIT: 4,
+    ASType.ACCESS: 1,
+}
+
+
+def _weighted_provider_choice(
+    builder: _Builder, candidates: Sequence[int], exclude: set
+) -> int:
+    """Preferential attachment: weight by customers + role base weight."""
+    graph = builder.graph
+    pool = [c for c in candidates if c not in exclude]
+    if not pool:
+        raise TopologyError("no provider candidates available")
+    weights = [
+        len(graph.customers[c]) + _ATTACH_BASE.get(graph.get_as(c).type, 1)
+        for c in pool
+    ]
+    return builder.rng.choices(pool, weights=weights, k=1)[0]
+
+
+def _pick_providers(
+    builder: _Builder, asn: int, candidates: Sequence[int], region_first: bool = True
+) -> List[int]:
+    """Choose 1..max_providers providers for ``asn`` with regional bias."""
+    config, rng, graph = builder.config, builder.rng, builder.graph
+    region = graph.get_as(asn).region
+    local = [c for c in candidates if graph.get_as(c).region == region]
+    chosen: List[int] = []
+    exclude = {asn}
+    n_providers = 1
+    while (
+        n_providers < config.max_providers
+        and rng.random() < config.extra_provider_prob
+    ):
+        n_providers += 1
+    # nobody buys transit from the entire candidate pool — in particular
+    # a network multihomed to *every* tier-1 would be observationally
+    # indistinguishable from a tier-1, which the real Internet avoids
+    n_providers = min(n_providers, max(1, len(set(candidates)) - 1))
+    for i in range(n_providers):
+        pool = local if (region_first and local and i == 0) else candidates
+        pool = [c for c in pool if c not in exclude]
+        if not pool:
+            pool = [c for c in candidates if c not in exclude]
+        if not pool:
+            break
+        provider = _weighted_provider_choice(builder, pool, exclude)
+        chosen.append(provider)
+        exclude.add(provider)
+    return chosen
+
+
+def _wire_transit_tiers(builder: _Builder) -> None:
+    graph = builder.graph
+    clique = builder.by_type.get(ASType.CLIQUE, [])
+    large = builder.by_type.get(ASType.LARGE_TRANSIT, [])
+    small = builder.by_type.get(ASType.SMALL_TRANSIT, [])
+
+    for asn in large:
+        for provider in _pick_providers(builder, asn, clique):
+            graph.add_p2c(provider, asn)
+
+    # small transit buys from large transit and the clique itself —
+    # tier-1 networks sell transit at every level of the hierarchy
+    for asn in small:
+        for provider in _pick_providers(builder, asn, large + clique):
+            graph.add_p2c(provider, asn)
+
+
+def _wire_edge(builder: _Builder) -> None:
+    graph = builder.graph
+    clique = builder.by_type.get(ASType.CLIQUE, [])
+    large = builder.by_type.get(ASType.LARGE_TRANSIT, [])
+    small = builder.by_type.get(ASType.SMALL_TRANSIT, [])
+    access = builder.by_type.get(ASType.ACCESS, [])
+    # edge networks buy from any transit tier; preferential attachment
+    # concentrates customers on the largest providers
+    transit_pool = small + large + clique
+
+    for asn in access:
+        for provider in _pick_providers(builder, asn, transit_pool):
+            graph.add_p2c(provider, asn)
+
+    for asn in builder.by_type.get(ASType.CONTENT, []):
+        for provider in _pick_providers(builder, asn, transit_pool):
+            graph.add_p2c(provider, asn)
+
+    # enterprises may buy from access networks too (gives access networks
+    # a real transit role, hence positive transit degree)
+    enterprise_pool = transit_pool + access
+    for asn in builder.by_type.get(ASType.ENTERPRISE, []):
+        for provider in _pick_providers(builder, asn, enterprise_pool):
+            graph.add_p2c(provider, asn)
+
+    for asn in builder.by_type.get(ASType.STUB, []):
+        provider = _weighted_provider_choice(builder, enterprise_pool, {asn})
+        graph.add_p2c(provider, asn)
+
+
+def _maybe_peer(builder: _Builder, a: int, b: int, prob: float) -> None:
+    graph = builder.graph
+    prob *= builder.config.peering_richness
+    if a == b or prob <= 0:
+        return
+    if graph.relationship(a, b) is not None:
+        return
+    if builder.rng.random() < prob:
+        graph.add_p2p(a, b)
+
+
+def _wire_peering(builder: _Builder) -> None:
+    config, graph = builder.config, builder.graph
+    clique = builder.by_type.get(ASType.CLIQUE, [])
+    large = builder.by_type.get(ASType.LARGE_TRANSIT, [])
+    small = builder.by_type.get(ASType.SMALL_TRANSIT, [])
+    access = builder.by_type.get(ASType.ACCESS, [])
+    content = builder.by_type.get(ASType.CONTENT, [])
+
+    def size_factor(asn: int, floor: int = 8) -> float:
+        """Peering is assortative: small networks rarely peer upward."""
+        return min(1.0, len(graph.customers[asn]) / floor)
+
+    # a big tier-2 peers with the tier-1s it does not buy from
+    for a in large:
+        for b in clique:
+            _maybe_peer(
+                builder, a, b, config.clique_large_transit_peer * size_factor(a)
+            )
+
+    for i, a in enumerate(large):
+        for b in large[i + 1:]:
+            same = graph.get_as(a).region == graph.get_as(b).region
+            prob = (
+                config.large_transit_peer_same_region
+                if same
+                else config.large_transit_peer_cross_region
+            )
+            _maybe_peer(
+                builder, a, b, prob * min(size_factor(a), size_factor(b), 1.0)
+            )
+
+    for i, a in enumerate(small):
+        for b in small[i + 1:]:
+            if graph.get_as(a).region == graph.get_as(b).region:
+                _maybe_peer(builder, a, b, config.small_transit_peer_same_region)
+
+    # the flattening story: content networks peer directly with eyeballs
+    for a in content:
+        for b in access:
+            _maybe_peer(builder, a, b, config.content_peer_access)
+        for b in content:
+            if a < b:
+                _maybe_peer(builder, a, b, config.content_peer_content)
+
+
+def _wire_siblings(builder: _Builder) -> None:
+    """Mark sibling pairs among transit ASes that are not yet linked."""
+    graph, rng = builder.graph, builder.rng
+    pool = builder.by_type.get(ASType.SMALL_TRANSIT, []) + builder.by_type.get(
+        ASType.LARGE_TRANSIT, []
+    )
+    made = 0
+    attempts = 0
+    while made < builder.config.sibling_pairs and attempts < 200 and len(pool) >= 2:
+        attempts += 1
+        a, b = rng.sample(pool, 2)
+        if graph.relationship(a, b) is None:
+            graph.add_s2s(a, b)
+            made += 1
+
+
+def _allocate_prefixes(builder: _Builder, allocator: PrefixAllocator) -> None:
+    rng = builder.rng
+    scale = builder.config.prefix_scale
+    for asys in builder.graph.ases():
+        if asys.prefixes:
+            continue  # already allocated (evolution re-runs over grown graphs)
+        lo, hi, len_lo, len_hi = _PREFIX_PLAN[asys.type]
+        count = max(lo, int(round(rng.randint(lo, max(lo, hi)) * scale))) if hi else 0
+        for _ in range(count):
+            asys.prefixes.append(allocator.allocate(rng.randint(len_lo, len_hi)))
+
+
+def _allocate_prefixes6(builder: _Builder) -> None:
+    """Give IPv6 space to the adopting subset of the population.
+
+    Adoption must form a *connected* v6 plane for routes to flow, so a
+    non-backbone network only deploys when at least one of its
+    providers did — dual-stack islands without upstream v6 transit are
+    skipped, as they were in reality.
+    """
+    from repro.net.prefix6 import Prefix6Allocator
+
+    if builder.config.v6_adoption <= 0:
+        return
+    rng = builder.rng
+    allocator = Prefix6Allocator()
+    # walk the hierarchy top-down so provider adoption is known first
+    ordered = sorted(
+        builder.graph.ases(),
+        key=lambda a: (len(builder.graph.providers[a.asn]) > 0, a.asn),
+    )
+    for asys in ordered:
+        rate = _V6_ADOPTION[asys.type] * builder.config.v6_adoption
+        if rate <= 0 or rng.random() >= rate:
+            continue
+        providers = builder.graph.providers[asys.asn]
+        if providers and not any(
+            builder.graph.get_as(p).v6_enabled for p in providers
+        ):
+            continue  # no v6 upstream: deployment would be an island
+        lo, hi, length = _PREFIX6_PLAN[asys.type]
+        for _ in range(rng.randint(lo, max(lo, hi))):
+            asys.prefixes6.append(allocator.allocate(length))
+
+
+def _attach_ixps(builder: _Builder) -> None:
+    """Create IXP route-server ASes and route some peer links through them.
+
+    The IXP RS is not a party to the business relationship; it merely
+    appears as an extra ASN in observed AS paths for the links that
+    cross it.  The mapping is stored on ``graph.via_ixp``.
+    """
+    graph = builder.graph
+    via_ixp: Dict[Tuple[int, int], int] = {}
+    if builder.config.ixps_enabled:
+        rs_by_region: Dict[int, int] = {}
+        for region in range(builder.config.regions):
+            rs_by_region[region] = _new_as(builder, ASType.IXP_RS, region)
+        eligible_types = {
+            ASType.LARGE_TRANSIT,
+            ASType.SMALL_TRANSIT,
+            ASType.ACCESS,
+            ASType.CONTENT,
+        }
+        for a, b, rel in list(graph.links()):
+            if rel is not Relationship.P2P:
+                continue
+            ta, tb = graph.get_as(a).type, graph.get_as(b).type
+            if ta not in eligible_types or tb not in eligible_types:
+                continue
+            # big tier-2s peer bilaterally across regions too; only
+            # same-region links go through a route server for the rest
+            same_region = graph.get_as(a).region == graph.get_as(b).region
+            both_large = ta is ASType.LARGE_TRANSIT and tb is ASType.LARGE_TRANSIT
+            if not same_region and not both_large:
+                continue
+            if builder.rng.random() < builder.config.ixp_link_fraction:
+                via_ixp[canonical_pair(a, b)] = rs_by_region[graph.get_as(a).region]
+    graph.via_ixp = via_ixp  # type: ignore[attr-defined]

@@ -1,0 +1,40 @@
+"""Validation framework: ground-truth corpora and accuracy metrics.
+
+The paper assembles validation data from four independent sources —
+relationships reported directly by operators, BGP communities that
+encode the ingress relationship, RPSL import/export policies from the
+IRR, and local routing policies — then scores the algorithm's
+inferences by positive predictive value.  This package rebuilds each
+source from the simulation substrate and implements the scoring.
+"""
+
+from repro.validation.ground_truth import ValidationCorpus, ValidationRecord, direct_report_corpus
+from repro.validation.communities import communities_corpus
+from repro.validation.rpsl import RpslObject, generate_rpsl, parse_rpsl, rpsl_corpus
+from repro.validation.policy import routing_policy_corpus
+from repro.validation.validator import (
+    ClassMetrics,
+    ValidationReport,
+    agreement_matrix,
+    compare_algorithms,
+    validate,
+    validate_against_truth,
+)
+
+__all__ = [
+    "ValidationCorpus",
+    "ValidationRecord",
+    "direct_report_corpus",
+    "communities_corpus",
+    "RpslObject",
+    "generate_rpsl",
+    "parse_rpsl",
+    "rpsl_corpus",
+    "routing_policy_corpus",
+    "ClassMetrics",
+    "ValidationReport",
+    "agreement_matrix",
+    "compare_algorithms",
+    "validate",
+    "validate_against_truth",
+]

@@ -1,0 +1,84 @@
+"""BGP-communities validation source.
+
+Many networks tag routes at ingress with informational communities that
+encode the business relationship of the session the route arrived on
+(e.g. ``X:1001`` = learned from a customer).  Mining collector RIBs for
+these tags yields relationship assertions straight from router
+configuration — the largest validation source in the paper.
+
+The decoder: for a RIB entry with path ``… X Y … origin`` and community
+``(X, code)``, the tagged AS is ``X`` and the neighbor the route
+entered from is ``Y`` — the next hop toward the origin.  ``code``
+states X's relationship with Y.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.bgp.collector import CODE_REL, RibEntry
+from repro.relationships import RelClass, Relationship
+from repro.validation.ground_truth import ValidationCorpus, ValidationRecord
+
+# how a tagged ingress class translates into a relationship statement:
+# "I learned this from my customer" → tagger is the provider, etc.
+_RELCLASS_TO_RECORD = {
+    RelClass.CUSTOMER: ("p2c", "tagger_is_provider"),
+    RelClass.PROVIDER: ("p2c", "tagger_is_customer"),
+    RelClass.PEER: ("p2p", None),
+}
+
+
+def decode_entry(
+    entry: RibEntry,
+    ixp_asns: frozenset = frozenset(),
+) -> Iterable[ValidationRecord]:
+    """Relationship assertions encoded in one RIB entry's communities.
+
+    ``ixp_asns`` lets the miner skip route-server hops (and prepending
+    is skipped implicitly), so the decoded neighbor is the tagger's real
+    BGP session peer.
+    """
+    path = entry.path
+    position: Dict[int, int] = {}
+    for i, asn in enumerate(path):
+        position.setdefault(asn, i)
+    for tagger, code in entry.communities:
+        relclass = CODE_REL.get(code)
+        if relclass is None:
+            continue
+        i = position.get(tagger)
+        if i is None:
+            continue  # tagger not on path
+        j = i + 1
+        while j < len(path) and (path[j] == tagger or path[j] in ixp_asns):
+            j += 1
+        if j >= len(path):
+            continue  # tagger is the origin
+        neighbor = path[j]
+        if relclass is RelClass.CUSTOMER:
+            yield ValidationRecord(
+                a=tagger, b=neighbor, relationship=Relationship.P2C,
+                provider=tagger, source="communities",
+            )
+        elif relclass is RelClass.PROVIDER:
+            yield ValidationRecord(
+                a=tagger, b=neighbor, relationship=Relationship.P2C,
+                provider=neighbor, source="communities",
+            )
+        elif relclass is RelClass.PEER:
+            yield ValidationRecord(
+                a=tagger, b=neighbor, relationship=Relationship.P2P,
+                provider=None, source="communities",
+            )
+
+
+def communities_corpus(
+    rib: Iterable[RibEntry], ixp_asns: frozenset = frozenset()
+) -> ValidationCorpus:
+    """Mine a collector RIB for relationship-encoding communities."""
+    corpus = ValidationCorpus()
+    for entry in rib:
+        for record in decode_entry(entry, ixp_asns):
+            corpus.add(record)
+    return corpus

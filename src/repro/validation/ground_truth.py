@@ -1,0 +1,148 @@
+"""Validation records and the directly-reported corpus.
+
+A :class:`ValidationRecord` states what one source believes about one
+link; a :class:`ValidationCorpus` is a deduplicated, source-attributed
+collection.  The *directly reported* corpus models the paper's operator
+survey: a biased sample of the ground truth — operators of larger
+networks respond more often, and they report the links of their own AS.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.relationships import Relationship, canonical_pair
+from repro.topology.model import ASGraph, ASType
+
+
+@dataclass(frozen=True)
+class ValidationRecord:
+    """One source's belief about one link.
+
+    ``provider`` is set for P2C records and names which endpoint
+    provides; it is None for P2P/S2S.
+    """
+
+    a: int
+    b: int
+    relationship: Relationship
+    provider: Optional[int]
+    source: str
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        return canonical_pair(self.a, self.b)
+
+
+class ValidationCorpus:
+    """Deduplicated validation data with per-source attribution.
+
+    When two sources disagree about a link, both records are kept and
+    the link is flagged conflicted; conflicted links are excluded from
+    PPV scoring, as the paper excludes unresolvable validation data.
+    """
+
+    def __init__(self, records: Iterable[ValidationRecord] = ()):
+        self._records: List[ValidationRecord] = []
+        self._by_pair: Dict[Tuple[int, int], List[ValidationRecord]] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: ValidationRecord) -> None:
+        existing = self._by_pair.setdefault(record.pair, [])
+        for other in existing:
+            if (
+                other.source == record.source
+                and other.relationship is record.relationship
+                and other.provider == record.provider
+            ):
+                return  # exact duplicate from the same source
+        existing.append(record)
+        self._records.append(record)
+
+    def merge(self, other: "ValidationCorpus") -> "ValidationCorpus":
+        merged = ValidationCorpus(self._records)
+        for record in other._records:
+            merged.add(record)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._by_pair)
+
+    def __iter__(self) -> Iterator[ValidationRecord]:
+        return iter(self._records)
+
+    def pairs(self) -> Set[Tuple[int, int]]:
+        return set(self._by_pair)
+
+    def sources(self) -> List[str]:
+        return sorted({r.source for r in self._records})
+
+    def records_for(self, a: int, b: int) -> List[ValidationRecord]:
+        return list(self._by_pair.get(canonical_pair(a, b), ()))
+
+    def is_conflicted(self, a: int, b: int) -> bool:
+        records = self._by_pair.get(canonical_pair(a, b), ())
+        beliefs = {(r.relationship, r.provider) for r in records}
+        return len(beliefs) > 1
+
+    def consensus(self, a: int, b: int) -> Optional[ValidationRecord]:
+        """The agreed belief for a link, or None if absent/conflicted."""
+        records = self._by_pair.get(canonical_pair(a, b), ())
+        if not records:
+            return None
+        beliefs = {(r.relationship, r.provider) for r in records}
+        if len(beliefs) > 1:
+            return None
+        return records[0]
+
+    def count_by_source(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.source] = counts.get(record.source, 0) + 1
+        return counts
+
+    def overlap(self, source_a: str, source_b: str) -> int:
+        """Links covered by both sources."""
+        pairs_a = {r.pair for r in self._records if r.source == source_a}
+        pairs_b = {r.pair for r in self._records if r.source == source_b}
+        return len(pairs_a & pairs_b)
+
+
+def _record_from_truth(
+    graph: ASGraph, a: int, b: int, source: str
+) -> Optional[ValidationRecord]:
+    rel = graph.relationship(a, b)
+    if rel is None:
+        return None
+    provider = graph.provider_of(a, b) if rel is Relationship.P2C else None
+    return ValidationRecord(
+        a=a, b=b, relationship=rel, provider=provider, source=source
+    )
+
+
+def direct_report_corpus(
+    graph: ASGraph,
+    response_rate: float = 0.08,
+    seed: int = 5,
+    source: str = "direct",
+) -> ValidationCorpus:
+    """Operator-survey ground truth: each 'responding' AS reports all of
+    its own links.  Response probability scales with network size
+    (operators of large networks are over-represented, as the paper's
+    survey was)."""
+    rng = random.Random(seed)
+    corpus = ValidationCorpus()
+    for asys in graph.ases():
+        if asys.type is ASType.IXP_RS:
+            continue
+        size_boost = min(3.0, 1.0 + len(graph.customers[asys.asn]) / 20.0)
+        if rng.random() >= response_rate * size_boost:
+            continue
+        for neighbor in sorted(graph.neighbors(asys.asn)):
+            record = _record_from_truth(graph, asys.asn, neighbor, source)
+            if record is not None:
+                corpus.add(record)
+    return corpus

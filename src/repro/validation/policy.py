@@ -1,0 +1,114 @@
+"""Routing-policy validation source (LOCAL_PREF conventions).
+
+The paper's fourth validation source infers relationships from routing
+policy visible in looking glasses: almost every network prefers
+customer routes over peer routes over provider routes, and encodes that
+as a LOCAL_PREF band per neighbor.  We model a sample of networks whose
+per-neighbor LOCAL_PREF assignments are visible, and decode the bands
+back into relationship assertions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.relationships import Relationship
+from repro.topology.model import ASGraph, ASType
+from repro.validation.ground_truth import ValidationCorpus, ValidationRecord
+
+# conventional LOCAL_PREF bands
+LPREF_CUSTOMER = 100
+LPREF_PEER = 90
+LPREF_PROVIDER = 80
+
+
+@dataclass(frozen=True)
+class LocalPrefEntry:
+    """One visible policy line: this AS assigns ``lpref`` to ``neighbor``."""
+
+    asn: int
+    neighbor: int
+    lpref: int
+
+
+def generate_localpref_tables(
+    graph: ASGraph,
+    visibility_rate: float = 0.1,
+    seed: int = 23,
+    jitter: int = 5,
+) -> List[LocalPrefEntry]:
+    """Per-neighbor LOCAL_PREF assignments for a sample of networks.
+
+    ``jitter`` models per-network deviations within a band (a network
+    might use 110 for customers or 85 for peers); bands never overlap.
+    """
+    rng = random.Random(seed)
+    entries: List[LocalPrefEntry] = []
+    for asys in graph.ases():
+        if asys.type is ASType.IXP_RS:
+            continue
+        if rng.random() >= visibility_rate:
+            continue
+        asn = asys.asn
+        offset = rng.randint(0, jitter) - jitter // 2
+        for customer in sorted(graph.customers[asn]):
+            entries.append(LocalPrefEntry(asn, customer, LPREF_CUSTOMER + offset))
+        for peer in sorted(graph.peers[asn]):
+            entries.append(LocalPrefEntry(asn, peer, LPREF_PEER + offset))
+        for provider in sorted(graph.providers[asn]):
+            entries.append(LocalPrefEntry(asn, provider, LPREF_PROVIDER + offset))
+    return entries
+
+
+def decode_localpref(entries: Iterable[LocalPrefEntry]) -> Iterable[ValidationRecord]:
+    """Map LOCAL_PREF bands back to relationship assertions.
+
+    Decoding is *per network*: bands are ranked within each AS's own
+    table, so a network-wide offset does not confuse the miner.
+    """
+    by_asn: Dict[int, List[LocalPrefEntry]] = {}
+    for entry in entries:
+        by_asn.setdefault(entry.asn, []).append(entry)
+    for asn, rows in sorted(by_asn.items()):
+        distinct = sorted({row.lpref for row in rows}, reverse=True)
+        if not distinct:
+            continue
+        # rank bands high→low: customer, then peer, then provider; with
+        # fewer than three bands the top band is still customers only
+        # if more than one band exists, else undecidable
+        if len(distinct) != 3:
+            # with fewer than three bands the role of each band is
+            # ambiguous (customers+providers looks like customers+peers);
+            # the miner only trusts fully-banded tables
+            continue
+        band_role = dict(zip(distinct, ["customer", "peer", "provider"]))
+        for row in rows:
+            role = band_role.get(row.lpref)
+            if role == "customer":
+                yield ValidationRecord(
+                    a=asn, b=row.neighbor, relationship=Relationship.P2C,
+                    provider=asn, source="policy",
+                )
+            elif role == "provider":
+                yield ValidationRecord(
+                    a=asn, b=row.neighbor, relationship=Relationship.P2C,
+                    provider=row.neighbor, source="policy",
+                )
+            elif role == "peer":
+                yield ValidationRecord(
+                    a=asn, b=row.neighbor, relationship=Relationship.P2P,
+                    provider=None, source="policy",
+                )
+
+
+def routing_policy_corpus(
+    graph: ASGraph, visibility_rate: float = 0.1, seed: int = 23
+) -> ValidationCorpus:
+    """Generate visible LOCAL_PREF tables and mine them."""
+    entries = generate_localpref_tables(graph, visibility_rate, seed)
+    corpus = ValidationCorpus()
+    for record in decode_localpref(entries):
+        corpus.add(record)
+    return corpus

@@ -1,0 +1,196 @@
+"""Scoring inferred relationships against validation data.
+
+Implements the paper's headline metric — positive predictive value per
+relationship class — plus the per-step and per-source breakdowns and a
+cross-algorithm comparison used by experiments E2/E3/E4/E6.
+
+Any object exposing ``links()``, ``relationship(a, b)`` and
+``provider_of(a, b)`` can be scored: both
+:class:`repro.core.inference.InferenceResult` and the baselines'
+:class:`repro.baselines.common.RelationshipMap` qualify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.relationships import Relationship, canonical_pair
+from repro.topology.model import ASGraph
+from repro.validation.ground_truth import ValidationCorpus, ValidationRecord
+
+
+@dataclass
+class ClassMetrics:
+    """Correct/incorrect counts for one relationship class."""
+
+    correct: int = 0
+    incorrect: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.correct + self.incorrect
+
+    @property
+    def ppv(self) -> float:
+        """Positive predictive value; 1.0 on an empty class by convention."""
+        if not self.total:
+            return 1.0
+        return self.correct / self.total
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of scoring one inference against one corpus."""
+
+    total_inferences: int
+    validated: int  # inferences covered by unconflicted validation data
+    conflicted: int  # links whose validation data disagrees with itself
+    by_class: Dict[Relationship, ClassMetrics] = field(default_factory=dict)
+    by_step: Dict[str, ClassMetrics] = field(default_factory=dict)
+    by_source: Dict[str, ClassMetrics] = field(default_factory=dict)
+    mistakes: List[Tuple[Tuple[int, int], Relationship, ValidationRecord]] = field(
+        default_factory=list
+    )
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of inferences that validation data can judge."""
+        if not self.total_inferences:
+            return 0.0
+        return self.validated / self.total_inferences
+
+    @property
+    def overall_ppv(self) -> float:
+        correct = sum(m.correct for m in self.by_class.values())
+        total = sum(m.total for m in self.by_class.values())
+        return correct / total if total else 1.0
+
+    def ppv(self, relationship: Relationship) -> float:
+        return self.by_class.get(relationship, ClassMetrics()).ppv
+
+
+def _judge(
+    inferred_rel: Relationship,
+    inferred_provider: Optional[int],
+    record: ValidationRecord,
+) -> bool:
+    if inferred_rel is not record.relationship:
+        return False
+    if record.relationship is Relationship.P2C:
+        return inferred_provider == record.provider
+    return True
+
+
+def validate(
+    inference,
+    corpus: ValidationCorpus,
+    step_lookup=None,
+) -> ValidationReport:
+    """Score ``inference`` against ``corpus``.
+
+    ``step_lookup(a, b)`` optionally names the pipeline step that
+    produced each link (for the E4 per-step table); pass
+    ``result.step_of`` for an ASRank result.
+    """
+    total = len(inference.links())
+    validated = 0
+    conflicted = 0
+    by_class: Dict[Relationship, ClassMetrics] = {}
+    by_step: Dict[str, ClassMetrics] = {}
+    by_source: Dict[str, ClassMetrics] = {}
+    mistakes: List[Tuple[Tuple[int, int], Relationship, ValidationRecord]] = []
+
+    for a, b in inference.links():
+        records = corpus.records_for(a, b)
+        if not records:
+            continue
+        consensus = corpus.consensus(a, b)
+        if consensus is None:
+            conflicted += 1
+            continue
+        validated += 1
+        inferred_rel = inference.relationship(a, b)
+        inferred_provider = inference.provider_of(a, b)
+        correct = _judge(inferred_rel, inferred_provider, consensus)
+
+        metrics = by_class.setdefault(inferred_rel, ClassMetrics())
+        if correct:
+            metrics.correct += 1
+        else:
+            metrics.incorrect += 1
+            mistakes.append(((a, b), inferred_rel, consensus))
+
+        if step_lookup is not None:
+            step = step_lookup(a, b)
+            if step is not None:
+                step_metrics = by_step.setdefault(step.value, ClassMetrics())
+                if correct:
+                    step_metrics.correct += 1
+                else:
+                    step_metrics.incorrect += 1
+
+        for record in records:
+            source_metrics = by_source.setdefault(record.source, ClassMetrics())
+            if correct:
+                source_metrics.correct += 1
+            else:
+                source_metrics.incorrect += 1
+
+    return ValidationReport(
+        total_inferences=total,
+        validated=validated,
+        conflicted=conflicted,
+        by_class=by_class,
+        by_step=by_step,
+        by_source=by_source,
+        mistakes=mistakes,
+    )
+
+
+def validate_against_truth(inference, graph: ASGraph) -> ValidationReport:
+    """Score against the full planted ground truth (oracle upper bound)."""
+    corpus = ValidationCorpus()
+    for a, b in inference.links():
+        rel = graph.relationship(a, b)
+        if rel is None:
+            continue
+        provider = graph.provider_of(a, b) if rel is Relationship.P2C else None
+        corpus.add(
+            ValidationRecord(
+                a=a, b=b, relationship=rel, provider=provider, source="oracle"
+            )
+        )
+    return validate(inference, corpus)
+
+
+def compare_algorithms(
+    inferences: Mapping[str, object],
+    corpus: ValidationCorpus,
+) -> Dict[str, ValidationReport]:
+    """Score several algorithms against the same corpus (experiment E6)."""
+    return {name: validate(inf, corpus) for name, inf in inferences.items()}
+
+
+def agreement_matrix(
+    inferences: Mapping[str, object],
+) -> Dict[Tuple[str, str], float]:
+    """Pairwise fraction of commonly-labeled links on which two
+    algorithms agree (relationship and provider direction)."""
+    names = sorted(inferences)
+    matrix: Dict[Tuple[str, str], float] = {}
+    for i, name_a in enumerate(names):
+        for name_b in names[i:]:
+            inf_a, inf_b = inferences[name_a], inferences[name_b]
+            common = set(inf_a.links()) & set(inf_b.links())
+            if not common:
+                matrix[(name_a, name_b)] = 1.0
+                continue
+            agree = sum(
+                1
+                for a, b in common
+                if inf_a.relationship(a, b) is inf_b.relationship(a, b)
+                and inf_a.provider_of(a, b) == inf_b.provider_of(a, b)
+            )
+            matrix[(name_a, name_b)] = agree / len(common)
+    return matrix

@@ -1,0 +1,34 @@
+"""Shared fixtures: scenario runs are expensive, so they are built once
+per session and reused by every test module that needs realistic data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import get_scenario
+
+
+class ScenarioRun:
+    """Bundle of one full pipeline run."""
+
+    def __init__(self, name: str):
+        self.scenario = get_scenario(name)
+        self.graph, self.corpus, self.paths, self.result = self.scenario.run()
+
+
+@pytest.fixture(scope="session")
+def tiny_run() -> ScenarioRun:
+    """~150-AS pipeline run: cheap enough for most integration tests."""
+    return ScenarioRun("tiny")
+
+
+@pytest.fixture(scope="session")
+def small_run() -> ScenarioRun:
+    """~300-AS pipeline run for accuracy-sensitive assertions."""
+    return ScenarioRun("small")
+
+
+@pytest.fixture(scope="session")
+def clean_run() -> ScenarioRun:
+    """Noise-free medium run: every artifact off, full feeds only."""
+    return ScenarioRun("clean")

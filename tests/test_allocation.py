@@ -1,0 +1,84 @@
+"""Unit tests for the RIR-style prefix allocator."""
+
+import pytest
+
+from repro.net.allocation import PrefixAllocator
+from repro.net.prefix import Prefix, PrefixError
+
+
+class TestAllocate:
+    def test_allocates_requested_length(self):
+        allocator = PrefixAllocator(first_octets=[10])
+        p = allocator.allocate(16)
+        assert p.length == 16
+
+    def test_never_overlaps(self):
+        allocator = PrefixAllocator(first_octets=[10])
+        allocated = [allocator.allocate(12) for _ in range(8)]
+        allocated += [allocator.allocate(20) for _ in range(50)]
+        for i, a in enumerate(allocated):
+            for b in allocated[i + 1:]:
+                assert not a.contains(b) and not b.contains(a)
+
+    def test_exhaustion_raises(self):
+        allocator = PrefixAllocator(first_octets=[10])
+        allocator.allocate(8)  # consumes the whole pool
+        with pytest.raises(PrefixError):
+            allocator.allocate(24)
+
+    def test_rejects_too_short(self):
+        allocator = PrefixAllocator(first_octets=[10])
+        with pytest.raises(PrefixError):
+            allocator.allocate(7)
+
+    def test_rejects_too_long(self):
+        allocator = PrefixAllocator(first_octets=[10])
+        with pytest.raises(PrefixError):
+            allocator.allocate(33)
+
+    def test_allocate_many(self):
+        allocator = PrefixAllocator(first_octets=[10])
+        batch = allocator.allocate_many(24, 10)
+        assert len(batch) == 10
+        assert len(set(batch)) == 10
+
+    def test_deterministic(self):
+        a = PrefixAllocator(first_octets=[10, 11])
+        b = PrefixAllocator(first_octets=[10, 11])
+        seq = [16, 24, 12, 20, 20, 16]
+        assert [a.allocate(n) for n in seq] == [b.allocate(n) for n in seq]
+
+    def test_remaining_addresses_decreases(self):
+        allocator = PrefixAllocator(first_octets=[10])
+        before = allocator.remaining_addresses()
+        p = allocator.allocate(16)
+        assert allocator.remaining_addresses() == before - p.num_addresses
+
+    def test_allocated_tracks_order(self):
+        allocator = PrefixAllocator(first_octets=[10])
+        p1 = allocator.allocate(16)
+        p2 = allocator.allocate(20)
+        assert allocator.allocated == [p1, p2]
+
+
+class TestPool:
+    def test_rejects_empty_pool(self):
+        with pytest.raises(PrefixError):
+            PrefixAllocator(first_octets=[])
+
+    def test_rejects_non_unicast_octet(self):
+        with pytest.raises(PrefixError):
+            PrefixAllocator(first_octets=[240])
+
+    def test_default_pool_excludes_reserved(self):
+        allocator = PrefixAllocator()
+        first_octets = {p.network >> 24 for p in [allocator.allocate(8) for _ in range(10)]}
+        assert 10 not in first_octets
+        assert 127 not in first_octets
+        assert 0 not in first_octets
+
+    def test_spans_multiple_slash8(self):
+        allocator = PrefixAllocator(first_octets=[10, 11])
+        a = allocator.allocate(8)
+        b = allocator.allocate(8)
+        assert {a.network >> 24, b.network >> 24} == {10, 11}

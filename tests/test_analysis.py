@@ -1,0 +1,139 @@
+"""Unit tests for structural metrics and the longitudinal pipeline."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    cone_share,
+    degree_distribution,
+    hierarchy_depths,
+    link_visibility,
+    snapshot_summary,
+    true_link_coverage,
+    visibility_by_relationship,
+)
+from repro.analysis.timeseries import (
+    analyze_snapshot,
+    flattening_series,
+    series_metrics,
+)
+from repro.bgp.collector import CollectorConfig
+from repro.core.cone import CustomerCones
+from repro.topology.evolution import Era, EvolutionConfig, generate_series
+from repro.topology.generator import GeneratorConfig
+
+
+class TestSnapshotSummary:
+    def test_fields(self, small_run):
+        summary = snapshot_summary(small_run.corpus, small_run.paths)
+        assert summary["vps"] == len(small_run.corpus.vps)
+        assert summary["unique_paths"] == len(small_run.paths)
+        assert summary["ases"] > 0
+        assert summary["links"] > 0
+        assert summary["full_feeds"] + summary["partial_feeds"] == summary["vps"]
+
+
+class TestDegreeDistribution:
+    def test_histogram_sums_to_population(self, small_run):
+        hist = degree_distribution(small_run.paths)
+        assert sum(hist.values()) == len(small_run.paths.asns())
+
+    def test_transit_distribution_heavier_at_zero(self, small_run):
+        transit = degree_distribution(small_run.paths, transit=True)
+        node = degree_distribution(small_run.paths, transit=False)
+        # most ASes never transit, but every observed AS has a neighbor
+        assert transit.get(0, 0) > node.get(0, 0)
+
+
+class TestVisibility:
+    def test_visibility_positive(self, small_run):
+        vis = link_visibility(small_run.paths)
+        assert vis
+        assert all(count >= 1 for count in vis.values())
+
+    def test_p2c_better_covered_than_p2p(self, small_run):
+        """The paper's visibility argument: most peering links hide."""
+        coverage = true_link_coverage(small_run.paths, small_run.graph)
+        assert coverage["p2c"] > coverage["p2p"]
+
+    def test_p2c_links_seen_from_more_vps(self, small_run):
+        grouped = visibility_by_relationship(small_run.paths, small_run.graph)
+        mean_p2c = sum(grouped["p2c"]) / len(grouped["p2c"])
+        mean_p2p = sum(grouped["p2p"]) / len(grouped["p2p"])
+        assert mean_p2c > mean_p2p
+
+
+class TestHierarchyDepth:
+    def test_clique_at_depth_zero(self, small_run):
+        depths = hierarchy_depths(small_run.result)
+        for member in small_run.result.clique.members:
+            assert depths[member] == 0
+
+    def test_every_observed_as_has_depth(self, small_run):
+        depths = hierarchy_depths(small_run.result)
+        assert set(depths) == small_run.paths.asns()
+
+    def test_depths_are_shallow(self, small_run):
+        depths = hierarchy_depths(small_run.result)
+        assert max(depths.values()) <= 8  # the Internet is shallow
+
+
+class TestConeShare:
+    def test_share_bounds(self, small_run):
+        cones = CustomerCones.compute(small_run.result)
+        total = len(small_run.paths.asns())
+        for asn in list(small_run.paths.asns())[:50]:
+            share = cone_share(cones, asn, total)
+            assert 0.0 < share <= 1.0
+
+    def test_zero_total(self, small_run):
+        cones = CustomerCones.compute(small_run.result)
+        assert cone_share(cones, 1, 0) == 0.0
+
+
+@pytest.fixture(scope="module")
+def era_metrics():
+    config = EvolutionConfig(
+        base=GeneratorConfig(n_ases=150, seed=13, clique_size=6),
+        eras=[
+            Era(label="e1", new_ases=60, peering_boost=0.02),
+            Era(label="e2", new_ases=90, peering_boost=0.05),
+        ],
+    )
+    snapshots = generate_series(config)
+    return series_metrics(
+        snapshots, collector_config=CollectorConfig(n_vps=14, seed=3)
+    )
+
+
+class TestTimeSeries:
+    def test_one_metric_per_snapshot(self, era_metrics):
+        assert [m.label for m in era_metrics] == ["base", "e1", "e2"]
+
+    def test_growth_visible(self, era_metrics):
+        assert era_metrics[-1].n_ases > era_metrics[0].n_ases
+        assert era_metrics[-1].n_links > era_metrics[0].n_links
+
+    def test_clique_mostly_recovered_every_era(self, era_metrics):
+        for m in era_metrics:
+            assert m.clique_recall >= 0.5, m.label
+
+    def test_flattening_series_shape(self, era_metrics):
+        series = flattening_series(era_metrics)
+        assert series
+        for asn, shares in series.items():
+            assert len(shares) == len(era_metrics)
+            assert all(0.0 <= s <= 1.0 for s in shares)
+
+    def test_flattening_with_explicit_track(self, era_metrics):
+        top = max(
+            era_metrics[0].cone_sizes, key=lambda a: era_metrics[0].cone_sizes[a]
+        )
+        series = flattening_series(era_metrics, track=[top])
+        assert list(series) == [top]
+
+    def test_analyze_snapshot_standalone(self, small_run):
+        metrics = analyze_snapshot(
+            "solo", small_run.graph, CollectorConfig(n_vps=10, seed=1)
+        )
+        assert metrics.n_ases > 0
+        assert metrics.cone_sizes

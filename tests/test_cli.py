@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scenario", "bogus"])
+
+
+class TestPipeline:
+    def test_simulate_then_infer_then_cones(self, tmp_path, capsys):
+        out = str(tmp_path)
+        assert main(["simulate", "--scenario", "tiny", "--out-dir", out,
+                     "--mrt"]) == 0
+        assert os.path.exists(os.path.join(out, "paths.txt"))
+        assert os.path.exists(os.path.join(out, "rib.mrt"))
+
+        as_rel = os.path.join(out, "as-rel.txt")
+        assert main(["infer", "--paths", os.path.join(out, "paths.txt"),
+                     "--as-rel", as_rel]) == 0
+        assert os.path.exists(as_rel)
+        captured = capsys.readouterr().out
+        assert "clique" in captured
+
+        ppdc = os.path.join(out, "ppdc.txt")
+        assert main(["cones", "--paths", os.path.join(out, "paths.txt"),
+                     "--ppdc", ppdc, "--top", "3"]) == 0
+        assert os.path.exists(ppdc)
+
+    def test_validate_command(self, capsys):
+        assert main(["validate", "--scenario", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "PPV" in out
+        assert "coverage" in out
+
+    def test_rank_command(self, capsys):
+        assert main(["rank", "--scenario", "tiny", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+        assert len(out.strip().splitlines()) == 6  # header + 5 rows
+
+    def test_simulate_updates_dump(self, tmp_path):
+        out = str(tmp_path)
+        assert main(["simulate", "--scenario", "tiny", "--out-dir", out,
+                     "--updates"]) == 0
+        assert os.path.exists(os.path.join(out, "updates.mrt"))
+
+    def test_evolve_command(self, capsys):
+        assert main(["evolve", "--eras", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "era" in out
+        assert "cone share" in out
+
+    def test_cones_definitions(self, tmp_path, capsys):
+        out = str(tmp_path)
+        main(["simulate", "--scenario", "tiny", "--out-dir", out])
+        for definition in ("recursive", "bgp-observed",
+                           "provider/peer-observed"):
+            assert main(["cones", "--paths", os.path.join(out, "paths.txt"),
+                         "--definition", definition, "--top", "2"]) == 0

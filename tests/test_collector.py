@@ -1,0 +1,160 @@
+"""Unit tests for vantage-point collection."""
+
+import pytest
+
+from repro.bgp.collector import (
+    CODE_REL,
+    Collector,
+    CollectorConfig,
+    REL_CODE,
+    VantagePoint,
+)
+from repro.bgp.noise import NoiseConfig
+from repro.relationships import RelClass, Relationship
+from repro.topology.generator import GeneratorConfig, generate_topology
+from repro.topology.model import AS, ASGraph, ASType
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_topology(GeneratorConfig(n_ases=200, seed=12))
+
+
+@pytest.fixture(scope="module")
+def quiet_config():
+    return CollectorConfig(
+        n_vps=10, seed=5, noise=NoiseConfig.none(), partial_feed_fraction=0.0
+    )
+
+
+@pytest.fixture(scope="module")
+def corpus(graph, quiet_config):
+    return Collector(graph, quiet_config).run()
+
+
+class TestVantagePoints:
+    def test_vp_count(self, graph, quiet_config):
+        collector = Collector(graph, quiet_config)
+        assert len(collector.vps) == 10
+
+    def test_vps_are_business_ases(self, graph, quiet_config):
+        collector = Collector(graph, quiet_config)
+        for vp in collector.vps:
+            assert graph.get_as(vp.asn).type is not ASType.IXP_RS
+
+    def test_vps_deterministic(self, graph, quiet_config):
+        a = Collector(graph, quiet_config).vps
+        b = Collector(graph, quiet_config).vps
+        assert a == b
+
+    def test_partial_feed_fraction(self, graph):
+        config = CollectorConfig(n_vps=20, seed=5, partial_feed_fraction=1.0)
+        collector = Collector(graph, config)
+        assert all(not vp.full_feed for vp in collector.vps)
+
+
+class TestPaths:
+    def test_paths_start_at_vp(self, corpus):
+        vp_asns = {vp.asn for vp in corpus.vps}
+        for path in corpus.paths:
+            assert path[0] in vp_asns
+
+    def test_paths_end_at_prefix_origin(self, graph, corpus):
+        originators = {a.asn for a in graph.ases() if a.prefixes}
+        for path in corpus.paths:
+            assert path[-1] in originators
+
+    def test_noise_free_paths_are_true_adjacencies(self, graph, corpus):
+        for path in corpus.paths:
+            for a, b in zip(path, path[1:]):
+                assert graph.relationship(a, b) is not None, (a, b)
+
+    def test_full_feed_covers_all_origins(self, graph, quiet_config):
+        collector = Collector(graph, quiet_config)
+        corpus = collector.run()
+        origins = {a.asn for a in graph.ases() if a.prefixes}
+        for vp in corpus.vps:
+            seen = {p[-1] for p in corpus.paths if p[0] == vp.asn}
+            # a full feed reaches essentially every origin
+            assert len(seen) >= 0.95 * len(origins)
+
+    def test_partial_feed_is_customer_cone_only(self, graph):
+        config = CollectorConfig(
+            n_vps=12, seed=5, partial_feed_fraction=1.0, noise=NoiseConfig.none()
+        )
+        corpus = Collector(graph, config).run()
+        for vp in corpus.vps:
+            cone = graph.customer_cone(vp.asn)
+            for path in corpus.paths:
+                if path[0] == vp.asn:
+                    assert path[-1] in cone
+
+    def test_restricted_origins(self, graph, quiet_config):
+        collector = Collector(graph, quiet_config)
+        some_origin = next(a.asn for a in graph.ases() if a.prefixes)
+        corpus = collector.run(origins=[some_origin])
+        assert corpus.paths
+        assert {p[-1] for p in corpus.paths} == {some_origin}
+
+    def test_observed_links_subset_of_truth(self, graph, corpus):
+        truth = {(min(a, b), max(a, b)) for a, b, _ in graph.links()}
+        assert corpus.observed_links() <= truth
+
+    def test_path_counts_track_duplicates(self, corpus):
+        assert sum(corpus.path_counts.values()) >= len(corpus.paths)
+
+
+class TestRib:
+    def test_rib_prefix_per_origin(self, graph, corpus):
+        origins = graph.prefix_origins()
+        for entry in corpus.rib:
+            assert origins[entry.prefix] == entry.origin
+
+    def test_rib_disabled(self, graph):
+        config = CollectorConfig(n_vps=5, seed=5, build_rib=False)
+        corpus = Collector(graph, config).run()
+        assert corpus.rib == []
+        assert corpus.paths
+
+    def test_communities_taggers_only(self, graph, quiet_config):
+        collector = Collector(graph, quiet_config)
+        corpus = collector.run()
+        for entry in corpus.rib:
+            for tagger, code in entry.communities:
+                assert tagger in collector.taggers
+                assert code in CODE_REL
+
+    def test_communities_encode_true_relationship(self, graph, quiet_config):
+        """With noise off, each tag names the true relationship between
+        the tagger and its next hop toward the origin."""
+        collector = Collector(graph, quiet_config)
+        corpus = collector.run()
+        checked = 0
+        for entry in corpus.rib[:2000]:
+            path = entry.path
+            pos = {asn: i for i, asn in enumerate(path)}
+            for tagger, code in entry.communities:
+                i = pos.get(tagger)
+                if i is None or i + 1 >= len(path):
+                    continue
+                neighbor = path[i + 1]
+                rel = graph.relationship(tagger, neighbor)
+                relclass = {v: k for k, v in REL_CODE.items()}[code]
+                if relclass is RelClass.CUSTOMER:
+                    assert rel is Relationship.P2C
+                    assert graph.provider_of(tagger, neighbor) == tagger
+                elif relclass is RelClass.PROVIDER:
+                    assert rel is Relationship.P2C
+                    assert graph.provider_of(tagger, neighbor) == neighbor
+                else:
+                    assert rel is Relationship.P2P
+                checked += 1
+        assert checked > 50
+
+
+class TestDeterminism:
+    def test_same_config_same_corpus(self, graph, quiet_config):
+        a = Collector(graph, quiet_config).run()
+        b = Collector(graph, quiet_config).run()
+        assert a.paths == b.paths
+        assert a.rib == b.rib

@@ -1,0 +1,88 @@
+"""Cross-scenario invariant matrix.
+
+Runs the same battery of system-level invariants against every cheap
+named scenario, so a change that quietly breaks one workload shape is
+caught even if the targeted tests still pass.
+"""
+
+import pytest
+
+from repro.core.cone import ConeDefinition, compute_cones
+from repro.relationships import Relationship
+from repro.scenarios import get_scenario
+from repro.validation.validator import validate_against_truth
+
+
+@pytest.fixture(scope="module", params=["tiny", "small", "clean"])
+def run(request, tiny_run, small_run, clean_run):
+    return {"tiny": tiny_run, "small": small_run, "clean": clean_run}[
+        request.param
+    ]
+
+
+class TestUniversalInvariants:
+    def test_every_link_labeled(self, run):
+        # the result's path set is the post-poisoned-filter corpus: the
+        # pipeline labels exactly the links that survive filtering
+        for a, b in run.result.paths.links():
+            assert run.result.relationship(a, b) is not None
+
+    def test_counts_partition(self, run):
+        result = run.result
+        assert sum(result.counts_by_relationship().values()) == len(result)
+        assert sum(result.counts_by_step().values()) == len(result)
+
+    def test_no_false_clique_members(self, run):
+        true = set(run.graph.clique_asns())
+        for member in run.result.clique.members:
+            assert member in true
+
+    def test_clique_members_provider_free(self, run):
+        for member in run.result.clique.members:
+            assert not run.result.providers_of_asn(member)
+
+    def test_c2p_ppv_floor(self, run):
+        report = validate_against_truth(run.result, run.graph)
+        assert report.ppv(Relationship.P2C) > 0.97
+
+    def test_overall_ppv_floor(self, run):
+        report = validate_against_truth(run.result, run.graph)
+        assert report.overall_ppv > 0.9
+
+    def test_observed_cones_bounded_by_recursive(self, run):
+        recursive = compute_cones(run.result, ConeDefinition.RECURSIVE)
+        for definition in (ConeDefinition.BGP_OBSERVED,):
+            observed = compute_cones(run.result, definition)
+            for asn, cone in observed.items():
+                assert cone <= recursive[asn]
+
+    def test_largest_cone_belongs_to_tier1(self, run):
+        cones = compute_cones(
+            run.result, ConeDefinition.PROVIDER_PEER_OBSERVED
+        )
+        top = max(cones, key=lambda a: len(cones[a]))
+        assert run.graph.get_as(top).type.value in ("clique", "large_transit")
+
+    def test_stubs_outnumber_transits_in_observation(self, run):
+        paths = run.paths
+        degrees = [paths.transit_degree(asn) for asn in paths.asns()]
+        zero = sum(1 for d in degrees if d == 0)
+        assert zero > len(degrees) / 2  # the Internet is mostly edge
+
+    def test_path_corpus_is_deduplicated(self, run):
+        assert len(run.paths.paths) == len(set(run.paths.paths))
+
+    def test_every_path_at_least_two_hops(self, run):
+        assert all(len(p) >= 2 for p in run.paths)
+
+    def test_inferred_peers_symmetric(self, run):
+        result = run.result
+        for asn, peers in result.peers.items():
+            for peer in peers:
+                assert asn in result.peers.get(peer, set())
+
+    def test_provider_customer_mirror(self, run):
+        result = run.result
+        for provider, customers in result.customers.items():
+            for customer in customers:
+                assert provider in result.providers.get(customer, set())

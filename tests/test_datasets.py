@@ -1,0 +1,114 @@
+"""Unit tests for CAIDA-format dataset IO."""
+
+import pytest
+
+from repro.baselines.common import RelationshipMap
+from repro.datasets import (
+    load_as_rel,
+    load_paths,
+    load_ppdc_ases,
+    save_as_rel,
+    save_paths,
+    save_ppdc_ases,
+)
+from repro.datasets.serialization import DatasetFormatError
+from repro.relationships import Relationship
+
+
+@pytest.fixture
+def rel_map():
+    m = RelationshipMap()
+    m.set_p2c(1, 2)
+    m.set_p2c(1, 3)
+    m.set_p2p(2, 3)
+    m.set_s2s(4, 5)
+    return m
+
+
+class TestAsRel:
+    def test_round_trip(self, tmp_path, rel_map):
+        path = str(tmp_path / "as-rel.txt")
+        written = save_as_rel(path, rel_map, comments=["test file"])
+        assert written == 4
+        rows = load_as_rel(path)
+        assert (1, 2, Relationship.P2C) in rows
+        assert (1, 3, Relationship.P2C) in rows
+        assert (2, 3, Relationship.P2P) in rows
+        assert (4, 5, Relationship.S2S) in rows
+
+    def test_provider_always_first(self, tmp_path):
+        m = RelationshipMap()
+        m.set_p2c(9, 2)  # provider has the higher ASN
+        path = str(tmp_path / "as-rel.txt")
+        save_as_rel(path, m)
+        rows = load_as_rel(path)
+        assert rows == [(9, 2, Relationship.P2C)]
+
+    def test_comments_written_and_skipped(self, tmp_path, rel_map):
+        path = str(tmp_path / "as-rel.txt")
+        save_as_rel(path, rel_map, comments=["one", "two"])
+        text = open(path).read()
+        assert text.startswith("# one\n# two\n")
+        assert len(load_as_rel(path)) == 4
+
+    def test_exact_caida_line_format(self, tmp_path):
+        m = RelationshipMap()
+        m.set_p2c(3356, 20115)
+        path = str(tmp_path / "as-rel.txt")
+        save_as_rel(path, m)
+        assert open(path).read().strip() == "3356|20115|-1"
+
+    @pytest.mark.parametrize(
+        "line", ["1|2", "a|b|0", "1|2|7", "1|2|zero"]
+    )
+    def test_malformed_rejected(self, tmp_path, line):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as f:
+            f.write(line + "\n")
+        with pytest.raises(DatasetFormatError):
+            load_as_rel(path)
+
+
+class TestPpdc:
+    def test_round_trip(self, tmp_path):
+        cones = {1: {1, 2, 3}, 2: {2}, 3: {3}}
+        path = str(tmp_path / "ppdc.txt")
+        assert save_ppdc_ases(path, cones) == 3
+        assert load_ppdc_ases(path) == cones
+
+    def test_exact_caida_line_format(self, tmp_path):
+        path = str(tmp_path / "ppdc.txt")
+        save_ppdc_ases(path, {10: {10, 30, 20}})
+        assert open(path).read().strip() == "10 10 20 30"
+
+    def test_malformed_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as f:
+            f.write("1 2 x\n")
+        with pytest.raises(DatasetFormatError):
+            load_ppdc_ases(path)
+
+
+class TestPathFiles:
+    def test_round_trip(self, tmp_path):
+        paths = [(1, 2, 3), (4, 5)]
+        file_path = str(tmp_path / "paths.txt")
+        assert save_paths(file_path, paths) == 2
+        assert load_paths(file_path) == paths
+
+    def test_comments_skipped(self, tmp_path):
+        file_path = str(tmp_path / "paths.txt")
+        save_paths(file_path, [(1, 2)], comments=["hello"])
+        assert load_paths(file_path) == [(1, 2)]
+
+    def test_malformed_rejected(self, tmp_path):
+        file_path = str(tmp_path / "bad.txt")
+        with open(file_path, "w") as f:
+            f.write("1 2 three\n")
+        with pytest.raises(DatasetFormatError):
+            load_paths(file_path)
+
+    def test_scenario_round_trip(self, tmp_path, small_run):
+        file_path = str(tmp_path / "paths.txt")
+        save_paths(file_path, small_run.corpus.paths)
+        assert load_paths(file_path) == small_run.corpus.paths

@@ -1,0 +1,153 @@
+"""Integration tests across the whole system.
+
+These assert the *shapes* the paper reports: headline PPV, algorithm
+ordering against baselines, clique recovery, cone structure, and the
+parity of the MRT path with the in-memory path.
+"""
+
+import os
+
+import pytest
+
+from repro.baselines import infer_degree, infer_gao
+from repro.core.cone import ConeDefinition, CustomerCones
+from repro.core.inference import infer_relationships
+from repro.core.paths import PathSet
+from repro.mrt.reader import read_rib_dump
+from repro.mrt.writer import write_rib_dump
+from repro.relationships import Relationship
+from repro.validation import (
+    communities_corpus,
+    direct_report_corpus,
+    routing_policy_corpus,
+    rpsl_corpus,
+    validate,
+    validate_against_truth,
+)
+
+
+class TestHeadline:
+    def test_paper_shape_c2p_ppv(self, small_run):
+        report = validate_against_truth(small_run.result, small_run.graph)
+        assert report.ppv(Relationship.P2C) > 0.98  # paper: 0.996
+
+    def test_multi_source_corpus_agrees_with_oracle(self, small_run):
+        merged = (
+            direct_report_corpus(small_run.graph)
+            .merge(communities_corpus(small_run.corpus.rib,
+                                      small_run.graph.ixp_asns()))
+            .merge(rpsl_corpus(small_run.graph))
+            .merge(routing_policy_corpus(small_run.graph))
+        )
+        sampled = validate(small_run.result, merged,
+                           step_lookup=small_run.result.step_of)
+        oracle = validate_against_truth(small_run.result, small_run.graph)
+        assert abs(sampled.overall_ppv - oracle.overall_ppv) < 0.05
+        assert 0.1 < sampled.coverage < 1.0
+
+    def test_per_step_table_nonempty(self, small_run):
+        merged = direct_report_corpus(small_run.graph, response_rate=1.0)
+        report = validate(small_run.result, merged,
+                          step_lookup=small_run.result.step_of)
+        assert "top-down" in report.by_step
+        top_down = report.by_step["top-down"]
+        assert top_down.ppv > 0.95
+
+
+class TestBaselineOrdering:
+    def test_asrank_wins(self, small_run):
+        asrank = validate_against_truth(small_run.result, small_run.graph)
+        gao = validate_against_truth(infer_gao(small_run.paths),
+                                     small_run.graph)
+        degree = validate_against_truth(infer_degree(small_run.paths),
+                                        small_run.graph)
+        assert asrank.overall_ppv > gao.overall_ppv
+        assert asrank.overall_ppv > degree.overall_ppv
+
+    def test_gap_is_meaningful(self, small_run):
+        asrank = validate_against_truth(small_run.result, small_run.graph)
+        gao = validate_against_truth(infer_gao(small_run.paths),
+                                     small_run.graph)
+        assert asrank.overall_ppv - gao.overall_ppv > 0.03
+
+
+class TestConeStructure:
+    def test_clique_cones_dominate(self, small_run):
+        cones = CustomerCones.compute(
+            small_run.result, ConeDefinition.PROVIDER_PEER_OBSERVED
+        )
+        top5 = {asn for asn, _ in cones.top(5)}
+        clique = set(small_run.graph.clique_asns())
+        assert top5 & clique
+
+    def test_inferred_cone_tracks_truth(self, small_run):
+        """Inferred PPDC cone sizes correlate with the true recursive
+        cones: big networks look big, stubs look like stubs."""
+        cones = CustomerCones.compute(
+            small_run.result, ConeDefinition.PROVIDER_PEER_OBSERVED
+        )
+        graph = small_run.graph
+        # spearman-lite: compare rankings of the top 20 true cones
+        true_sizes = {
+            asn: len(graph.customer_cone(asn))
+            for asn in small_run.paths.asns()
+        }
+        top_true = sorted(true_sizes, key=lambda a: -true_sizes[a])[:20]
+        inferred_sizes = cones.sizes()
+        top_inferred = sorted(inferred_sizes, key=lambda a: -inferred_sizes[a])[:20]
+        assert len(set(top_true) & set(top_inferred)) >= 12
+
+    def test_stub_cones_are_singletons(self, small_run):
+        cones = CustomerCones.compute(
+            small_run.result, ConeDefinition.PROVIDER_PEER_OBSERVED
+        )
+        from repro.topology.model import ASType
+
+        stubs = [
+            a.asn
+            for a in small_run.graph.ases()
+            if a.type is ASType.STUB and a.asn in cones.cones
+        ]
+        singleton = sum(1 for s in stubs if cones.size_ases(s) == 1)
+        assert singleton / len(stubs) > 0.95
+
+
+class TestMrtParity:
+    def test_mrt_pipeline_equals_memory_pipeline(self, tmp_path, small_run):
+        """Relationships inferred from a parsed MRT dump must equal the
+        relationships inferred from the in-memory corpus."""
+        mrt_file = str(tmp_path / "rib.mrt")
+        write_rib_dump(mrt_file, small_run.corpus.rib)
+        records = read_rib_dump(mrt_file)
+        paths = PathSet.sanitize(
+            (r.as_path for r in records),
+            ixp_asns=small_run.graph.ixp_asns(),
+        )
+        result = infer_relationships(paths, small_run.scenario.inference)
+        original = {
+            (min(a, b), max(a, b)): small_run.result.relationship(a, b)
+            for a, b in small_run.result.links()
+        }
+        reparsed = {
+            (min(a, b), max(a, b)): result.relationship(a, b)
+            for a, b in result.links()
+        }
+        assert original == reparsed
+
+
+class TestSanitizationAccounting:
+    def test_stats_balance(self, small_run):
+        stats = small_run.paths.stats
+        assert (
+            stats.kept
+            + stats.discarded_loops
+            + stats.discarded_reserved_asn
+            + stats.discarded_short
+            + stats.duplicates_merged
+            == stats.input_paths
+        )
+
+    def test_noise_produces_artifacts(self, small_run):
+        stats = small_run.paths.stats
+        assert stats.prepending_compressed > 0
+        assert stats.ixp_hops_removed > 0

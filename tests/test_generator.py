@@ -1,0 +1,138 @@
+"""Unit tests for the synthetic Internet generator."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.relationships import Relationship, canonical_pair
+from repro.topology.generator import GeneratorConfig, generate_topology
+from repro.topology.model import ASType, TopologyError
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_topology(GeneratorConfig(n_ases=250, seed=9))
+
+
+class TestStructure:
+    def test_population_close_to_requested(self, graph):
+        # IXP route servers are created on top of n_ases
+        non_ixp = sum(1 for a in graph.ases() if a.type is not ASType.IXP_RS)
+        assert non_ixp == 250
+
+    def test_invariants_hold(self, graph):
+        assert graph.validate_invariants() == []
+
+    def test_clique_size(self, graph):
+        assert len(graph.clique_asns()) == 10
+
+    def test_clique_fully_meshed(self, graph):
+        clique = graph.clique_asns()
+        for i, a in enumerate(clique):
+            for b in clique[i + 1:]:
+                assert graph.relationship(a, b) is Relationship.P2P
+
+    def test_clique_transit_free(self, graph):
+        for asn in graph.clique_asns():
+            assert not graph.providers[asn]
+
+    def test_every_edge_as_has_provider(self, graph):
+        for asys in graph.ases():
+            if asys.type in (ASType.CLIQUE, ASType.IXP_RS):
+                continue
+            assert graph.providers[asys.asn], f"AS{asys.asn} orphaned"
+
+    def test_role_counts_follow_fractions(self):
+        counts = GeneratorConfig(n_ases=1000).role_counts()
+        assert counts[ASType.CLIQUE] == 10
+        assert counts[ASType.STUB] > 0
+        assert sum(counts.values()) == 1000
+
+    def test_too_small_population_rejected(self):
+        with pytest.raises(TopologyError):
+            GeneratorConfig(n_ases=12).role_counts()
+
+    def test_clique_members_have_largest_customer_bases(self, graph):
+        clique_customers = sorted(
+            len(graph.customers[a]) for a in graph.clique_asns()
+        )
+        stub_like = [
+            len(graph.customers[a.asn])
+            for a in graph.ases()
+            if a.type is ASType.STUB
+        ]
+        assert clique_customers[-1] > max(stub_like)
+        # the clique collectively holds a large share of direct customers
+        total = sum(len(graph.customers[a.asn]) for a in graph.ases())
+        clique_total = sum(len(graph.customers[a]) for a in graph.clique_asns())
+        assert clique_total / total > 0.15
+
+
+class TestPrefixes:
+    def test_every_business_as_originates(self, graph):
+        for asys in graph.ases():
+            if asys.type is ASType.IXP_RS:
+                assert not asys.prefixes
+            else:
+                assert asys.prefixes
+
+    def test_prefixes_never_overlap(self, graph):
+        all_prefixes = [p for a in graph.ases() for p in a.prefixes]
+        assert len(all_prefixes) == len(set(all_prefixes))
+        ordered = sorted(all_prefixes)
+        for a, b in zip(ordered, ordered[1:]):
+            assert not a.contains(b)
+
+    def test_clique_originates_more_than_stubs(self, graph):
+        clique_avg = sum(
+            graph.get_as(a).num_addresses for a in graph.clique_asns()
+        ) / len(graph.clique_asns())
+        stubs = [a for a in graph.ases() if a.type is ASType.STUB]
+        stub_avg = sum(a.num_addresses for a in stubs) / len(stubs)
+        assert clique_avg > stub_avg
+
+
+class TestIxp:
+    def test_via_ixp_links_are_true_p2p(self, graph):
+        for (a, b), rs in graph.via_ixp.items():
+            assert graph.relationship(a, b) is Relationship.P2P
+            assert graph.get_as(rs).type is ASType.IXP_RS
+
+    def test_ixps_disabled(self):
+        g = generate_topology(GeneratorConfig(n_ases=200, seed=3, ixps_enabled=False))
+        assert g.via_ixp == {}
+        assert not g.ixp_asns()
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = generate_topology(GeneratorConfig(n_ases=200, seed=5))
+        b = generate_topology(GeneratorConfig(n_ases=200, seed=5))
+        assert sorted(a.links()) == sorted(b.links())
+        assert {x.asn: x.prefixes for x in a.ases()} == {
+            x.asn: x.prefixes for x in b.ases()
+        }
+
+    def test_different_seed_different_graph(self):
+        a = generate_topology(GeneratorConfig(n_ases=200, seed=5))
+        b = generate_topology(GeneratorConfig(n_ases=200, seed=6))
+        assert sorted(a.links()) != sorted(b.links())
+
+
+class TestPeeringRichness:
+    def test_richness_increases_peering(self):
+        lean = generate_topology(
+            GeneratorConfig(n_ases=300, seed=4, peering_richness=0.3)
+        )
+        rich = generate_topology(
+            GeneratorConfig(n_ases=300, seed=4, peering_richness=2.0)
+        )
+
+        def peer_count(g):
+            return sum(1 for _, _, rel in g.links() if rel is Relationship.P2P)
+
+        assert peer_count(rich) > peer_count(lean)
+
+    def test_sibling_pairs(self):
+        g = generate_topology(GeneratorConfig(n_ases=300, seed=4, sibling_pairs=3))
+        sibling_links = [l for l in g.links() if l[2] is Relationship.S2S]
+        assert len(sibling_links) == 3

@@ -1,0 +1,104 @@
+"""Tests for ground-truth graph serialization."""
+
+import pytest
+
+from repro.datasets.graph_io import load_graph, save_graph
+from repro.datasets.serialization import DatasetFormatError
+from repro.net.prefix import Prefix
+from repro.relationships import Relationship
+from repro.topology.generator import GeneratorConfig, generate_topology
+from repro.topology.model import AS, ASGraph, ASType
+
+
+def small_graph():
+    graph = ASGraph()
+    graph.add_as(AS(asn=1, type=ASType.CLIQUE, region=0,
+                    prefixes=[Prefix.parse("10.0.0.0/16")]))
+    graph.add_as(AS(asn=2, type=ASType.CLIQUE, region=1,
+                    prefixes=[Prefix.parse("11.0.0.0/16")]))
+    graph.add_as(AS(asn=3, type=ASType.STUB, region=0,
+                    prefixes=[Prefix.parse("12.0.0.0/24")]))
+    graph.add_as(AS(asn=4, type=ASType.STUB, region=1, prefixes=[]))
+    graph.add_p2p(1, 2)
+    graph.add_p2c(1, 3)
+    graph.add_p2c(2, 4)
+    graph.add_s2s(3, 4)
+    graph.via_ixp = {}
+    return graph
+
+
+class TestRoundTrip:
+    def test_small_graph(self, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        written = save_graph(path, small_graph(), comments=["test"])
+        assert written == 4
+        loaded = load_graph(path)
+        original = small_graph()
+        assert sorted(loaded.links()) == sorted(original.links())
+        for asys in original.ases():
+            twin = loaded.get_as(asys.asn)
+            assert twin.type is asys.type
+            assert twin.region == asys.region
+            assert twin.prefixes == asys.prefixes
+
+    def test_generated_graph(self, tmp_path):
+        graph = generate_topology(GeneratorConfig(n_ases=150, seed=5))
+        path = str(tmp_path / "graph.txt")
+        save_graph(path, graph)
+        loaded = load_graph(path)
+        assert sorted(loaded.links()) == sorted(graph.links())
+        assert loaded.via_ixp == graph.via_ixp
+        assert loaded.validate_invariants() == []
+
+    def test_v6_prefixes_survive(self, tmp_path):
+        graph = generate_topology(GeneratorConfig(n_ases=150, seed=5))
+        assert graph.v6_asns()  # precondition: some adoption happened
+        path = str(tmp_path / "graph.txt")
+        save_graph(path, graph)
+        loaded = load_graph(path)
+        for asys in graph.ases():
+            assert loaded.get_as(asys.asn).prefixes6 == asys.prefixes6
+        assert loaded.v6_asns() == graph.v6_asns()
+
+    def test_pipeline_equivalence(self, tmp_path):
+        """A reloaded graph must drive the collector identically."""
+        from repro.bgp.collector import Collector, CollectorConfig
+
+        graph = generate_topology(GeneratorConfig(n_ases=120, seed=6))
+        path = str(tmp_path / "graph.txt")
+        save_graph(path, graph)
+        loaded = load_graph(path)
+        config = CollectorConfig(n_vps=10, seed=3)
+        original_paths = Collector(graph, config).run().paths
+        reloaded_paths = Collector(loaded, config).run().paths
+        assert original_paths == reloaded_paths
+
+
+class TestErrors:
+    def test_unknown_tag(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as f:
+            f.write("@bogus 1 2 3\n")
+        with pytest.raises(DatasetFormatError):
+            load_graph(path)
+
+    def test_bad_as_type(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as f:
+            f.write("@as 1 warpcore 0\n")
+        with pytest.raises(DatasetFormatError):
+            load_graph(path)
+
+    def test_link_before_as(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as f:
+            f.write("@link 1 2 0\n")
+        with pytest.raises(DatasetFormatError):
+            load_graph(path)
+
+    def test_comments_skipped(self, tmp_path):
+        path = str(tmp_path / "graph.txt")
+        with open(path, "w") as f:
+            f.write("# header\n@as 1 stub 0\n")
+        loaded = load_graph(path)
+        assert 1 in loaded

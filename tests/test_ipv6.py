@@ -1,0 +1,227 @@
+"""Tests for the IPv6 plane: prefixes, dual-plane collection, congruence."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.congruence import congruence_report
+from repro.bgp.collector import Collector, CollectorConfig
+from repro.bgp.noise import NoiseConfig
+from repro.bgp.propagation import GraphIndex
+from repro.core.inference import infer_relationships
+from repro.core.paths import PathSet
+from repro.net.prefix import PrefixError
+from repro.net.prefix6 import Prefix6, Prefix6Allocator
+from repro.relationships import Relationship
+from repro.topology.generator import GeneratorConfig, generate_topology
+
+
+class TestPrefix6:
+    def test_parse_and_str(self):
+        p = Prefix6.parse("2001:db8::/32")
+        assert p.length == 32
+        assert str(p) == "2001:db8::/32"
+
+    def test_parse_compressed_forms(self):
+        assert Prefix6.parse("::/0").length == 0
+        assert str(Prefix6.parse("2001:db8:0:0::/64")) == "2001:db8::/64"
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(PrefixError):
+            Prefix6.parse("2001:db8::1/32")
+
+    def test_rejects_malformed(self):
+        for text in ("2001:db8::/129", "not-a-prefix/32", "2001:zz::/32"):
+            with pytest.raises(PrefixError):
+                Prefix6.parse(text)
+
+    def test_contains(self):
+        outer = Prefix6.parse("2001:db8::/32")
+        inner = Prefix6.parse("2001:db8:1::/48")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_num_addresses(self):
+        assert Prefix6.parse("2001:db8::/126").num_addresses == 4
+
+    def test_subnets(self):
+        halves = list(Prefix6.parse("2001:db8::/32").subnets(33))
+        assert len(halves) == 2
+        assert halves[0].network < halves[1].network
+
+    def test_ordering_and_hash(self):
+        a = Prefix6.parse("2001:db8::/32")
+        b = Prefix6.parse("2001:db9::/32")
+        assert a < b
+        assert len({a, Prefix6.parse("2001:db8::/32")}) == 1
+
+    def test_immutability(self):
+        p = Prefix6.parse("2001:db8::/32")
+        with pytest.raises(AttributeError):
+            p.length = 33
+
+    @given(st.integers(min_value=16, max_value=64).flatmap(
+        lambda length: st.integers(min_value=0, max_value=(1 << 128) - 1).map(
+            lambda raw: Prefix6(raw >> (128 - length) << (128 - length), length)
+        )
+    ))
+    def test_text_round_trip(self, prefix):
+        assert Prefix6.parse(str(prefix)) == prefix
+
+
+class TestPrefix6Allocator:
+    def test_no_overlap(self):
+        allocator = Prefix6Allocator()
+        allocated = [allocator.allocate(32) for _ in range(5)]
+        allocated += [allocator.allocate(48) for _ in range(20)]
+        for i, a in enumerate(allocated):
+            for b in allocated[i + 1:]:
+                assert not a.contains(b) and not b.contains(a)
+
+    def test_mixed_lengths_aligned(self):
+        allocator = Prefix6Allocator()
+        a = allocator.allocate(48)
+        b = allocator.allocate(32)
+        assert not a.contains(b) and not b.contains(a)
+        assert b.network % b.num_addresses == 0
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(PrefixError):
+            Prefix6Allocator().allocate(8)
+
+
+@pytest.fixture(scope="module")
+def dual_graph():
+    return generate_topology(GeneratorConfig(n_ases=250, seed=77))
+
+
+class TestDualPlaneTopology:
+    def test_partial_adoption(self, dual_graph):
+        v6 = dual_graph.v6_asns()
+        business = [
+            a for a in dual_graph.ases() if a.prefixes
+        ]
+        assert 0 < len(v6) < len(business)
+
+    def test_backbone_adopts_first(self, dual_graph):
+        clique = dual_graph.clique_asns()
+        v6 = dual_graph.v6_asns()
+        assert set(clique) <= v6
+
+    def test_no_v6_islands(self, dual_graph):
+        """Every v6 AS with providers has at least one v6 provider."""
+        v6 = dual_graph.v6_asns()
+        for asn in v6:
+            providers = dual_graph.providers[asn]
+            if providers:
+                assert providers & v6, f"AS{asn} is a v6 island"
+
+    def test_v6_prefixes_unique(self, dual_graph):
+        all6 = [p for a in dual_graph.ases() for p in a.prefixes6]
+        assert len(all6) == len(set(all6))
+
+    def test_adoption_disabled(self):
+        graph = generate_topology(
+            GeneratorConfig(n_ases=100, seed=3, v6_adoption=0.0)
+        )
+        assert graph.v6_asns() == set()
+
+
+class TestDualPlaneCollection:
+    @pytest.fixture(scope="class")
+    def planes(self, dual_graph):
+        config = CollectorConfig(n_vps=16, seed=5, noise=NoiseConfig.none())
+        v4 = Collector(dual_graph, config, plane="v4").run()
+        v6 = Collector(dual_graph, config, plane="v6").run()
+        return v4, v6
+
+    def test_v6_paths_use_v6_ases_only(self, dual_graph, planes):
+        _, v6 = planes
+        enabled = dual_graph.v6_asns()
+        for path in v6.paths:
+            assert set(path) <= enabled
+
+    def test_v6_origins_announce_v6_prefixes(self, dual_graph, planes):
+        _, v6 = planes
+        origins6 = dual_graph.prefix6_origins()
+        for entry in v6.rib:
+            assert origins6[entry.prefix] == entry.origin
+
+    def test_v6_smaller_than_v4(self, planes):
+        v4, v6 = planes
+        assert 0 < len(v6.paths) < len(v4.paths)
+
+    def test_unknown_plane_rejected(self, dual_graph):
+        with pytest.raises(ValueError):
+            Collector(dual_graph, plane="v5")
+
+    def test_restricted_index(self, dual_graph):
+        index = GraphIndex(dual_graph, restrict=dual_graph.v6_asns())
+        assert set(index.asns) == dual_graph.v6_asns()
+
+
+class TestCongruence:
+    @pytest.fixture(scope="class")
+    def results(self, dual_graph):
+        config = CollectorConfig(n_vps=16, seed=5, noise=NoiseConfig.none())
+        out = {}
+        for plane in ("v4", "v6"):
+            corpus = Collector(dual_graph, config, plane=plane).run()
+            paths = PathSet.sanitize(corpus.paths,
+                                     ixp_asns=dual_graph.ixp_asns())
+            out[plane] = infer_relationships(paths)
+        return out
+
+    def test_high_congruence(self, results):
+        """The PAM'15 finding: dual links almost always agree."""
+        report = congruence_report(results["v4"], results["v6"])
+        assert report.dual_links > 50
+        assert report.congruence > 0.9
+
+    def test_plane_exclusive_links_counted(self, results):
+        report = congruence_report(results["v4"], results["v6"])
+        assert report.v4_only > 0  # v4 sees the non-adopting edge
+        assert report.v4_only + report.dual_links == len(
+            results["v4"].links()
+        )
+
+    def test_cliques_overlap(self, results):
+        report = congruence_report(results["v4"], results["v6"])
+        assert report.clique_jaccard > 0.5
+
+    def test_self_congruence_is_total(self, results):
+        report = congruence_report(results["v4"], results["v4"])
+        assert report.congruence == 1.0
+        assert report.v4_only == 0 and report.v6_only == 0
+
+
+class TestMrtV6:
+    def test_v6_rib_round_trip(self, tmp_path, dual_graph):
+        import io
+
+        from repro.mrt.reader import MrtReader, RibRecord
+        from repro.mrt.writer import MrtWriter
+
+        prefix = Prefix6.parse("2001:db8::/32")
+        stream = io.BytesIO()
+        writer = MrtWriter(stream)
+        writer.write_peer_index_table([65001])
+        writer.write_rib_entry(prefix, [(65001, (65001, 65002), ())])
+        stream.seek(0)
+        records = [r for r in MrtReader(stream) if isinstance(r, RibRecord)]
+        assert records[0].prefix == prefix
+        assert records[0].as_path == (65001, 65002)
+
+    def test_dual_stack_dump(self, tmp_path, dual_graph):
+        """One file carrying both planes round-trips cleanly."""
+        from repro.mrt.reader import read_rib_dump
+        from repro.mrt.writer import write_rib_dump
+
+        config = CollectorConfig(n_vps=10, seed=5, noise=NoiseConfig.none())
+        v4 = Collector(dual_graph, config, plane="v4").run()
+        v6 = Collector(dual_graph, config, plane="v6").run()
+        dump = str(tmp_path / "dual.mrt")
+        write_rib_dump(dump, list(v4.rib) + list(v6.rib))
+        records = read_rib_dump(dump)
+        assert len(records) == len(v4.rib) + len(v6.rib)
+        v6_rows = [r for r in records if isinstance(r.prefix, Prefix6)]
+        assert len(v6_rows) == len(v6.rib)

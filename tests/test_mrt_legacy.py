@@ -1,0 +1,146 @@
+"""Tests for the legacy TABLE_DUMP (v1) codec and AS4_PATH merging."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mrt import constants as c
+from repro.mrt.reader import MrtReader, RibRecord, decode_attributes, merge_as4_path
+from repro.mrt.writer import MrtWriter, encode_attributes
+from repro.net.prefix import Prefix
+
+
+def roundtrip_v1(entries):
+    stream = io.BytesIO()
+    writer = MrtWriter(stream, timestamp=42)
+    for prefix, peer_asn, path, communities in entries:
+        writer.write_table_dump_entry(prefix, peer_asn, path, communities)
+    stream.seek(0)
+    return [r for r in MrtReader(stream) if isinstance(r, RibRecord)]
+
+
+class TestTableDumpV1:
+    def test_basic_round_trip(self):
+        prefix = Prefix.parse("192.0.2.0/24")
+        records = roundtrip_v1([(prefix, 6447, (6447, 3356, 20115), ())])
+        assert len(records) == 1
+        record = records[0]
+        assert record.prefix == prefix
+        assert record.peer_asn == 6447
+        assert record.as_path == (6447, 3356, 20115)
+
+    def test_communities_round_trip(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        communities = ((3356, 1001), (174, 1002))
+        records = roundtrip_v1([(prefix, 1, (1, 2), communities)])
+        assert records[0].communities == communities
+
+    def test_no_peer_index_needed(self):
+        # v1 records are self-contained: no PEER_INDEX_TABLE required
+        records = roundtrip_v1([(Prefix.parse("10.0.0.0/8"), 1, (1,), ())])
+        assert records[0].peer_asn == 1
+
+    def test_multiple_records(self):
+        entries = [
+            (Prefix.parse("10.0.0.0/8"), 1, (1, 2), ()),
+            (Prefix.parse("192.0.2.0/24"), 3, (3, 4, 5), ()),
+        ]
+        records = roundtrip_v1(entries)
+        assert [r.prefix for r in records] == [e[0] for e in entries]
+
+    def test_truncated_record_raises(self):
+        stream = io.BytesIO()
+        writer = MrtWriter(stream)
+        writer.write_table_dump_entry(Prefix.parse("10.0.0.0/8"), 1, (1, 2))
+        data = stream.getvalue()
+        # shrink the body but keep the header length field intact → the
+        # reader must notice the truncation
+        with pytest.raises(c.MrtFormatError):
+            list(MrtReader(io.BytesIO(data[:-1])))
+
+    def test_mixed_v1_v2_stream(self):
+        stream = io.BytesIO()
+        writer = MrtWriter(stream)
+        writer.write_table_dump_entry(Prefix.parse("10.0.0.0/8"), 1, (1, 2))
+        writer.write_peer_index_table([5])
+        writer.write_rib_entry(Prefix.parse("192.0.2.0/24"), [(5, (5, 6), ())])
+        stream.seek(0)
+        records = [r for r in MrtReader(stream) if isinstance(r, RibRecord)]
+        assert len(records) == 2
+        assert records[0].as_path == (1, 2)
+        assert records[1].as_path == (5, 6)
+
+
+class TestAs4Path:
+    def test_wide_asn_substituted_and_recovered(self):
+        # 4-byte ASN 196608 cannot ride a 2-byte AS_PATH: AS_TRANS goes
+        # on the wire and AS4_PATH carries the truth
+        path = (6447, 196608, 20115)
+        blob = encode_attributes(path, asn_size=2)
+        decoded, _ = decode_attributes(blob, asn_size=2)
+        assert decoded == path
+
+    def test_wire_path_has_as_trans_without_merge(self):
+        path = (6447, 196608, 20115)
+        blob = encode_attributes(path, asn_size=2)
+        # decoding at 2 bytes *without* AS4 merging is simulated by
+        # checking the raw AS_PATH attribute contains AS_TRANS
+        from repro.mrt.reader import decode_as_path
+
+        # find the AS_PATH attribute value by re-parsing manually
+        offset = 0
+        raw_path = None
+        while offset < len(blob):
+            flags, type_code = blob[offset], blob[offset + 1]
+            offset += 2
+            if flags & c.FLAG_EXTENDED_LENGTH:
+                (length,) = struct.unpack("!H", blob[offset:offset + 2])
+                offset += 2
+            else:
+                length = blob[offset]
+                offset += 1
+            value = blob[offset:offset + length]
+            offset += length
+            if type_code == c.ATTR_AS_PATH:
+                raw_path = decode_as_path(value, 2)
+        assert raw_path == (6447, c.AS_TRANS, 20115)
+
+    def test_no_as4_attribute_for_narrow_paths(self):
+        blob = encode_attributes((1, 2, 3), asn_size=2)
+        # no byte pair encodes attribute type 17 at an attribute boundary
+        decoded, _ = decode_attributes(blob, asn_size=2)
+        assert decoded == (1, 2, 3)
+        assert c.AS_TRANS not in decoded
+
+    def test_merge_rule_replaces_tail(self):
+        assert merge_as4_path((1, c.AS_TRANS, 3), (99999, 3)) == (1, 99999, 3)
+
+    def test_merge_rule_ignores_oversized_as4(self):
+        assert merge_as4_path((1, 2), (7, 8, 9)) == (1, 2)
+
+    def test_merge_rule_empty_as4(self):
+        assert merge_as4_path((1, 2), ()) == (1, 2)
+
+    def test_v1_record_with_wide_asn(self):
+        prefix = Prefix.parse("10.0.0.0/8")
+        records = roundtrip_v1([(prefix, 1, (1, 262144, 3), ())])
+        assert records[0].as_path == (1, 262144, 3)
+
+
+asn2 = st.integers(min_value=1, max_value=0xFFFF)
+asn_any = st.integers(min_value=1, max_value=2**32 - 1)
+
+
+@given(st.lists(asn2, min_size=1, max_size=10).map(tuple))
+def test_v1_roundtrip_property_narrow(path):
+    records = roundtrip_v1([(Prefix.parse("10.0.0.0/8"), path[0], path, ())])
+    assert records[0].as_path == path
+
+
+@given(st.lists(asn_any, min_size=1, max_size=10).map(tuple))
+def test_v1_roundtrip_property_wide(path):
+    # AS4_PATH reconstruction must recover any mix of ASN widths
+    records = roundtrip_v1([(Prefix.parse("10.0.0.0/8"), 1, path, ())])
+    assert records[0].as_path == path

@@ -1,0 +1,175 @@
+"""Unit tests for the organizations / WHOIS sibling substrate."""
+
+import pytest
+
+from repro.core.inference import InferenceConfig, Step, infer_relationships
+from repro.core.paths import PathSet
+from repro.relationships import Relationship, canonical_pair
+from repro.topology.generator import GeneratorConfig, generate_topology
+from repro.topology.model import AS, ASGraph, ASType
+from repro.topology.orgs import (
+    Organization,
+    OrgRegistry,
+    assign_organizations,
+    parse_as_org,
+    render_as_org,
+)
+
+
+class TestRegistry:
+    def test_add_and_lookup(self):
+        registry = OrgRegistry([Organization("ORG-1", "One", [10, 11])])
+        assert registry.org_of(10).org_id == "ORG-1"
+        assert registry.org_of(99) is None
+        assert len(registry) == 1
+
+    def test_duplicate_org_rejected(self):
+        registry = OrgRegistry([Organization("ORG-1", "One", [10])])
+        with pytest.raises(ValueError):
+            registry.add(Organization("ORG-1", "Again", [11]))
+
+    def test_asn_in_two_orgs_rejected(self):
+        registry = OrgRegistry([Organization("ORG-1", "One", [10])])
+        with pytest.raises(ValueError):
+            registry.add(Organization("ORG-2", "Two", [10]))
+
+    def test_siblings(self):
+        registry = OrgRegistry([
+            Organization("ORG-1", "One", [10, 11, 12]),
+            Organization("ORG-2", "Two", [20]),
+        ])
+        assert registry.are_siblings(10, 11)
+        assert registry.are_siblings(12, 10)
+        assert not registry.are_siblings(10, 20)
+        assert not registry.are_siblings(10, 10)
+        assert registry.sibling_pairs() == {(10, 11), (10, 12), (11, 12)}
+
+    def test_multi_as_orgs(self):
+        registry = OrgRegistry([
+            Organization("ORG-1", "One", [10, 11]),
+            Organization("ORG-2", "Two", [20]),
+        ])
+        assert [o.org_id for o in registry.multi_as_orgs()] == ["ORG-1"]
+
+
+class TestAssignment:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate_topology(
+            GeneratorConfig(n_ases=200, seed=21, sibling_pairs=4)
+        )
+
+    def test_every_business_as_assigned(self, graph):
+        registry = assign_organizations(graph)
+        for asys in graph.ases():
+            if asys.type is ASType.IXP_RS:
+                assert registry.org_of(asys.asn) is None
+            else:
+                assert registry.org_of(asys.asn) is not None
+
+    def test_s2s_links_share_org(self, graph):
+        registry = assign_organizations(graph)
+        for a, b, rel in graph.links():
+            if rel is Relationship.S2S:
+                assert registry.are_siblings(a, b)
+
+    def test_acquisitions_create_linkless_siblings(self, graph):
+        registry = assign_organizations(graph, acquisition_rate=0.5, seed=2)
+        linkless = [
+            (a, b)
+            for (a, b) in registry.sibling_pairs()
+            if graph.relationship(a, b) is None
+        ]
+        assert linkless  # WHOIS knows siblings the path data cannot see
+
+    def test_deterministic(self, graph):
+        a = assign_organizations(graph, seed=5)
+        b = assign_organizations(graph, seed=5)
+        assert a.sibling_pairs() == b.sibling_pairs()
+
+
+class TestAsOrgFormat:
+    def test_round_trip(self):
+        registry = OrgRegistry([
+            Organization("ORG-00001", "Alpha", [10, 11]),
+            Organization("ORG-00002", "Beta", [20]),
+        ])
+        parsed = parse_as_org(render_as_org(registry))
+        assert len(parsed) == 2
+        assert parsed.org_of(11).name == "Alpha"
+        assert parsed.sibling_pairs() == registry.sibling_pairs()
+
+    def test_parser_tolerates_junk(self):
+        text = (
+            "# a comment\n"
+            "ORG-1|Example Org\n"
+            "not|three|fields|ok\n"
+            "\n"
+            "10|ORG-1\n"
+            "11|ORG-1\n"
+        )
+        registry = parse_as_org(text)
+        assert registry.are_siblings(10, 11)
+
+    def test_scenario_round_trip(self):
+        graph = generate_topology(GeneratorConfig(n_ases=150, seed=3))
+        registry = assign_organizations(graph)
+        parsed = parse_as_org(render_as_org(registry))
+        assert parsed.sibling_pairs() == registry.sibling_pairs()
+        assert len(parsed) == len(registry)
+
+
+class TestSiblingInference:
+    def test_known_siblings_labeled_first(self):
+        paths = [
+            (50, 60, 61, 70),  # 60-61 is a sibling pair on the path
+            (70, 61, 60, 50),
+        ] + [(50, 60, i) for i in range(100, 108)]
+        config = InferenceConfig(
+            enable_clique=False,
+            enable_partial_vp=False,
+            known_siblings=frozenset({canonical_pair(60, 61)}),
+        )
+        result = infer_relationships(PathSet.sanitize(paths), config)
+        assert result.relationship(60, 61) is Relationship.S2S
+        assert result.step_of(60, 61) is Step.S2B_SIBLING
+
+    def test_sibling_link_resets_fold_constraints(self):
+        # descent before the sibling link must not force descent after it
+        paths = [
+            (50, 60, 61, 70),
+            (70, 61, 60, 50),
+            # make 60 clearly the provider of 50 via other evidence
+            (99, 60, 50),
+        ]
+        config = InferenceConfig(
+            enable_clique=False,
+            enable_partial_vp=False,
+            enable_degree_gap=False,
+            enable_stub=False,
+            enable_providerless=False,
+            known_siblings=frozenset({canonical_pair(60, 61)}),
+        )
+        result = infer_relationships(PathSet.sanitize(paths), config)
+        # the 61-70 link is NOT forced to descend by the 50-60 state
+        assert result.step_of(61, 70) is not Step.S6_FOLD or (
+            result.relationship(61, 70) is not None
+        )
+        assert result.relationship(60, 61) is Relationship.S2S
+
+    def test_pipeline_with_org_derived_siblings(self):
+        graph = generate_topology(
+            GeneratorConfig(n_ases=200, seed=21, sibling_pairs=4)
+        )
+        registry = assign_organizations(graph)
+        from repro.bgp.collector import Collector, CollectorConfig
+
+        corpus = Collector(graph, CollectorConfig(n_vps=14, seed=4)).run()
+        paths = PathSet.sanitize(corpus.paths, ixp_asns=graph.ixp_asns())
+        config = InferenceConfig(known_siblings=frozenset(registry.sibling_pairs()))
+        result = infer_relationships(paths, config)
+        # every observed sibling link is labeled s2s, matching truth
+        for a, b in paths.links():
+            if registry.are_siblings(a, b):
+                assert result.relationship(a, b) is Relationship.S2S
+                assert graph.relationship(a, b) is Relationship.S2S

@@ -1,0 +1,151 @@
+"""Unit tests for path sanitization and degree computation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.paths import (
+    PathSet,
+    compress_prepending,
+    has_loop,
+    is_reserved_asn,
+)
+
+
+class TestReservedAsns:
+    @pytest.mark.parametrize(
+        "asn", [0, 23456, 64496, 64511, 64512, 65000, 65534, 65535,
+                65536, 65551, 4200000000, 4294967295]
+    )
+    def test_reserved(self, asn):
+        assert is_reserved_asn(asn)
+
+    @pytest.mark.parametrize("asn", [1, 100, 3356, 64495, 65552, 100000])
+    def test_not_reserved(self, asn):
+        assert not is_reserved_asn(asn)
+
+
+class TestCompress:
+    def test_removes_adjacent_duplicates(self):
+        assert compress_prepending((1, 1, 2, 2, 2, 3)) == (1, 2, 3)
+
+    def test_identity_when_clean(self):
+        assert compress_prepending((1, 2, 3)) == (1, 2, 3)
+
+    def test_keeps_nonadjacent_duplicates(self):
+        assert compress_prepending((1, 2, 1)) == (1, 2, 1)
+
+    def test_empty(self):
+        assert compress_prepending(()) == ()
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), max_size=20))
+    def test_idempotent(self, path):
+        once = compress_prepending(path)
+        assert compress_prepending(once) == once
+
+
+class TestLoops:
+    def test_loop_detected(self):
+        assert has_loop((1, 2, 3, 1))
+
+    def test_clean_path(self):
+        assert not has_loop((1, 2, 3))
+
+
+class TestSanitize:
+    def test_clean_paths_kept(self):
+        ps = PathSet.sanitize([(1, 2, 3), (1, 2, 4)])
+        assert len(ps) == 2
+        assert ps.stats.kept == 2
+
+    def test_prepending_compressed_and_counted(self):
+        ps = PathSet.sanitize([(1, 2, 2, 3)])
+        assert ps.paths == [(1, 2, 3)]
+        assert ps.stats.prepending_compressed == 1
+
+    def test_loops_discarded(self):
+        ps = PathSet.sanitize([(1, 2, 1, 3)])
+        assert len(ps) == 0
+        assert ps.stats.discarded_loops == 1
+
+    def test_reserved_asn_discarded(self):
+        ps = PathSet.sanitize([(1, 64512, 3)])
+        assert len(ps) == 0
+        assert ps.stats.discarded_reserved_asn == 1
+
+    def test_ixp_hop_spliced(self):
+        ps = PathSet.sanitize([(1, 99, 2)], ixp_asns=frozenset({99}))
+        assert ps.paths == [(1, 2)]
+        assert ps.stats.ixp_hops_removed == 1
+
+    def test_ixp_splice_may_expose_prepending(self):
+        # 1 99 1 2 → removing 99 leaves 1 1 2 → compressed to 1 2
+        ps = PathSet.sanitize([(1, 99, 1, 2)], ixp_asns=frozenset({99}))
+        assert ps.paths == [(1, 2)]
+
+    def test_duplicates_merged(self):
+        ps = PathSet.sanitize([(1, 2, 3), (1, 2, 3)])
+        assert len(ps) == 1
+        assert ps.counts[(1, 2, 3)] == 2
+        assert ps.stats.duplicates_merged == 1
+
+    def test_single_hop_dropped(self):
+        ps = PathSet.sanitize([(1,), (1, 1)])
+        assert len(ps) == 0
+
+    def test_empty_input(self):
+        ps = PathSet.sanitize([])
+        assert len(ps) == 0
+        assert ps.stats.input_paths == 0
+
+    def test_stats_rows_cover_all_counters(self):
+        ps = PathSet.sanitize([(1, 2, 3)])
+        names = [name for name, _ in ps.stats.as_rows()]
+        assert "input paths" in names and "kept (unique)" in names
+
+
+class TestDegrees:
+    @pytest.fixture
+    def ps(self):
+        return PathSet.sanitize(
+            [
+                (10, 20, 30),  # 20 transits between 10 and 30
+                (10, 20, 40),
+                (50, 20, 30),
+                (10, 60),  # 60 only at the edge
+            ]
+        )
+
+    def test_node_degree(self, ps):
+        assert ps.node_degree(20) == 4  # 10, 30, 40, 50
+        assert ps.node_degree(10) == 2  # 20, 60
+
+    def test_transit_degree_counts_middle_only(self, ps):
+        assert ps.transit_degree(20) == 4
+        assert ps.transit_degree(60) == 0
+        assert ps.transit_degree(10) == 0
+
+    def test_transit_degrees_mapping(self, ps):
+        td = ps.transit_degrees()
+        assert td[20] == 4 and td[60] == 0
+
+    def test_ranked_order(self, ps):
+        ranked = ps.ranked_asns()
+        assert ranked[0] == 20
+        # ties broken by node degree then ASN
+        assert ranked.index(10) < ranked.index(50)
+
+    def test_asns_and_links(self, ps):
+        assert ps.asns() == {10, 20, 30, 40, 50, 60}
+        assert (10, 20) in ps.links()
+        assert (10, 60) in ps.links()
+
+    def test_triples(self, ps):
+        triples = list(ps.triples())
+        assert (10, 20, 30) in triples
+        assert len(triples) == 3
+
+    def test_filtered_shares_stats(self, ps):
+        sub = ps.filtered([(10, 20, 30)])
+        assert len(sub) == 1
+        assert sub.stats is ps.stats
+        assert sub.transit_degree(20) == 2

@@ -1,0 +1,64 @@
+"""Unit tests for AS ranking."""
+
+import pytest
+
+from repro.core.cone import ConeDefinition, CustomerCones
+from repro.core.rank import rank_ases
+
+
+@pytest.fixture(scope="module")
+def ranking(small_run):
+    prefixes = {a.asn: a.prefixes for a in small_run.graph.ases()}
+    cones = CustomerCones.compute(
+        small_run.result,
+        ConeDefinition.PROVIDER_PEER_OBSERVED,
+        prefixes_by_asn=prefixes,
+    )
+    return rank_ases(small_run.result, cones)
+
+
+class TestRanking:
+    def test_covers_every_observed_as(self, ranking, small_run):
+        assert len(ranking) == len(small_run.paths.asns())
+
+    def test_ranks_sequential(self, ranking):
+        assert [e.rank for e in ranking] == list(range(1, len(ranking) + 1))
+
+    def test_cone_sizes_non_increasing(self, ranking):
+        sizes = [e.cone_ases for e in ranking]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_limit(self, small_run, ranking):
+        prefixes = {a.asn: a.prefixes for a in small_run.graph.ases()}
+        cones = CustomerCones.compute(
+            small_run.result,
+            ConeDefinition.PROVIDER_PEER_OBSERVED,
+            prefixes_by_asn=prefixes,
+        )
+        top5 = rank_ases(small_run.result, cones, limit=5)
+        assert len(top5) == 5
+        assert [e.asn for e in top5] == [e.asn for e in ranking[:5]]
+
+    def test_top_ranks_are_clique_heavy(self, ranking, small_run):
+        """The largest cones belong to tier-1 networks."""
+        clique = set(small_run.graph.clique_asns())
+        top10_asns = {e.asn for e in ranking[:10]}
+        assert len(top10_asns & clique) >= 5
+
+    def test_prefix_and_address_metrics_present(self, ranking):
+        top = ranking[0]
+        assert top.cone_prefixes is not None and top.cone_prefixes > 0
+        assert top.cone_addresses is not None and top.cone_addresses > 0
+
+    def test_metrics_without_prefix_data(self, small_run):
+        cones = CustomerCones.compute(small_run.result)
+        entries = rank_ases(small_run.result, cones, limit=3)
+        assert all(e.cone_prefixes is None for e in entries)
+        assert all(e.cone_addresses is None for e in entries)
+
+    def test_neighbor_counts_consistent(self, ranking, small_run):
+        result = small_run.result
+        for entry in ranking[:20]:
+            assert entry.num_customers == len(result.customers_of_asn(entry.asn))
+            assert entry.num_peers == len(result.peers_of_asn(entry.asn))
+            assert entry.num_providers == len(result.providers_of_asn(entry.asn))

@@ -1,0 +1,57 @@
+"""Unit tests for the scenario registry."""
+
+import pytest
+
+from repro.scenarios import SCENARIOS, evolution_scenario, get_scenario
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for name in ("tiny", "small", "medium", "large", "clean"):
+            assert name in SCENARIOS
+
+    def test_get_scenario(self):
+        scenario = get_scenario("tiny")
+        assert scenario.name == "tiny"
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError) as err:
+            get_scenario("bogus")
+        assert "tiny" in str(err.value)
+
+    def test_descriptions_present(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.description
+
+
+class TestRun:
+    def test_tiny_pipeline(self, tiny_run):
+        assert len(tiny_run.paths) > 100
+        assert len(tiny_run.result) > 50
+        assert tiny_run.result.clique.members
+
+    def test_collect_reuses_graph(self):
+        scenario = get_scenario("tiny")
+        graph = scenario.build_graph()
+        same_graph, corpus = scenario.collect(graph)
+        assert same_graph is graph
+        assert corpus.paths
+
+    def test_deterministic_between_runs(self):
+        scenario = get_scenario("tiny")
+        _, _, paths_a, result_a = scenario.run()
+        _, _, paths_b, result_b = scenario.run()
+        assert paths_a.paths == paths_b.paths
+        assert sorted(result_a.links()) == sorted(result_b.links())
+
+    def test_clean_scenario_has_no_noise(self, clean_run):
+        stats = clean_run.paths.stats
+        assert stats.discarded_loops == 0
+        assert stats.discarded_reserved_asn == 0
+        assert stats.ixp_hops_removed == 0
+
+
+class TestEvolutionScenario:
+    def test_default(self):
+        config = evolution_scenario(eras=3)
+        assert len(config.eras) == 3

@@ -1,0 +1,213 @@
+"""Unit tests for the ground-truth AS graph model."""
+
+import pytest
+
+from repro.net.prefix import Prefix
+from repro.relationships import Relationship, canonical_pair
+from repro.topology.model import AS, ASGraph, ASType, TopologyError
+
+
+def build_graph(*asns, as_type=ASType.SMALL_TRANSIT):
+    graph = ASGraph()
+    for asn in asns:
+        graph.add_as(AS(asn=asn, type=as_type))
+    return graph
+
+
+class TestNodes:
+    def test_add_and_get(self):
+        graph = build_graph(1)
+        assert graph.get_as(1).asn == 1
+        assert 1 in graph
+        assert len(graph) == 1
+
+    def test_duplicate_asn_rejected(self):
+        graph = build_graph(1)
+        with pytest.raises(TopologyError):
+            graph.add_as(AS(asn=1, type=ASType.STUB))
+
+    def test_unknown_asn_raises(self):
+        graph = build_graph(1)
+        with pytest.raises(TopologyError):
+            graph.get_as(2)
+
+    def test_nonpositive_asn_rejected(self):
+        with pytest.raises(TopologyError):
+            AS(asn=0, type=ASType.STUB)
+
+    def test_asns_sorted(self):
+        graph = build_graph(5, 2, 9)
+        assert graph.asns() == [2, 5, 9]
+
+
+class TestLinks:
+    def test_p2c_directions(self):
+        graph = build_graph(1, 2)
+        graph.add_p2c(1, 2)
+        assert graph.relationship(1, 2) is Relationship.P2C
+        assert graph.relationship(2, 1) is Relationship.P2C
+        assert graph.provider_of(1, 2) == 1
+        assert graph.provider_of(2, 1) == 1
+        assert graph.customers[1] == {2}
+        assert graph.providers[2] == {1}
+
+    def test_p2p_symmetric(self):
+        graph = build_graph(1, 2)
+        graph.add_p2p(1, 2)
+        assert graph.relationship(2, 1) is Relationship.P2P
+        assert graph.provider_of(1, 2) is None
+        assert graph.peers[1] == {2} and graph.peers[2] == {1}
+
+    def test_s2s(self):
+        graph = build_graph(1, 2)
+        graph.add_s2s(1, 2)
+        assert graph.relationship(1, 2) is Relationship.S2S
+        assert graph.siblings[1] == {2}
+
+    def test_self_link_rejected(self):
+        graph = build_graph(1)
+        with pytest.raises(TopologyError):
+            graph.add_p2p(1, 1)
+
+    def test_duplicate_link_rejected(self):
+        graph = build_graph(1, 2)
+        graph.add_p2c(1, 2)
+        with pytest.raises(TopologyError):
+            graph.add_p2p(1, 2)
+
+    def test_unknown_endpoint_rejected(self):
+        graph = build_graph(1)
+        with pytest.raises(TopologyError):
+            graph.add_p2c(1, 99)
+
+    def test_cycle_refused(self):
+        graph = build_graph(1, 2, 3)
+        graph.add_p2c(1, 2)
+        graph.add_p2c(2, 3)
+        with pytest.raises(TopologyError):
+            graph.add_p2c(3, 1)
+
+    def test_two_hop_cycle_refused(self):
+        graph = build_graph(1, 2)
+        graph.add_p2c(1, 2)
+        with pytest.raises(TopologyError):
+            graph.add_p2c(2, 1)
+
+    def test_remove_p2c(self):
+        graph = build_graph(1, 2)
+        graph.add_p2c(1, 2)
+        graph.remove_link(1, 2)
+        assert graph.relationship(1, 2) is None
+        assert not graph.customers[1] and not graph.providers[2]
+
+    def test_remove_p2p(self):
+        graph = build_graph(1, 2)
+        graph.add_p2p(1, 2)
+        graph.remove_link(2, 1)
+        assert graph.relationship(1, 2) is None
+
+    def test_remove_missing_raises(self):
+        graph = build_graph(1, 2)
+        with pytest.raises(TopologyError):
+            graph.remove_link(1, 2)
+
+    def test_links_iteration_provider_first(self):
+        graph = build_graph(1, 2, 3)
+        graph.add_p2c(2, 1)
+        graph.add_p2p(1, 3)
+        links = sorted(graph.links(), key=str)
+        assert (2, 1, Relationship.P2C) in links
+        assert (1, 3, Relationship.P2P) in links
+        assert graph.num_links() == 2
+
+    def test_neighbors_and_degree(self):
+        graph = build_graph(1, 2, 3, 4)
+        graph.add_p2c(1, 2)
+        graph.add_p2p(1, 3)
+        graph.add_s2s(1, 4)
+        assert graph.neighbors(1) == {2, 3, 4}
+        assert graph.degree(1) == 3
+
+
+class TestQueries:
+    def test_customer_cone(self):
+        graph = build_graph(1, 2, 3, 4, 5)
+        graph.add_p2c(1, 2)
+        graph.add_p2c(2, 3)
+        graph.add_p2c(2, 4)
+        graph.add_p2p(1, 5)
+        assert graph.customer_cone(1) == {1, 2, 3, 4}
+        assert graph.customer_cone(3) == {3}
+
+    def test_transit_free(self):
+        graph = build_graph(1, 2, 3)
+        graph.add_p2c(1, 2)
+        graph.add_p2c(2, 3)
+        assert graph.transit_free() == [1]
+
+    def test_clique_asns(self):
+        graph = ASGraph()
+        graph.add_as(AS(asn=1, type=ASType.CLIQUE))
+        graph.add_as(AS(asn=2, type=ASType.STUB))
+        assert graph.clique_asns() == [1]
+
+    def test_ixp_asns(self):
+        graph = ASGraph()
+        graph.add_as(AS(asn=7, type=ASType.IXP_RS))
+        assert graph.ixp_asns() == frozenset({7})
+
+    def test_prefix_origins(self):
+        graph = ASGraph()
+        p = Prefix.parse("10.0.0.0/8")
+        graph.add_as(AS(asn=1, type=ASType.STUB, prefixes=[p]))
+        assert graph.prefix_origins() == {p: 1}
+
+    def test_duplicate_prefix_origin_rejected(self):
+        graph = ASGraph()
+        p = Prefix.parse("10.0.0.0/8")
+        graph.add_as(AS(asn=1, type=ASType.STUB, prefixes=[p]))
+        graph.add_as(AS(asn=2, type=ASType.STUB, prefixes=[p]))
+        with pytest.raises(TopologyError):
+            graph.prefix_origins()
+
+    def test_num_addresses(self):
+        asys = AS(
+            asn=1,
+            type=ASType.STUB,
+            prefixes=[Prefix.parse("10.0.0.0/24"), Prefix.parse("11.0.0.0/24")],
+        )
+        assert asys.num_addresses == 512
+
+
+class TestInvariants:
+    def test_healthy_graph_passes(self):
+        graph = ASGraph()
+        graph.add_as(AS(asn=1, type=ASType.CLIQUE))
+        graph.add_as(AS(asn=2, type=ASType.CLIQUE))
+        graph.add_as(AS(asn=3, type=ASType.STUB))
+        graph.add_p2p(1, 2)
+        graph.add_p2c(1, 3)
+        assert graph.validate_invariants() == []
+
+    def test_orphan_detected(self):
+        graph = ASGraph()
+        graph.add_as(AS(asn=1, type=ASType.STUB))
+        problems = graph.validate_invariants()
+        assert any("no provider" in p for p in problems)
+
+    def test_unmeshed_clique_detected(self):
+        graph = ASGraph()
+        graph.add_as(AS(asn=1, type=ASType.CLIQUE))
+        graph.add_as(AS(asn=2, type=ASType.CLIQUE))
+        problems = graph.validate_invariants()
+        assert any("not p2p" in p for p in problems)
+
+    def test_clique_with_provider_detected(self):
+        graph = ASGraph()
+        graph.add_as(AS(asn=1, type=ASType.CLIQUE))
+        graph.add_as(AS(asn=2, type=ASType.CLIQUE))
+        graph.add_as(AS(asn=3, type=ASType.LARGE_TRANSIT))
+        graph.add_p2p(1, 2)
+        graph.add_p2c(3, 1)  # a clique member buying transit
+        problems = graph.validate_invariants()
+        assert any("has providers" in p for p in problems)

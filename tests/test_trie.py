@@ -1,0 +1,128 @@
+"""Unit tests for the longest-prefix-match trie."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.prefix import Prefix
+from repro.net.trie import PrefixTrie
+
+
+@pytest.fixture
+def trie():
+    t = PrefixTrie()
+    t.insert(Prefix.parse("10.0.0.0/8"), "eight")
+    t.insert(Prefix.parse("10.1.0.0/16"), "sixteen")
+    t.insert(Prefix.parse("10.1.2.0/24"), "twentyfour")
+    t.insert(Prefix.parse("192.0.2.0/24"), "doc")
+    return t
+
+
+class TestBasics:
+    def test_len(self, trie):
+        assert len(trie) == 4
+
+    def test_contains(self, trie):
+        assert Prefix.parse("10.1.0.0/16") in trie
+        assert Prefix.parse("10.2.0.0/16") not in trie
+
+    def test_exact_get(self, trie):
+        assert trie.get(Prefix.parse("10.1.0.0/16")) == "sixteen"
+
+    def test_get_default(self, trie):
+        assert trie.get(Prefix.parse("172.16.0.0/12"), "missing") == "missing"
+
+    def test_get_is_exact_not_lpm(self, trie):
+        # /12 inside 10/8 but not stored exactly
+        assert trie.get(Prefix.parse("10.16.0.0/12")) is None
+
+    def test_insert_replaces(self, trie):
+        trie.insert(Prefix.parse("10.0.0.0/8"), "new")
+        assert trie.get(Prefix.parse("10.0.0.0/8")) == "new"
+        assert len(trie) == 4
+
+    def test_remove(self, trie):
+        assert trie.remove(Prefix.parse("10.1.0.0/16"))
+        assert Prefix.parse("10.1.0.0/16") not in trie
+        assert len(trie) == 3
+        # children survive parent removal
+        assert trie.get(Prefix.parse("10.1.2.0/24")) == "twentyfour"
+
+    def test_remove_missing_returns_false(self, trie):
+        assert not trie.remove(Prefix.parse("172.16.0.0/12"))
+
+    def test_default_route(self):
+        t = PrefixTrie()
+        t.insert(Prefix.parse("0.0.0.0/0"), "default")
+        match = t.longest_match(12345)
+        assert match is not None
+        assert match[1] == "default"
+
+
+class TestLongestMatch:
+    def test_most_specific_wins(self, trie):
+        prefix, value = trie.longest_match(Prefix.parse("10.1.2.0/24").network + 5)
+        assert value == "twentyfour"
+        assert prefix == Prefix.parse("10.1.2.0/24")
+
+    def test_falls_back_to_shorter(self, trie):
+        prefix, value = trie.longest_match(Prefix.parse("10.9.0.0/16").network)
+        assert value == "eight"
+
+    def test_no_match(self, trie):
+        assert trie.longest_match(Prefix.parse("172.16.0.0/12").network) is None
+
+    def test_covering_finds_ancestor(self, trie):
+        prefix, value = trie.covering(Prefix.parse("10.1.2.128/25"))
+        assert value == "twentyfour"
+
+    def test_covering_exact(self, trie):
+        prefix, value = trie.covering(Prefix.parse("10.1.0.0/16"))
+        assert value == "sixteen"
+
+    def test_covering_none(self, trie):
+        assert trie.covering(Prefix.parse("172.16.0.0/12")) is None
+
+
+class TestIteration:
+    def test_items_in_address_order(self, trie):
+        keys = [p for p, _ in trie.items()]
+        assert keys == sorted(keys)
+
+    def test_to_dict(self, trie):
+        d = trie.to_dict()
+        assert len(d) == 4
+        assert d[Prefix.parse("192.0.2.0/24")] == "doc"
+
+
+prefix_strategy = st.integers(min_value=8, max_value=28).flatmap(
+    lambda length: st.integers(min_value=0, max_value=(1 << 32) - 1).map(
+        lambda raw: Prefix(raw >> (32 - length) << (32 - length), length)
+    )
+)
+
+
+@given(
+    st.dictionaries(prefix_strategy, st.integers(), max_size=30),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_lpm_matches_brute_force(entries, address):
+    trie = PrefixTrie()
+    for prefix, value in entries.items():
+        trie.insert(prefix, value)
+    covering = [
+        (p, v) for p, v in entries.items() if p.contains_address(address)
+    ]
+    got = trie.longest_match(address)
+    if not covering:
+        assert got is None
+    else:
+        best = max(covering, key=lambda pv: pv[0].length)
+        assert got == best
+
+
+@given(st.dictionaries(prefix_strategy, st.integers(), max_size=30))
+def test_items_round_trip(entries):
+    trie = PrefixTrie()
+    for prefix, value in entries.items():
+        trie.insert(prefix, value)
+    assert trie.to_dict() == entries

@@ -1,0 +1,369 @@
+"""Unit tests for the validation framework: corpora and scoring."""
+
+import pytest
+
+from repro.relationships import Relationship
+from repro.topology.model import AS, ASGraph, ASType
+from repro.validation import (
+    ValidationCorpus,
+    ValidationRecord,
+    communities_corpus,
+    direct_report_corpus,
+    routing_policy_corpus,
+    rpsl_corpus,
+    validate,
+    validate_against_truth,
+)
+from repro.validation.policy import (
+    LocalPrefEntry,
+    decode_localpref,
+    generate_localpref_tables,
+)
+from repro.validation.rpsl import (
+    generate_rpsl,
+    parse_rpsl,
+    relationships_from_objects,
+)
+
+
+def record(a, b, rel, provider=None, source="test"):
+    return ValidationRecord(a=a, b=b, relationship=rel, provider=provider,
+                            source=source)
+
+
+class TestCorpus:
+    def test_add_and_len(self):
+        corpus = ValidationCorpus([record(1, 2, Relationship.P2P)])
+        assert len(corpus) == 1
+        assert corpus.pairs() == {(1, 2)}
+
+    def test_exact_duplicates_dropped(self):
+        corpus = ValidationCorpus()
+        corpus.add(record(1, 2, Relationship.P2P))
+        corpus.add(record(2, 1, Relationship.P2P))
+        assert len(list(corpus)) == 1
+
+    def test_conflict_detected(self):
+        corpus = ValidationCorpus()
+        corpus.add(record(1, 2, Relationship.P2P, source="a"))
+        corpus.add(record(1, 2, Relationship.P2C, provider=1, source="b"))
+        assert corpus.is_conflicted(1, 2)
+        assert corpus.consensus(1, 2) is None
+
+    def test_agreeing_sources_not_conflicted(self):
+        corpus = ValidationCorpus()
+        corpus.add(record(1, 2, Relationship.P2C, provider=1, source="a"))
+        corpus.add(record(1, 2, Relationship.P2C, provider=1, source="b"))
+        assert not corpus.is_conflicted(1, 2)
+        assert corpus.consensus(1, 2).relationship is Relationship.P2C
+
+    def test_merge(self):
+        a = ValidationCorpus([record(1, 2, Relationship.P2P, source="a")])
+        b = ValidationCorpus([record(3, 4, Relationship.P2P, source="b")])
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert merged.count_by_source() == {"a": 1, "b": 1}
+
+    def test_overlap(self):
+        corpus = ValidationCorpus()
+        corpus.add(record(1, 2, Relationship.P2P, source="a"))
+        corpus.add(record(1, 2, Relationship.P2P, source="b"))
+        corpus.add(record(3, 4, Relationship.P2P, source="a"))
+        assert corpus.overlap("a", "b") == 1
+
+
+@pytest.fixture(scope="module")
+def truth_graph():
+    graph = ASGraph()
+    for asn, as_type in [
+        (1, ASType.CLIQUE), (2, ASType.CLIQUE),
+        (3, ASType.SMALL_TRANSIT), (4, ASType.SMALL_TRANSIT),
+        (5, ASType.STUB), (6, ASType.STUB),
+    ]:
+        graph.add_as(AS(asn=asn, type=as_type))
+    graph.add_p2p(1, 2)
+    graph.add_p2c(1, 3)
+    graph.add_p2c(2, 4)
+    graph.add_p2p(3, 4)
+    graph.add_p2c(3, 5)
+    graph.add_p2c(4, 6)
+    return graph
+
+
+class TestDirectCorpus:
+    def test_records_match_truth(self, truth_graph):
+        corpus = direct_report_corpus(truth_graph, response_rate=1.0)
+        for rec in corpus:
+            assert truth_graph.relationship(rec.a, rec.b) is rec.relationship
+            if rec.relationship is Relationship.P2C:
+                assert truth_graph.provider_of(rec.a, rec.b) == rec.provider
+
+    def test_full_response_covers_all_links(self, truth_graph):
+        corpus = direct_report_corpus(truth_graph, response_rate=1.0)
+        assert len(corpus) == truth_graph.num_links()
+
+    def test_partial_response_smaller(self, small_run):
+        low = direct_report_corpus(small_run.graph, response_rate=0.02, seed=1)
+        high = direct_report_corpus(small_run.graph, response_rate=0.5, seed=1)
+        assert len(low) < len(high)
+
+    def test_deterministic(self, small_run):
+        a = direct_report_corpus(small_run.graph, seed=9)
+        b = direct_report_corpus(small_run.graph, seed=9)
+        assert a.pairs() == b.pairs()
+
+
+class TestCommunitiesCorpus:
+    def test_noise_free_records_are_true(self, clean_run):
+        corpus = communities_corpus(
+            clean_run.corpus.rib, clean_run.graph.ixp_asns()
+        )
+        assert len(corpus) > 20
+        wrong = 0
+        for rec in corpus:
+            truth = clean_run.graph.relationship(rec.a, rec.b)
+            if truth is not rec.relationship:
+                wrong += 1
+            elif rec.relationship is Relationship.P2C and (
+                clean_run.graph.provider_of(rec.a, rec.b) != rec.provider
+            ):
+                wrong += 1
+        assert wrong == 0
+
+    def test_noisy_records_mostly_true(self, small_run):
+        corpus = communities_corpus(
+            small_run.corpus.rib, small_run.graph.ixp_asns()
+        )
+        total = sum(1 for _ in corpus)
+        wrong = sum(
+            1
+            for rec in corpus
+            if small_run.graph.relationship(rec.a, rec.b) is not rec.relationship
+        )
+        assert wrong / total < 0.02
+
+    def test_source_label(self, small_run):
+        corpus = communities_corpus(small_run.corpus.rib)
+        assert set(corpus.count_by_source()) == {"communities"}
+
+
+class TestRpsl:
+    def test_generate_parse_round_trip(self, truth_graph):
+        objects = generate_rpsl(truth_graph, registration_rate=1.0)
+        text = "\n".join(obj.as_text() for obj in objects)
+        parsed = parse_rpsl(text)
+        assert {o.asn for o in parsed} == {o.asn for o in objects}
+        by_asn = {o.asn: o for o in parsed}
+        for obj in objects:
+            assert sorted(by_asn[obj.asn].imports) == sorted(obj.imports)
+            assert sorted(by_asn[obj.asn].exports) == sorted(obj.exports)
+
+    def test_parser_ignores_junk(self):
+        text = (
+            "% RIPE-style comment\n"
+            "aut-num: AS65000\n"
+            "remarks: nothing to see\n"
+            "import: from AS65001 accept ANY\n"
+            "broken line without colon\n"
+            "export: to AS65001 announce AS65000:AS-CUSTOMERS\n"
+        )
+        objects = parse_rpsl(text)
+        assert len(objects) == 1
+        assert objects[0].imports == [(65001, "ANY")]
+
+    def test_parser_skips_malformed_policies(self):
+        text = (
+            "aut-num: AS65000\n"
+            "import: from NOT-AN-AS accept ANY\n"
+            "import: accept ANY\n"
+            "export: to AS65001\n"
+        )
+        objects = parse_rpsl(text)
+        assert objects[0].imports == []
+        assert objects[0].exports == []
+
+    def test_relationship_decoding(self, truth_graph):
+        objects = generate_rpsl(truth_graph, registration_rate=1.0)
+        records = list(relationships_from_objects(objects))
+        assert records
+        for rec in records:
+            assert truth_graph.relationship(rec.a, rec.b) is rec.relationship
+            if rec.relationship is Relationship.P2C:
+                assert truth_graph.provider_of(rec.a, rec.b) == rec.provider
+
+    def test_corpus_source_label(self, truth_graph):
+        corpus = rpsl_corpus(truth_graph, registration_rate=1.0)
+        assert set(corpus.count_by_source()) == {"rpsl"}
+
+    def test_stale_registry_contradicts_truth(self, small_run):
+        fresh = rpsl_corpus(small_run.graph, registration_rate=1.0,
+                            staleness=0.0)
+        stale = rpsl_corpus(small_run.graph, registration_rate=1.0,
+                            staleness=0.3)
+
+        def wrong_fraction(corpus):
+            wrong = total = 0
+            for rec in corpus:
+                truth = small_run.graph.relationship(rec.a, rec.b)
+                if truth is None:
+                    continue
+                total += 1
+                if truth is not rec.relationship or (
+                    truth is Relationship.P2C
+                    and small_run.graph.provider_of(rec.a, rec.b)
+                    != rec.provider
+                ):
+                    wrong += 1
+            return wrong / total if total else 0.0
+
+        assert wrong_fraction(fresh) == 0.0
+        assert 0.1 < wrong_fraction(stale) < 0.5
+
+    def test_stale_records_surface_as_conflicts(self, small_run):
+        """A stale RPSL record disagreeing with a fresh source makes the
+        link conflicted, so the validator excludes it — the paper's
+        treatment of dirty IRR data."""
+        stale = rpsl_corpus(small_run.graph, registration_rate=1.0,
+                            staleness=0.5)
+        authoritative = direct_report_corpus(small_run.graph,
+                                             response_rate=1.0)
+        merged = stale.merge(authoritative)
+        conflicted = sum(
+            1 for pair in merged.pairs() if merged.is_conflicted(*pair)
+        )
+        assert conflicted > 0
+        report = validate(small_run.result, merged)
+        assert report.conflicted == sum(
+            1
+            for a, b in small_run.result.links()
+            if merged.records_for(a, b) and merged.is_conflicted(a, b)
+        )
+
+
+class TestPolicyCorpus:
+    def test_three_band_table_decoded(self):
+        entries = [
+            LocalPrefEntry(1, 10, 100),
+            LocalPrefEntry(1, 20, 90),
+            LocalPrefEntry(1, 30, 80),
+        ]
+        records = list(decode_localpref(entries))
+        by_pair = {(r.a, r.b): r for r in records}
+        assert by_pair[(1, 10)].provider == 1
+        assert by_pair[(1, 20)].relationship is Relationship.P2P
+        assert by_pair[(1, 30)].provider == 30
+
+    def test_ambiguous_two_band_table_skipped(self):
+        entries = [LocalPrefEntry(1, 10, 100), LocalPrefEntry(1, 30, 80)]
+        assert list(decode_localpref(entries)) == []
+
+    def test_jitter_does_not_confuse_decoder(self, truth_graph):
+        corpus = routing_policy_corpus(truth_graph, visibility_rate=1.0)
+        for rec in corpus:
+            assert truth_graph.relationship(rec.a, rec.b) is rec.relationship
+
+    def test_tables_cover_all_neighbor_classes(self, truth_graph):
+        entries = generate_localpref_tables(truth_graph, visibility_rate=1.0)
+        by_asn = {}
+        for e in entries:
+            by_asn.setdefault(e.asn, []).append(e)
+        # AS 3 has a provider, a peer and a customer: all three bands
+        lprefs = sorted({e.lpref for e in by_asn[3]})
+        assert len(lprefs) == 3
+
+
+class FakeInference:
+    """Minimal object satisfying the validator protocol."""
+
+    def __init__(self, rows):
+        # rows: (a, b, rel, provider)
+        self._rows = {(min(a, b), max(a, b)): (rel, provider)
+                      for a, b, rel, provider in rows}
+
+    def links(self):
+        return list(self._rows)
+
+    def relationship(self, a, b):
+        row = self._rows.get((min(a, b), max(a, b)))
+        return row[0] if row else None
+
+    def provider_of(self, a, b):
+        row = self._rows.get((min(a, b), max(a, b)))
+        return row[1] if row else None
+
+
+class TestValidator:
+    def test_ppv_math(self):
+        inference = FakeInference([
+            (1, 2, Relationship.P2C, 1),  # correct
+            (3, 4, Relationship.P2C, 3),  # wrong direction
+            (5, 6, Relationship.P2P, None),  # correct
+            (7, 8, Relationship.P2P, None),  # not validated
+        ])
+        corpus = ValidationCorpus([
+            record(1, 2, Relationship.P2C, provider=1),
+            record(3, 4, Relationship.P2C, provider=4),
+            record(5, 6, Relationship.P2P),
+        ])
+        report = validate(inference, corpus)
+        assert report.total_inferences == 4
+        assert report.validated == 3
+        assert report.coverage == 0.75
+        assert report.ppv(Relationship.P2C) == 0.5
+        assert report.ppv(Relationship.P2P) == 1.0
+        assert report.overall_ppv == pytest.approx(2 / 3)
+        assert len(report.mistakes) == 1
+
+    def test_conflicted_links_excluded(self):
+        inference = FakeInference([(1, 2, Relationship.P2P, None)])
+        corpus = ValidationCorpus([
+            record(1, 2, Relationship.P2P, source="a"),
+            record(1, 2, Relationship.P2C, provider=1, source="b"),
+        ])
+        report = validate(inference, corpus)
+        assert report.validated == 0
+        assert report.conflicted == 1
+
+    def test_wrong_class_counts_against_inferred_class(self):
+        inference = FakeInference([(1, 2, Relationship.P2P, None)])
+        corpus = ValidationCorpus([record(1, 2, Relationship.P2C, provider=1)])
+        report = validate(inference, corpus)
+        assert report.ppv(Relationship.P2P) == 0.0
+
+    def test_by_source_breakdown(self):
+        inference = FakeInference([(1, 2, Relationship.P2P, None)])
+        corpus = ValidationCorpus([
+            record(1, 2, Relationship.P2P, source="a"),
+            record(1, 2, Relationship.P2P, source="b"),
+        ])
+        report = validate(inference, corpus)
+        assert set(report.by_source) == {"a", "b"}
+
+    def test_validate_against_truth_scores_almost_everything(self, small_run):
+        report = validate_against_truth(small_run.result, small_run.graph)
+        # every link that exists in the ground truth is judged; the
+        # occasional phantom adjacency fabricated by poisoning noise has
+        # no true label and stays unjudged
+        assert report.coverage > 0.99
+
+    def test_empty_corpus(self):
+        inference = FakeInference([(1, 2, Relationship.P2P, None)])
+        report = validate(inference, ValidationCorpus())
+        assert report.validated == 0
+        assert report.overall_ppv == 1.0
+
+
+class TestHeadlineAccuracy:
+    """The paper's headline numbers, as shape targets (E3)."""
+
+    def test_c2p_ppv_above_98(self, small_run):
+        report = validate_against_truth(small_run.result, small_run.graph)
+        assert report.ppv(Relationship.P2C) > 0.98
+
+    def test_p2p_ppv_above_75(self, small_run):
+        report = validate_against_truth(small_run.result, small_run.graph)
+        assert report.ppv(Relationship.P2P) > 0.75
+
+    def test_clean_world_near_perfect(self, clean_run):
+        report = validate_against_truth(clean_run.result, clean_run.graph)
+        assert report.overall_ppv > 0.97
