@@ -2,14 +2,18 @@
 
 Not a paper artifact: a cost profile of every pipeline stage across
 topology sizes, so users know what a workload costs before running it.
-The benchmark measures the full small-scenario pipeline; the table
-reports per-stage wall times at three scales.
+The profile comes from the :mod:`repro.perf` recorder (the pipeline is
+instrumented end to end), and lands in two artifacts:
+
+* ``reports/E00_scale.txt`` — the human-readable stage table;
+* ``reports/BENCH_e00.json`` — stage → seconds plus corpus sizes and
+  the frozen seed-code baseline, so the perf trajectory stays
+  machine-trackable across PRs.
 """
 
-import time
+from conftest import write_json_report, write_report
 
-from conftest import write_report
-
+from repro import perf
 from repro.bgp.collector import Collector, CollectorConfig
 from repro.core.cone import ConeDefinition, compute_cones
 from repro.core.inference import infer_relationships
@@ -19,31 +23,46 @@ from repro.topology.generator import GeneratorConfig, generate_topology
 
 SIZES = (300, 800, 1500)
 
+# The committed E00 numbers of the seed implementation (BFS cycle
+# checks, set-based cones, serial collection) on this workload, frozen
+# when the fast-path engine landed.  The acceptance gate for that PR
+# compared `infer` + `cones` at the 1500-AS scale against these.
+SEED_BASELINE = {
+    "300": {"generate": 0.016, "propagate+collect": 0.083,
+            "sanitize": 0.007, "infer": 0.062, "cones": 0.004},
+    "800": {"generate": 0.071, "propagate+collect": 0.452,
+            "sanitize": 0.038, "infer": 0.374, "cones": 0.024},
+    "1500": {"generate": 0.271, "propagate+collect": 1.709,
+             "sanitize": 0.170, "infer": 1.549, "cones": 0.114},
+}
+
 
 def _profile(n_ases: int):
-    timings = {}
-    start = time.perf_counter()
-    graph = generate_topology(GeneratorConfig(n_ases=n_ases, seed=99))
-    timings["generate"] = time.perf_counter() - start
+    """One full pipeline run at ``n_ases``, profiled stage by stage."""
+    recorder = perf.PerfRecorder()
+    with perf.use_recorder(recorder):
+        with perf.stage("generate"):
+            graph = generate_topology(GeneratorConfig(n_ases=n_ases, seed=99))
+        corpus = Collector(
+            graph, CollectorConfig(n_vps=max(12, n_ases // 35), seed=1)
+        ).run()
+        with perf.stage("sanitize"):
+            paths = PathSet.sanitize(corpus.paths, ixp_asns=graph.ixp_asns())
+        result = infer_relationships(paths)
+        compute_cones(result, ConeDefinition.PROVIDER_PEER_OBSERVED)
 
-    start = time.perf_counter()
-    corpus = Collector(
-        graph, CollectorConfig(n_vps=max(12, n_ases // 35), seed=1)
-    ).run()
-    timings["propagate+collect"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    paths = PathSet.sanitize(corpus.paths, ixp_asns=graph.ixp_asns())
-    timings["sanitize"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    result = infer_relationships(paths)
-    timings["infer"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    compute_cones(result, ConeDefinition.PROVIDER_PEER_OBSERVED)
-    timings["cones"] = time.perf_counter() - start
-    return timings, len(paths), len(result)
+    flat = recorder.flat()
+    timings = {
+        "generate": flat["generate"],
+        "propagate+collect": flat["collect"],
+        "sanitize": flat["sanitize"],
+        "infer": flat["infer"],
+        "cones": flat["cones"],
+    }
+    substages = {
+        key: seconds for key, seconds in flat.items() if "/" in key
+    }
+    return timings, substages, len(paths), len(result)
 
 
 def test_e00_scaling(benchmark):
@@ -55,9 +74,16 @@ def test_e00_scaling(benchmark):
              f"{'generate':>10}{'collect':>9}{'sanitize':>10}"
              f"{'infer':>8}{'cones':>8}"]
     rows = []
+    sizes_json = {}
     for n_ases in SIZES:
-        timings, n_paths, n_links = _profile(n_ases)
+        timings, substages, n_paths, n_links = _profile(n_ases)
         rows.append((n_ases, timings))
+        sizes_json[str(n_ases)] = {
+            "paths": n_paths,
+            "links": n_links,
+            "stages": {k: round(v, 4) for k, v in timings.items()},
+            "substages": {k: round(v, 4) for k, v in substages.items()},
+        }
         lines.append(
             f"{n_ases:>6}{n_paths:>8}{n_links:>7}"
             f"{timings['generate']:>10.3f}{timings['propagate+collect']:>9.3f}"
@@ -65,6 +91,19 @@ def test_e00_scaling(benchmark):
             f"{timings['cones']:>8.3f}"
         )
     write_report("E00_scale", lines)
+
+    seed_hot = (SEED_BASELINE["1500"]["infer"]
+                + SEED_BASELINE["1500"]["cones"])
+    now = rows[-1][1]
+    now_hot = now["infer"] + now["cones"]
+    write_json_report("BENCH_e00", {
+        "experiment": "E00",
+        "workload": "generate/collect/sanitize/infer/cones at "
+                    "n_ases in (300, 800, 1500), seeds (99, 1)",
+        "seed_baseline": SEED_BASELINE,
+        "current": sizes_json,
+        "speedup_infer_cones_1500": round(seed_hot / now_hot, 2),
+    })
 
     # collection and inference dominate the cost profile, and the full
     # pipeline stays laptop-friendly at the largest benchmark scale

@@ -9,8 +9,9 @@ on disk.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable, List
+from typing import Iterable, List, Mapping
 
 import pytest
 
@@ -29,6 +30,20 @@ def write_report(name: str, lines: Iterable[str]) -> str:
     with open(path, "w") as handle:
         handle.write(text)
     print(f"\n{text}")
+    return path
+
+
+def write_json_report(name: str, payload: Mapping) -> str:
+    """Persist a machine-readable report next to the text ones.
+
+    The perf trajectory across PRs is tracked from these files, so the
+    payload should be stable, plain JSON (stage → seconds, sizes).
+    """
+    os.makedirs(REPORTS_DIR, exist_ok=True)
+    path = os.path.join(REPORTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
     return path
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import os
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import perf
 from repro.core.cone import ConeDefinition, CustomerCones
 from repro.core.inference import (
     InferenceConfig,
@@ -131,9 +132,13 @@ class ASRank:
 
     @property
     def result(self) -> InferenceResult:
-        """The inference result (computed on first access)."""
+        """The inference result (computed on first access).
+
+        Stage timings land under ``asrank`` in the active
+        :mod:`repro.perf` recorder."""
         if self._result is None:
-            self._result = infer_relationships(self.paths, self.config)
+            with perf.stage("asrank"):
+                self._result = infer_relationships(self.paths, self.config)
         return self._result
 
     def cones(
@@ -142,9 +147,11 @@ class ASRank:
     ) -> CustomerCones:
         """Customer cones under ``definition`` (cached per definition)."""
         if definition not in self._cones:
-            self._cones[definition] = CustomerCones.compute(
-                self.result, definition, prefixes_by_asn=self.prefixes_by_asn
-            )
+            result = self.result  # outside the stage: may trigger inference
+            with perf.stage("asrank"):
+                self._cones[definition] = CustomerCones.compute(
+                    result, definition, prefixes_by_asn=self.prefixes_by_asn
+                )
         return self._cones[definition]
 
     # ------------------------------------------------------------------

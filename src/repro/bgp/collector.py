@@ -15,10 +15,12 @@ communities for the ASes that tag (the validation substrate).
 
 from __future__ import annotations
 
+import multiprocessing
 import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro import perf
 from repro.bgp.noise import NoiseConfig, PathNoiser
 from repro.bgp.propagation import (
     CLS_CUSTOMER,
@@ -119,6 +121,12 @@ class CollectorConfig:
     # each for ``leak_origin_fraction`` of origins (a partial-table leak)
     n_route_leakers: int = 0
     leak_origin_fraction: float = 0.05
+    # >1: fan per-origin propagation across this many worker processes.
+    # The merge is deterministic (origin order) and independent of the
+    # worker count, but parallel runs draw per-path noise from
+    # per-origin RNGs, so a noisy parallel corpus differs from the
+    # serial one (noise-free corpora are bit-identical either way).
+    workers: int = 0
 
 
 class Collector:
@@ -240,67 +248,119 @@ class Collector:
         """Collect one snapshot.
 
         ``origins`` restricts which ASes announce (defaults to every
-        routing AS with at least one prefix).
+        routing AS with at least one prefix).  With
+        ``CollectorConfig(workers=N)`` (N > 1) the per-origin
+        propagations fan out across worker processes; results merge in
+        origin order, so every worker count N > 1 yields the same
+        corpus (and exactly the serial corpus when noise is disabled).
         """
-        prefix_origins = (
-            self.graph.prefix6_origins()
-            if self.plane == "v6"
-            else self.graph.prefix_origins()
-        )
-        by_origin: Dict[int, List[Prefix]] = {}
-        for prefix, asn in prefix_origins.items():
-            if asn in self.index.index:
-                by_origin.setdefault(asn, []).append(prefix)
-        if origins is None:
-            origin_list = sorted(by_origin)
-        else:
-            origin_list = sorted(set(origins) & set(by_origin))
-
-        corpus = PathCorpus(vps=list(self.vps))
-        vp_indexes = [
-            (vp, self.index.index[vp.asn])
-            for vp in self.vps
-            if vp.asn in self.index.index
-        ]
-        for origin_asn in origin_list:
-            state = propagate_origin(
-                self.index, origin_asn,
-                leakers=self._leakers_for_origin(origin_asn),
+        with perf.stage("collect"):
+            prefix_origins = (
+                self.graph.prefix6_origins()
+                if self.plane == "v6"
+                else self.graph.prefix_origins()
             )
-            for vp, vp_idx in vp_indexes:
-                self._collect_at_vp(
-                    corpus, state, vp, vp_idx, by_origin[origin_asn]
-                )
-        return corpus
+            by_origin: Dict[int, List[Prefix]] = {}
+            for prefix, asn in prefix_origins.items():
+                if asn in self.index.index:
+                    by_origin.setdefault(asn, []).append(prefix)
+            if origins is None:
+                origin_list = sorted(by_origin)
+            else:
+                origin_list = sorted(set(origins) & set(by_origin))
+            perf.counter("origins", len(origin_list))
+            perf.counter("vps", len(self.vps))
 
-    def _collect_at_vp(
-        self,
-        corpus: PathCorpus,
-        state: RouteState,
-        vp: VantagePoint,
-        vp_idx: int,
-        prefixes: List[Prefix],
-    ) -> None:
-        route_cls = state.cls[vp_idx]
-        if route_cls == 0:
-            return  # no route at this VP
-        if not vp.full_feed and route_cls not in (CLS_ORIGIN, CLS_CUSTOMER):
-            return  # partial feeds export only customer/originated routes
-        true_path = state.path_from(self.index, vp_idx)
-        assert true_path is not None
-        observed = self._noiser.apply(true_path)
-        corpus.add_path(observed)
-        if self.config.build_rib:
-            communities = self._communities_for(state, vp_idx)
-            for prefix in prefixes:
-                corpus.rib.append(
-                    RibEntry(
-                        vp=vp.asn,
-                        prefix=prefix,
-                        path=observed,
-                        communities=communities,
-                    )
+            corpus = PathCorpus(vps=list(self.vps))
+            workers = self.config.workers
+            if workers and workers > 1 and origin_list:
+                per_origin = self._run_parallel(
+                    workers, origin_list, by_origin
                 )
+            else:
+                per_origin = (
+                    self._collect_origin(
+                        origin_asn, by_origin[origin_asn], self._noiser
+                    )
+                    for origin_asn in origin_list
+                )
+            for observed_paths, rib_rows in per_origin:
+                for path in observed_paths:
+                    corpus.add_path(path)
+                corpus.rib.extend(rib_rows)
+            perf.counter("paths", len(corpus))
+            return corpus
+
+    def _run_parallel(
+        self,
+        workers: int,
+        origin_list: List[int],
+        by_origin: Dict[int, List[Prefix]],
+    ) -> List[Tuple[List[Tuple[int, ...]], List["RibEntry"]]]:
+        """Fan ``_collect_origin`` across processes, preserving order."""
+        # a few chunks per worker smooths load imbalance between origins
+        chunk_size = max(1, len(origin_list) // (workers * 4))
+        chunks = [
+            origin_list[i: i + chunk_size]
+            for i in range(0, len(origin_list), chunk_size)
+        ]
+        payloads = [
+            [(origin, by_origin[origin]) for origin in chunk]
+            for chunk in chunks
+        ]
+        with multiprocessing.Pool(
+            processes=workers, initializer=_pool_init, initargs=(self,)
+        ) as pool:
+            chunk_results = pool.map(_pool_collect_chunk, payloads)
+        return [result for chunk in chunk_results for result in chunk]
+
+    def _origin_noiser(self, origin_asn: int) -> PathNoiser:
+        """A per-origin noiser: reproducible regardless of worker split."""
+        cfg = self.config.noise
+        return PathNoiser(
+            self.graph, cfg, rng_seed=(cfg.seed << 20) ^ origin_asn
+        )
+
+    def _collect_origin(
+        self,
+        origin_asn: int,
+        prefixes: List[Prefix],
+        noiser: PathNoiser,
+    ) -> Tuple[List[Tuple[int, ...]], List[RibEntry]]:
+        """Propagate one origin and materialize what every VP exports."""
+        state = propagate_origin(
+            self.index, origin_asn,
+            leakers=self._leakers_for_origin(origin_asn),
+        )
+        observed_paths: List[Tuple[int, ...]] = []
+        rib_rows: List[RibEntry] = []
+        for vp in self.vps:
+            vp_idx = self.index.index.get(vp.asn)
+            if vp_idx is None:
+                continue
+            route_cls = state.cls[vp_idx]
+            if route_cls == 0:
+                continue  # no route at this VP
+            if not vp.full_feed and route_cls not in (
+                CLS_ORIGIN, CLS_CUSTOMER
+            ):
+                continue  # partial feeds export only customer/originated
+            true_path = state.path_from(self.index, vp_idx)
+            assert true_path is not None
+            observed = noiser.apply(true_path)
+            observed_paths.append(observed)
+            if self.config.build_rib:
+                communities = self._communities_for(state, vp_idx)
+                for prefix in prefixes:
+                    rib_rows.append(
+                        RibEntry(
+                            vp=vp.asn,
+                            prefix=prefix,
+                            path=observed,
+                            communities=communities,
+                        )
+                    )
+        return observed_paths, rib_rows
 
     def _communities_for(
         self, state: RouteState, vp_idx: int
@@ -325,6 +385,32 @@ class Collector:
                     tags.append((asn, REL_CODE[relclass]))
             node = nexthop
         return tuple(tags)
+
+
+# ---------------------------------------------------------------------------
+# multiprocessing plumbing: the collector is shipped to each worker once
+# (pool initializer), then chunks of origins stream through it
+# ---------------------------------------------------------------------------
+
+_POOL_COLLECTOR: Optional[Collector] = None
+
+
+def _pool_init(collector: Collector) -> None:
+    global _POOL_COLLECTOR
+    _POOL_COLLECTOR = collector
+
+
+def _pool_collect_chunk(
+    items: List[Tuple[int, List[Prefix]]],
+) -> List[Tuple[List[Tuple[int, ...]], List[RibEntry]]]:
+    collector = _POOL_COLLECTOR
+    assert collector is not None
+    return [
+        collector._collect_origin(
+            origin, prefixes, collector._origin_noiser(origin)
+        )
+        for origin, prefixes in items
+    ]
 
 
 def collect(

@@ -61,9 +61,21 @@ class PathNoiser:
     (poison/loop/reserved) are drawn from the corpus RNG.
     """
 
-    def __init__(self, graph: ASGraph, config: NoiseConfig):
+    def __init__(
+        self,
+        graph: ASGraph,
+        config: NoiseConfig,
+        rng_seed: Optional[int] = None,
+    ):
+        """``rng_seed`` overrides the seed of the per-path artifact RNG
+        only (parallel collection derives one per origin); the
+        per-adjacency prepend policy always hashes ``config.seed`` so a
+        session prepends identically regardless of which origin's route
+        it exports."""
         self._config = config
-        self._rng = random.Random(config.seed)
+        self._rng = random.Random(
+            config.seed if rng_seed is None else rng_seed
+        )
         self._via_ixp: Dict[Tuple[int, int], int] = (
             getattr(graph, "via_ixp", {}) if config.ixp_insertion else {}
         )

@@ -26,6 +26,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro import perf
 from repro.core.inference import InferenceResult
 from repro.net.prefix import Prefix, summarize_address_space
 from repro.relationships import Relationship
@@ -37,7 +38,141 @@ class ConeDefinition(enum.Enum):
     PROVIDER_PEER_OBSERVED = "provider/peer-observed"
 
 
+# ---------------------------------------------------------------------------
+# fast paths: cone membership as Python-int bitsets over the dense
+# ASN->id index built by the inference engine; converted back to sets
+# only at the API boundary, so every caller sees identical results
+# ---------------------------------------------------------------------------
+
+
+def _bits_to_set(bits: int, id_asns: List[int]) -> Set[int]:
+    out: Set[int] = set()
+    while bits:
+        low = bits & -bits
+        out.add(id_asns[low.bit_length() - 1])
+        bits ^= low
+    return out
+
+
+def _recursive_cones_bits(result: InferenceResult) -> Dict[int, Set[int]]:
+    ids, id_asns = result._ids, result._id_asns
+    customers = result.customers
+    asns = result.paths.asns()
+    cone_bits: Dict[int, int] = {}
+    # iterative post-order over the DAG (the engine refuses cycles)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {}
+    for root in asns:
+        if color.get(root, WHITE) is not WHITE:
+            continue
+        stack: List[Tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                cone = 1 << ids[node]
+                for child in customers.get(node, ()):
+                    cone |= cone_bits[child]
+                cone_bits[node] = cone
+                color[node] = BLACK
+                continue
+            if color.get(node, WHITE) is not WHITE:
+                continue
+            color[node] = GRAY
+            stack.append((node, True))
+            for child in customers.get(node, ()):
+                if color.get(child, WHITE) is WHITE:
+                    stack.append((child, False))
+    cones = {asn: _bits_to_set(bits, id_asns) for asn, bits in cone_bits.items()}
+    for asn in asns:
+        cones.setdefault(asn, {asn})
+    return cones
+
+
+def _bgp_observed_cones_bits(result: InferenceResult) -> Dict[int, Set[int]]:
+    id_asns = result._id_asns
+    lstate = result._lstate
+    assert lstate is not None
+    path_lids, path_pids = result._path_lids, result._path_pids
+    cone_bits: List[int] = [1 << i for i in range(len(id_asns))]
+    for pi, nodes in enumerate(result._path_nodes):
+        lids = path_lids[pi]
+        pids = path_pids[pi]
+        # one right-to-left pass: within a maximal descending run, the
+        # suffix bitset accumulates everything downstream of each hop
+        suffix = 0
+        for j in range(len(lids) - 1, -1, -1):
+            if lstate[lids[j]] == nodes[j]:  # p2c, left end is provider
+                suffix |= 1 << pids[j + 1]
+                cone_bits[pids[j]] |= suffix
+            else:
+                suffix = 0
+    return {
+        id_asns[i]: _bits_to_set(bits, id_asns)
+        for i, bits in enumerate(cone_bits)
+    }
+
+
+def _ppdc_cones_bits(result: InferenceResult) -> Dict[int, Set[int]]:
+    id_asns = result._id_asns
+    lstate = result._lstate
+    assert lstate is not None
+    path_lids, path_pids = result._path_lids, result._path_pids
+    cone_bits: List[int] = [1 << i for i in range(len(id_asns))]
+    for pi, nodes in enumerate(result._path_nodes):
+        lids = path_lids[pi]
+        pids = path_pids[pi]
+        suffix = 0
+        for i in range(len(nodes) - 2, 0, -1):
+            suffix |= 1 << pids[i + 1]
+            s = lstate[lids[i - 1]]  # the link the route entered on
+            if s == -1 or s == nodes[i - 1]:
+                # entered from a peer or a provider: the whole observed
+                # suffix is a customer chain
+                cone_bits[pids[i]] |= suffix
+    return {
+        id_asns[i]: _bits_to_set(bits, id_asns)
+        for i, bits in enumerate(cone_bits)
+    }
+
+
+# ---------------------------------------------------------------------------
+# set-based fallbacks: used when a result lacks the fast index (e.g.
+# hand-assembled results or ``InferenceConfig(fast=False)`` runs)
+# ---------------------------------------------------------------------------
+
+
 def _recursive_cones(result: InferenceResult) -> Dict[int, Set[int]]:
+    """Transitive closure over the inferred p2c DAG, memoized bottom-up."""
+    return reference_recursive_cones(result)
+
+
+def _bgp_observed_cones(result: InferenceResult) -> Dict[int, Set[int]]:
+    cones: Dict[int, Set[int]] = {asn: {asn} for asn in result.paths.asns()}
+    provider_of = result.provider_of
+    for path in result.paths:
+        # single right-to-left pass over maximal descending runs instead
+        # of the O(L^2) per-start restart loop
+        suffix: Set[int] = set()
+        for j in range(len(path) - 2, -1, -1):
+            if provider_of(path[j], path[j + 1]) == path[j]:
+                suffix.add(path[j + 1])
+                cones[path[j]].update(suffix)
+            else:
+                suffix = set()
+    return cones
+
+
+def _ppdc_cones(result: InferenceResult) -> Dict[int, Set[int]]:
+    return reference_ppdc_cones(result)
+
+
+# ---------------------------------------------------------------------------
+# reference implementations (the seed code, verbatim): the equivalence
+# tests check every fast/fallback path against these
+# ---------------------------------------------------------------------------
+
+
+def reference_recursive_cones(result: InferenceResult) -> Dict[int, Set[int]]:
     """Transitive closure over the inferred p2c DAG, memoized bottom-up."""
     customers = result.customers
     asns = result.paths.asns()
@@ -82,7 +217,9 @@ def _descending_runs(
     return flags
 
 
-def _bgp_observed_cones(result: InferenceResult) -> Dict[int, Set[int]]:
+def reference_bgp_observed_cones(
+    result: InferenceResult,
+) -> Dict[int, Set[int]]:
     cones: Dict[int, Set[int]] = {asn: {asn} for asn in result.paths.asns()}
     for path in result.paths:
         descending = _descending_runs(result, path)
@@ -95,7 +232,7 @@ def _bgp_observed_cones(result: InferenceResult) -> Dict[int, Set[int]]:
     return cones
 
 
-def _ppdc_cones(result: InferenceResult) -> Dict[int, Set[int]]:
+def reference_ppdc_cones(result: InferenceResult) -> Dict[int, Set[int]]:
     cones: Dict[int, Set[int]] = {asn: {asn} for asn in result.paths.asns()}
     for path in result.paths:
         for i in range(1, len(path) - 1):
@@ -115,13 +252,24 @@ def compute_cones(
     result: InferenceResult, definition: ConeDefinition
 ) -> Dict[int, Set[int]]:
     """Customer cone (including self) for every AS, under ``definition``."""
-    if definition is ConeDefinition.RECURSIVE:
-        return _recursive_cones(result)
-    if definition is ConeDefinition.BGP_OBSERVED:
-        return _bgp_observed_cones(result)
-    if definition is ConeDefinition.PROVIDER_PEER_OBSERVED:
-        return _ppdc_cones(result)
-    raise ValueError(f"unknown cone definition {definition!r}")
+    if not isinstance(definition, ConeDefinition):
+        raise ValueError(f"unknown cone definition {definition!r}")
+    fast = result.config.fast and result._lstate is not None
+    with perf.stage("cones"):
+        with perf.stage(definition.value):
+            if definition is ConeDefinition.RECURSIVE:
+                if fast:
+                    return _recursive_cones_bits(result)
+                return _recursive_cones(result)
+            if definition is ConeDefinition.BGP_OBSERVED:
+                if fast:
+                    return _bgp_observed_cones_bits(result)
+                return _bgp_observed_cones(result)
+            if definition is ConeDefinition.PROVIDER_PEER_OBSERVED:
+                if fast:
+                    return _ppdc_cones_bits(result)
+                return _ppdc_cones(result)
+            raise ValueError(f"unknown cone definition {definition!r}")
 
 
 @dataclass

@@ -36,10 +36,18 @@ is recorded for diagnostics rather than silently dropped.
 from __future__ import annotations
 
 import enum
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
+from itertools import compress
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
+try:  # optional: vectorized corpus passes (pure-Python fallbacks below)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the standard image
+    _np = None
+
+from repro import perf
 from repro.core.clique import CliqueResult, infer_clique
 from repro.core.paths import PathSet
 from repro.relationships import Relationship, canonical_pair
@@ -87,6 +95,11 @@ class InferenceConfig:
     # itself small in absolute terms.
     gap_factor: float = 8.0
     gap_small_max: int = 12
+    # fast-path engine: incremental (bitset) cycle detection and the
+    # dirty-path fold.  Produces identical links/steps to the reference
+    # implementations (see tests/test_fast_equivalence.py); False runs
+    # the seed per-vote BFS + full-rescan fold for equivalence checks.
+    fast: bool = True
 
 
 @dataclass(frozen=True)
@@ -140,6 +153,202 @@ class InferenceResult:
         self.providers: Dict[int, Set[int]] = {}
         self.peers: Dict[int, Set[int]] = {}
         self.siblings: Dict[int, Set[int]] = {}
+        # --- fast-path state ---------------------------------------------
+        # dense ASN -> int index shared by the cycle bitsets, the fold
+        # link-state array, and the cone bitsets; grown on demand so
+        # hand-built results (no _init_fast) still work
+        self._ids: Dict[int, int] = {}
+        self._id_asns: List[int] = []
+        # transitive closure of the p2c DAG as bitsets over dense ids:
+        # strict ancestors (providers-of-providers) and descendants
+        self._anc: List[int] = []
+        self._desc: List[int] = []
+        # corpus link index: canonical (a<<32|b) key -> link id, link
+        # state per id (0 unknown, -1 peer, -2 sibling, >0 provider ASN),
+        # and which paths each link appears on (built by _init_fast)
+        self._key_lid: Optional[Dict[int, int]] = None
+        self._lstate: Optional[List[int]] = None
+        self._lpaths: List[List[int]] = []
+        self._path_nodes: List[Tuple[int, ...]] = []
+        self._path_lids: List[List[int]] = []
+        self._path_pids: List[List[int]] = []
+        self._np_pid_flat = None  # dense id per flat corpus position
+        self._np_fold = None  # (lid, left, right, pos, off) per hop
+        # fold bookkeeping: links whose state changed (append-only log),
+        # the consumed prefix, paths awaiting a fold pass
+        self._dirty_lids: List[int] = []
+        self._fold_cursor = 0
+        self._fold_pending: Set[int] = set()
+        self._fold_primed = False
+
+    # ------------------------------------------------------------------
+    # fast-path index
+    # ------------------------------------------------------------------
+
+    def _asn_id(self, asn: int) -> int:
+        """Dense id for ``asn``, assigning one on first sight."""
+        idx = self._ids.get(asn)
+        if idx is None:
+            idx = len(self._id_asns)
+            self._ids[asn] = idx
+            self._id_asns.append(asn)
+            self._anc.append(0)
+            self._desc.append(0)
+        return idx
+
+    def _init_fast(self, paths: PathSet) -> None:
+        """Index the corpus for the fast fold and cone passes.
+
+        Assigns dense ids to every AS (sorted, for determinism), interns
+        every corpus link behind an integer key, and records which paths
+        each link appears on so the fold can reprocess only paths whose
+        link states changed.
+        """
+        view = paths.numpy_view()
+        if view is not None and self._init_fast_np(paths, view):
+            return
+        for asn in sorted(paths.asns()):
+            self._asn_id(asn)
+        if 0 in self._ids:
+            # ASN 0 would collide with the "unknown" link-state encoding;
+            # it never survives sanitization, so just skip the link index
+            # (the reference fold/cone paths handle the corpus instead)
+            return
+        key_lid: Dict[int, int] = {}
+        key_lid_item = key_lid.__getitem__
+        key_lid_get = key_lid.get
+        lpaths: List[List[int]] = []
+        path_nodes: List[Tuple[int, ...]] = []
+        path_lids: List[List[int]] = []
+        path_pids: List[List[int]] = []
+        ids_item = self._ids.__getitem__
+        for pi, path in enumerate(paths):
+            keys = [
+                (a << 32) | b if a <= b else (b << 32) | a
+                for a, b in zip(path, path[1:])
+            ]
+            try:
+                # the hot case once every corpus link has an id: pure
+                # C-level lookups
+                lids = list(map(key_lid_item, keys))
+            except KeyError:
+                lids = []
+                for key in keys:
+                    lid = key_lid_get(key)
+                    if lid is None:
+                        lid = len(lpaths)
+                        key_lid[key] = lid
+                        lpaths.append([])
+                    lids.append(lid)
+            # a sanitized path has no repeated node, hence no repeated
+            # link, so every lid gets this path exactly once
+            for lid in lids:
+                lpaths[lid].append(pi)
+            path_nodes.append(path)
+            path_lids.append(lids)
+            path_pids.append(list(map(ids_item, path)))
+        self._key_lid = key_lid
+        self._lstate = [0] * len(lpaths)
+        self._lpaths = lpaths
+        self._path_nodes = path_nodes
+        self._path_lids = path_lids
+        self._path_pids = path_pids
+
+    def _init_fast_np(self, paths: PathSet, view) -> bool:
+        """Vectorized :meth:`_init_fast`.  Returns False to request the
+        pure-Python fallback (ASNs outside the packable 32-bit range)."""
+        flat, plen, off = view
+        lo_asn, hi_asn = int(flat.min()), int(flat.max())
+        if lo_asn < 0 or hi_asn >= 1 << 32:
+            return False
+        uasn, pid_flat = _np.unique(flat, return_inverse=True)
+        self._id_asns = uasn.tolist()
+        self._ids = {asn: i for i, asn in enumerate(self._id_asns)}
+        n_asns = len(uasn)
+        self._anc = [0] * n_asns
+        self._desc = [0] * n_asns
+        if lo_asn == 0:
+            # ASN 0 would collide with the "unknown" link-state encoding;
+            # it never survives sanitization, so just skip the link index
+            # (the reference fold/cone paths handle the corpus instead)
+            return True
+        a, b = flat[:-1], flat[1:]
+        valid = _np.ones(len(flat) - 1, dtype=bool)
+        valid[off[1:-1] - 1] = False
+        lo = _np.minimum(a, b)[valid].astype(_np.uint64)
+        hi = _np.maximum(a, b)[valid].astype(_np.uint64)
+        keys = (lo << _np.uint64(32)) | hi
+        ukeys, lid_hop = _np.unique(keys, return_inverse=True)
+        n_links = len(ukeys)
+        self._key_lid = {k: i for i, k in enumerate(ukeys.tolist())}
+        self._lstate = [0] * n_links
+        # per-path slices of the flat lid / pid streams
+        link_off = _np.empty(len(plen) + 1, dtype=_np.int64)
+        link_off[0] = 0
+        _np.cumsum(plen - 1, out=link_off[1:])
+        lbounds = link_off.tolist()
+        lid_list = lid_hop.tolist()
+        path_lids = [
+            lid_list[s:e] for s, e in zip(lbounds, lbounds[1:])
+        ]
+        pbounds = off.tolist()
+        pid_list = pid_flat.tolist()
+        path_pids = [
+            pid_list[s:e] for s, e in zip(pbounds, pbounds[1:])
+        ]
+        # lpaths: hops grouped by lid (group-internal order is free)
+        path_of_hop = _np.repeat(
+            _np.arange(len(plen), dtype=_np.int64), plen - 1
+        )
+        grouped = path_of_hop[_np.argsort(lid_hop)].tolist()
+        group_off = _np.empty(n_links + 1, dtype=_np.int64)
+        group_off[0] = 0
+        _np.cumsum(
+            _np.bincount(lid_hop, minlength=n_links), out=group_off[1:]
+        )
+        gbounds = group_off.tolist()
+        lpaths = [grouped[s:e] for s, e in zip(gbounds, gbounds[1:])]
+        self._lpaths = lpaths
+        self._path_nodes = list(paths.paths)
+        self._path_lids = path_lids
+        self._path_pids = path_pids
+        self._np_pid_flat = pid_flat
+        if bool((plen >= 2).all()):
+            # hop-level view for the fold's vectorized candidate filter
+            pos = _np.arange(len(lid_hop), dtype=_np.int64)
+            pos -= _np.repeat(link_off[:-1], plen - 1)
+            self._np_fold = (lid_hop, a[valid], b[valid], pos, link_off)
+        return True
+
+    def _mark_link(self, a: int, b: int, state: int) -> None:
+        """Record a link's new fold state and flag it dirty."""
+        if self._key_lid is None:
+            return
+        key = (a << 32) | b if a <= b else (b << 32) | a
+        lid = self._key_lid.get(key)
+        if lid is None:
+            return  # link outside the indexed corpus: no path reads it
+        assert self._lstate is not None
+        self._lstate[lid] = state
+        self._dirty_lids.append(lid)
+
+    def _note_p2c(self, provider: int, customer: int) -> None:
+        """Maintain the transitive-closure bitsets on an accepted edge."""
+        pid = self._asn_id(provider)
+        cid = self._asn_id(customer)
+        anc, desc = self._anc, self._desc
+        above = anc[pid] | (1 << pid)  # provider and everything over it
+        below = desc[cid] | (1 << cid)  # customer and its whole subtree
+        bits = above
+        while bits:
+            low = bits & -bits
+            desc[low.bit_length() - 1] |= below
+            bits ^= low
+        bits = below
+        while bits:
+            low = bits & -bits
+            anc[low.bit_length() - 1] |= above
+            bits ^= low
 
     # ------------------------------------------------------------------
     # mutation (used by the engine)
@@ -147,6 +356,17 @@ class InferenceResult:
 
     def _would_cycle(self, provider: int, customer: int) -> bool:
         """Would ``provider→customer`` close a loop in the p2c DAG?"""
+        if provider == customer:
+            return True
+        if self.config.fast:
+            pid = self._asn_id(provider)
+            cid = self._asn_id(customer)
+            return bool((self._desc[cid] >> pid) & 1)
+        return self._would_cycle_bfs(provider, customer)
+
+    def _would_cycle_bfs(self, provider: int, customer: int) -> bool:
+        """Reference per-vote BFS over the customer adjacency (the seed
+        implementation; kept for the fast-path equivalence tests)."""
         if provider == customer:
             return True
         queue = deque([customer])
@@ -211,6 +431,8 @@ class InferenceResult:
         self._step[pair] = step
         self.customers.setdefault(provider, set()).add(customer)
         self.providers.setdefault(customer, set()).add(provider)
+        self._note_p2c(provider, customer)
+        self._mark_link(provider, customer, provider)
         return True
 
     def set_p2p(self, a: int, b: int, step: Step) -> bool:
@@ -234,6 +456,7 @@ class InferenceResult:
         self._step[pair] = step
         self.peers.setdefault(a, set()).add(b)
         self.peers.setdefault(b, set()).add(a)
+        self._mark_link(a, b, -1)
         return True
 
     def set_s2s(self, a: int, b: int, step: Step) -> bool:
@@ -247,6 +470,7 @@ class InferenceResult:
         self._step[pair] = step
         self.siblings.setdefault(a, set()).add(b)
         self.siblings.setdefault(b, set()).add(a)
+        self._mark_link(a, b, -2)
         return True
 
     # ------------------------------------------------------------------
@@ -327,49 +551,69 @@ class _Engine:
 
     def run(self) -> InferenceResult:
         config = self.config
-        clique = (
-            infer_clique(
-                self.raw_paths,
-                seed_size=config.clique_seed_size,
-                stop_after=config.clique_stop_after,
+        with perf.stage("clique"):
+            clique = (
+                infer_clique(
+                    self.raw_paths,
+                    seed_size=config.clique_seed_size,
+                    stop_after=config.clique_stop_after,
+                )
+                if config.enable_clique
+                else CliqueResult(members=[], seed_members=[], added_members=[])
             )
-            if config.enable_clique
-            else CliqueResult(members=[], seed_members=[], added_members=[])
-        )
 
         paths = self.raw_paths
         discarded = 0
         if config.enable_poisoned_filter and clique.members:
-            paths, discarded = _discard_poisoned(paths, clique.member_set)
+            with perf.stage("filter-poisoned"):
+                paths, discarded = _discard_poisoned(paths, clique.member_set)
 
         result = InferenceResult(paths=paths, clique=clique, config=config)
         result.discarded_poisoned = discarded
+        if config.fast:
+            with perf.stage("index"):
+                result._init_fast(paths)
 
-        rank = {asn: i for i, asn in enumerate(paths.ranked_asns())}
+        with perf.stage("rank"):
+            rank = {asn: i for i, asn in enumerate(paths.ranked_asns())}
+        perf.counter("paths", len(paths))
 
         if config.known_siblings:
-            _step_siblings(result, paths, config)
+            with perf.stage("siblings"):
+                _step_siblings(result, paths, config)
         if config.enable_clique:
-            _step_clique(result, paths, clique)
+            with perf.stage("clique-peers"):
+                _step_clique(result, paths, clique)
         if config.enable_partial_vp:
-            _step_partial_vp(result, paths, config)
+            with perf.stage("partial-vp"):
+                _step_partial_vp(result, paths, config)
         if config.enable_topdown:
-            _step_topdown(result, paths, rank)
+            with perf.stage("topdown"):
+                _step_topdown(result, paths, rank)
         if config.enable_fold:
-            _step_fold(result, paths)
+            with perf.stage("fold"):
+                _step_fold(result, paths)
         if config.enable_stub:
-            _step_stub(result, paths)
+            with perf.stage("stub"):
+                _step_stub(result, paths)
             if config.enable_fold:
-                _step_fold(result, paths)
+                with perf.stage("fold"):
+                    _step_fold(result, paths)
         if config.enable_degree_gap:
-            _step_degree_gap(result, paths, config)
+            with perf.stage("degree-gap"):
+                _step_degree_gap(result, paths, config)
             if config.enable_fold:
-                _step_fold(result, paths)
+                with perf.stage("fold"):
+                    _step_fold(result, paths)
         if config.enable_providerless:
-            _step_providerless(result, paths, rank)
+            with perf.stage("providerless"):
+                _step_providerless(result, paths, rank)
             if config.enable_fold:
-                _step_fold(result, paths)
-        _step_remaining_p2p(result, paths)
+                with perf.stage("fold"):
+                    _step_fold(result, paths)
+        with perf.stage("remaining-p2p"):
+            _step_remaining_p2p(result, paths)
+        perf.counter("links", len(result))
         return result
 
 
@@ -377,7 +621,8 @@ def infer_relationships(
     paths: PathSet, config: Optional[InferenceConfig] = None
 ) -> InferenceResult:
     """Run the full ASRank pipeline over a sanitized path corpus."""
-    return _Engine(paths, config or InferenceConfig()).run()
+    with perf.stage("infer"):
+        return _Engine(paths, config or InferenceConfig()).run()
 
 
 # ---------------------------------------------------------------------------
@@ -394,9 +639,46 @@ def _discard_poisoned(
     once, so clique members must appear as one contiguous run of length
     ≤ 2.  Anything else is a poisoned announcement or a route leak.
     """
+    view = paths.numpy_view()
+    if view is not None:
+        flat, plen, off = view
+        member = _np.isin(flat, _np.fromiter(clique, dtype=_np.int64,
+                                             count=len(clique)))
+        counts = _np.add.reduceat(member, off[:-1])
+        bad = counts > 2
+        twos = _np.flatnonzero(counts == 2)
+        if len(twos):
+            # the two clique hops must be adjacent; compare the flat
+            # positions of each such path's first and second member hop
+            member_idx = _np.flatnonzero(member)
+            member_path = _np.searchsorted(off[1:], member_idx,
+                                           side="right")
+            starts = _np.searchsorted(member_path, twos)
+            gap = member_idx[starts + 1] - member_idx[starts]
+            bad[twos[gap != 1]] = True
+        discarded = int(bad.sum())
+        if not discarded:
+            return paths, 0  # keep the original object (and its caches)
+        keep = ~bad
+        kept = list(compress(paths.paths, keep.tolist()))
+        out = paths.filtered(kept)
+        # seed the filtered corpus's flat view from the parent's by
+        # masking, sparing the index stage a full rebuild
+        new_plen = plen[keep]
+        new_off = _np.empty(len(new_plen) + 1, dtype=_np.int64)
+        new_off[0] = 0
+        _np.cumsum(new_plen, out=new_off[1:])
+        out._np_view = (flat[_np.repeat(keep, plen)], new_plen, new_off)
+        return out, discarded
+
     kept: List[Tuple[int, ...]] = []
+    kept_append = kept.append
+    isdisjoint = clique.isdisjoint
     discarded = 0
     for path in paths:
+        if isdisjoint(path):
+            kept_append(path)
+            continue
         positions = [i for i, asn in enumerate(path) if asn in clique]
         if len(positions) > 2:
             discarded += 1
@@ -404,7 +686,9 @@ def _discard_poisoned(
         if len(positions) == 2 and positions[1] - positions[0] != 1:
             discarded += 1
             continue
-        kept.append(path)
+        kept_append(path)
+    if not discarded:
+        return paths, 0  # keep the original object (and its caches)
     return paths.filtered(kept), discarded
 
 
@@ -466,30 +750,81 @@ def _step_topdown(
     result: InferenceResult, paths: PathSet, rank: Dict[int, int]
 ) -> None:
     """S5: peak-relative sweep, highest peaks first."""
+    big = 1 << 30
+    lstate = result._lstate
+    path_lids = result._path_lids
 
-    def peak_index(path: Tuple[int, ...]) -> int:
-        best = 0
-        for i, asn in enumerate(path):
-            if rank.get(asn, 1 << 30) < rank.get(path[best], 1 << 30):
-                best = i
-        return best
-
-    order: List[Tuple[int, int, Tuple[int, ...]]] = []
-    for path in paths:
-        i = peak_index(path)
-        order.append((rank.get(path[i], 1 << 30), i, path))
-    order.sort(key=lambda item: (item[0], item[2]))
-
-    for _, i, path in order:
+    order: List[Tuple[int, Tuple[int, ...], int, int]] = []
+    if result._np_pid_flat is not None and lstate is not None:
+        # vectorized peak scan: pack (rank, position) so a single
+        # segmented minimum yields both the peak rank and its first
+        # index per path (first minimum wins, like the reference scan)
+        flat, plen, off = paths.numpy_view()
+        rank_arr = _np.full(len(result._id_asns), big, dtype=_np.int64)
+        for asn, idx in result._ids.items():
+            rank_arr[idx] = rank.get(asn, big)
+        pos = _np.arange(len(flat), dtype=_np.int64)
+        pos -= _np.repeat(off[:-1], plen)
+        packed = (rank_arr[result._np_pid_flat] << 20) | pos
+        mins = _np.minimum.reduceat(packed, off[:-1])
+        order = list(
+            zip(
+                (mins >> 20).tolist(),
+                paths.paths,
+                (mins & ((1 << 20) - 1)).tolist(),
+                range(len(plen)),
+            )
+        )
+    else:
+        order_append = order.append
+        if lstate is not None:
+            # dense-id rank array: the peak scan runs in C via
+            # map/min/index (first minimum wins, like the reference)
+            rank_arr_list = [big] * len(result._id_asns)
+            for asn, idx in result._ids.items():
+                rank_arr_list[idx] = rank.get(asn, big)
+            rank_item = rank_arr_list.__getitem__
+            for pi, path in enumerate(paths):
+                ranks = list(map(rank_item, result._path_pids[pi]))
+                best_rank = min(ranks)
+                order_append((best_rank, path, ranks.index(best_rank), pi))
+        else:
+            rank_get = rank.get
+            for pi, path in enumerate(paths):
+                best, best_rank = 0, rank_get(path[0], big)
+                for i, asn in enumerate(path):
+                    r = rank_get(asn, big)
+                    if r < best_rank:
+                        best, best_rank = i, r
+                order_append((best_rank, path, best, pi))
+    order.sort()
+    set_p2c = result.set_p2c
+    for _, path, i, pi in order:
+        # a link already labeled with the vote's provider is an agreeing
+        # vote (a guaranteed no-op), any other label is a refusal: both
+        # are readable straight off the link-state array
+        lids = path_lids[pi] if lstate is not None else None
         # descend right of the peak: path[j] provides for path[j+1];
         # stop at the first contradiction — the path's shape no longer
         # matches our peak assumption beyond that point
         for j in range(i + 1, len(path) - 1):
-            if not result.set_p2c(path[j], path[j + 1], Step.S5_TOPDOWN):
+            if lids is not None:
+                s = lstate[lids[j]]
+                if s == path[j]:
+                    continue
+                if s != 0:
+                    break
+            if not set_p2c(path[j], path[j + 1], Step.S5_TOPDOWN):
                 break
         # descend left of the peak: path[j+1] provides for path[j]
         for j in range(i - 2, -1, -1):
-            if not result.set_p2c(path[j + 1], path[j], Step.S5_TOPDOWN):
+            if lids is not None:
+                s = lstate[lids[j]]
+                if s == path[j + 1]:
+                    continue
+                if s != 0:
+                    break
+            if not set_p2c(path[j + 1], path[j], Step.S5_TOPDOWN):
                 break
 
 
@@ -512,6 +847,164 @@ def _step_fold(result: InferenceResult, paths: PathSet) -> None:
     link, then descends.  So any link after a DOWN/PEER link must be
     DOWN, and any link before an UP/PEER link must be UP.
     """
+    if result.config.fast and result._lstate is not None:
+        _step_fold_fast(result)
+    else:
+        _step_fold_reference(result, paths)
+
+
+def _step_fold_fast(result: InferenceResult) -> None:
+    """Dirty-path fold: reprocess only paths whose link states changed.
+
+    A path whose link states are unchanged since its last fold pass is a
+    guaranteed no-op: every vote it would cast was already cast and
+    either succeeded (so a state changed — contradiction) or was refused
+    for a reason that cannot un-happen (clique membership is fixed, and
+    the p2c DAG only grows, so cycle refusals are permanent).  Dropping
+    those paths preserves the exact label/step outcome of the full
+    rescan; only duplicate refusal entries in ``conflicts`` are elided.
+
+    Within a round, paths run in corpus order, and a vote cast at path
+    ``i`` re-queues any dirtied path ``j > i`` into the *same* round —
+    exactly when the reference full scan would reach ``j`` and see the
+    new state.  Paths ``j <= i`` go to the next round, as they would be
+    rescanned then.
+    """
+    lstate = result._lstate
+    assert lstate is not None
+    path_nodes = result._path_nodes
+    path_lids = result._path_lids
+    lpaths = result._lpaths
+    dirty = result._dirty_lids
+    set_p2c = result.set_p2c
+    n_paths = len(path_nodes)
+
+    pending = result._fold_pending
+    if not result._fold_primed:
+        nfold = result._np_fold
+        if nfold is not None and not result.siblings:
+            # vectorized candidate filter: with no sibling links in the
+            # corpus, a path can vote forward iff some unknown hop lies
+            # after a DOWN/PEER hop, and backward iff some unknown hop
+            # lies before an UP/PEER hop — everything else is a no-op
+            lid_hop, left, right, hop_pos, link_off = nfold
+            s = _np.array(lstate, dtype=_np.int64)[lid_hop]
+            unknown = s == 0
+            pending = set()
+            if unknown.any():
+                far = 1 << 40
+                peer = s == -1
+                marker_f = peer | (s == left)
+                marker_b = peer | (s == right)
+                starts = link_off[:-1]
+                first_mf = _np.minimum.reduceat(
+                    _np.where(marker_f, hop_pos, far), starts
+                )
+                last_unk = _np.maximum.reduceat(
+                    _np.where(unknown, hop_pos, -1), starts
+                )
+                last_mb = _np.maximum.reduceat(
+                    _np.where(marker_b, hop_pos, -1), starts
+                )
+                first_unk = _np.minimum.reduceat(
+                    _np.where(unknown, hop_pos, far), starts
+                )
+                cand = (last_unk > first_mf) | (first_unk < last_mb)
+                pending = set(_np.flatnonzero(cand).tolist())
+        else:
+            # only paths that still carry an unknown link can cast a
+            # vote (scans vote on unknown states alone)
+            pending = set()
+            for lid, state in enumerate(lstate):
+                if state == 0:
+                    pending.update(lpaths[lid])
+        result._fold_primed = True
+        result._fold_cursor = len(dirty)
+    else:
+        cursor = result._fold_cursor
+        while cursor < len(dirty):
+            pending.update(lpaths[dirty[cursor]])
+            cursor += 1
+        result._fold_cursor = cursor
+
+    def scan(i: int) -> None:
+        """One forward+backward constraint pass over path ``i``."""
+        nodes = path_nodes[i]
+        states = [lstate[l] for l in path_lids[i]]
+        # forward: after the first DOWN or PEER everything descends
+        # (sibling links reset the constraint, as in the reference)
+        seen_descent = False
+        for j, s in enumerate(states):
+            if s == -2:
+                seen_descent = False
+                continue
+            if s == 0:
+                if seen_descent and set_p2c(
+                    nodes[j], nodes[j + 1], Step.S6_FOLD
+                ):
+                    states[j] = nodes[j]
+                continue
+            if s == -1 or s == nodes[j]:
+                seen_descent = True
+        # backward: before the last UP or PEER everything ascends
+        seen_ascent = False
+        for j in range(len(states) - 1, -1, -1):
+            s = states[j]
+            if s == -2:
+                seen_ascent = False
+                continue
+            if s == 0:
+                if seen_ascent and set_p2c(
+                    nodes[j + 1], nodes[j], Step.S6_FOLD
+                ):
+                    states[j] = nodes[j + 1]
+                continue
+            if s == -1 or s == nodes[j + 1]:
+                seen_ascent = True
+
+    for _ in range(result.config.max_fold_rounds):
+        if not pending:
+            break
+        next_pending: Set[int] = set()
+        if len(pending) == n_paths:
+            # full round: plain ascending iteration already visits every
+            # freshly dirtied later path, so no queue is needed
+            for i in range(n_paths):
+                watermark = len(dirty)
+                scan(i)
+                while watermark < len(dirty):
+                    for pj in lpaths[dirty[watermark]]:
+                        if pj <= i:
+                            next_pending.add(pj)
+                    watermark += 1
+        else:
+            # sparse round: min-heap in corpus order; a vote cast at path
+            # i re-queues dirtied paths j > i into this same round (the
+            # reference full scan would reach them with the new state),
+            # while paths j <= i wait for the next round
+            heap = sorted(pending)
+            in_heap = set(heap)
+            while heap:
+                i = heapq.heappop(heap)
+                in_heap.discard(i)
+                watermark = len(dirty)
+                scan(i)
+                while watermark < len(dirty):
+                    for pj in lpaths[dirty[watermark]]:
+                        if pj > i:
+                            if pj not in in_heap:
+                                in_heap.add(pj)
+                                heapq.heappush(heap, pj)
+                        else:
+                            next_pending.add(pj)
+                    watermark += 1
+        pending = next_pending
+        result._fold_cursor = len(dirty)
+    result._fold_pending = pending
+
+
+def _step_fold_reference(result: InferenceResult, paths: PathSet) -> None:
+    """Full-rescan fold (the seed implementation, kept for equivalence)."""
     for _ in range(result.config.max_fold_rounds):
         changed = False
         for path in paths:

@@ -18,6 +18,7 @@ the algorithm ranks ASes by:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import (
     Dict,
     FrozenSet,
@@ -29,6 +30,11 @@ from typing import (
     Set,
     Tuple,
 )
+
+try:  # optional: vectorized corpus passes (pure-Python fallbacks below)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the standard image
+    _np = None
 
 # Reserved / private ASN space (RFC 6996, RFC 5398, AS_TRANS, 32-bit
 # private).  Paths carrying these are measurement artifacts.
@@ -109,6 +115,15 @@ class PathSet:
         )
         self._node_neighbors: Optional[Dict[int, Set[int]]] = None
         self._transit_neighbors: Optional[Dict[int, Set[int]]] = None
+        # a PathSet is immutable after construction, so the corpus-wide
+        # scans below are computed once and cached (callers treat the
+        # returned collections as read-only)
+        self._asns: Optional[Set[int]] = None
+        self._links: Optional[Set[Tuple[int, int]]] = None
+        self._ranked: Optional[List[int]] = None
+        # flat numpy encoding of the corpus (``numpy_view``), shared by
+        # every vectorized pass over the hops
+        self._np_view: Optional[Tuple[object, object, object]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -173,16 +188,77 @@ class PathSet:
     def __iter__(self) -> Iterator[Tuple[int, ...]]:
         return iter(self.paths)
 
+    def numpy_view(self):
+        """The corpus as flat numpy arrays ``(flat, plen, off)``.
+
+        ``flat`` concatenates every path, ``plen`` holds each path's
+        length and ``off`` the start offset of each path (with a final
+        sentinel), so a vectorized pass can address any hop or window.
+        Returns ``None`` when numpy is unavailable or the corpus is
+        empty.  Built once and cached (the corpus is immutable).
+        """
+        if _np is None or not self.paths:
+            return None
+        if self._np_view is None:
+            plen = _np.fromiter(
+                (len(p) for p in self.paths),
+                dtype=_np.int64,
+                count=len(self.paths),
+            )
+            total = int(plen.sum())
+            flat = _np.fromiter(
+                chain.from_iterable(self.paths),
+                dtype=_np.int64,
+                count=total,
+            )
+            off = _np.empty(len(plen) + 1, dtype=_np.int64)
+            off[0] = 0
+            _np.cumsum(plen, out=off[1:])
+            self._np_view = (flat, plen, off)
+        return self._np_view
+
+    def _hop_keys(self):
+        """Packed ``(lo << 32) | hi`` key per hop, plus a validity mask
+        (False where the "hop" would span two different paths)."""
+        flat, plen, off = self.numpy_view()
+        a, b = flat[:-1], flat[1:]
+        valid = _np.ones(len(flat) - 1, dtype=bool)
+        valid[off[1:-1] - 1] = False
+        lo = _np.minimum(a, b).astype(_np.uint64)
+        hi = _np.maximum(a, b).astype(_np.uint64)
+        return (lo << _np.uint64(32)) | hi, valid
+
     def asns(self) -> Set[int]:
-        return {asn for path in self.paths for asn in path}
+        if self._asns is None:
+            if self.numpy_view() is not None:
+                flat = self.numpy_view()[0]
+                self._asns = set(map(int, _np.unique(flat).tolist()))
+            else:
+                self._asns = (
+                    set().union(*self.paths) if self.paths else set()
+                )
+        return self._asns
 
     def links(self) -> Set[Tuple[int, int]]:
         """Unordered adjacencies across the corpus."""
-        links: Set[Tuple[int, int]] = set()
-        for path in self.paths:
-            for a, b in zip(path, path[1:]):
-                links.add((a, b) if a < b else (b, a))
-        return links
+        if self._links is None:
+            if self.numpy_view() is not None:
+                keys, valid = self._hop_keys()
+                uniq = _np.unique(keys[valid])
+                self._links = {
+                    (int(k >> 32), int(k & 0xFFFFFFFF))
+                    for k in uniq.tolist()
+                }
+            else:
+                # collect the (few thousand) distinct ordered hops at C
+                # speed first, canonicalize the small set afterwards
+                hops = set(
+                    chain.from_iterable(zip(p, p[1:]) for p in self.paths)
+                )
+                self._links = {
+                    (a, b) if a < b else (b, a) for a, b in hops
+                }
+        return self._links
 
     def triples(self) -> Iterator[Tuple[int, int, int]]:
         """All consecutive (left, middle, right) hops across the corpus."""
@@ -194,20 +270,52 @@ class PathSet:
     # degrees
     # ------------------------------------------------------------------
 
+    def _transit_pairs(self) -> Iterable[Tuple[int, int]]:
+        """Distinct ``(mid, neighbor)`` pairs over all interior hops."""
+        view = self.numpy_view()
+        if view is not None and len(view[0]) >= 3:
+            flat, plen, off = view
+            mid = flat[1:-1].astype(_np.uint64)
+            left = flat[:-2].astype(_np.uint64)
+            right = flat[2:].astype(_np.uint64)
+            valid = _np.ones(len(flat) - 2, dtype=bool)
+            bounds = off[1:-1]
+            valid[bounds - 1] = False
+            valid[_np.maximum(bounds - 2, 0)] = False
+            shift = _np.uint64(32)
+            keys = _np.concatenate(
+                (
+                    ((mid << shift) | left)[valid],
+                    ((mid << shift) | right)[valid],
+                )
+            )
+            for k in _np.unique(keys).tolist():
+                yield k >> 32, k & 0xFFFFFFFF
+            return
+        # fallback: dedupe (left, mid, right) windows at C speed, then
+        # expand the small distinct-triple set
+        windows = set(
+            chain.from_iterable(zip(p, p[1:], p[2:]) for p in self.paths)
+        )
+        for left, mid, right in windows:
+            yield mid, left
+            yield mid, right
+
     def _build_degrees(self) -> None:
+        # node adjacency straight from the (much smaller) link set
         node: Dict[int, Set[int]] = {}
+        for a, b in self.links():
+            node.setdefault(a, set()).add(b)
+            node.setdefault(b, set()).add(a)
+        for asn in self.asns():
+            node.setdefault(asn, set())
         transit: Dict[int, Set[int]] = {}
-        for path in self.paths:
-            for i, asn in enumerate(path):
-                neighbors = node.setdefault(asn, set())
-                if i > 0:
-                    neighbors.add(path[i - 1])
-                if i + 1 < len(path):
-                    neighbors.add(path[i + 1])
-                if 0 < i < len(path) - 1:
-                    mid = transit.setdefault(asn, set())
-                    mid.add(path[i - 1])
-                    mid.add(path[i + 1])
+        transit_get = transit.get
+        for mid, neighbor in self._transit_pairs():
+            neighbors = transit_get(mid)
+            if neighbors is None:
+                neighbors = transit[mid] = set()
+            neighbors.add(neighbor)
         self._node_neighbors = node
         self._transit_neighbors = transit
 
@@ -234,7 +342,11 @@ class PathSet:
     def ranked_asns(self) -> List[int]:
         """ASes sorted by the paper's ranking: transit degree desc, then
         node degree desc, then ASN asc (determinism)."""
-        return sorted(
-            self.asns(),
-            key=lambda asn: (-self.transit_degree(asn), -self.node_degree(asn), asn),
-        )
+        if self._ranked is None:
+            self._ranked = sorted(
+                self.asns(),
+                key=lambda asn: (
+                    -self.transit_degree(asn), -self.node_degree(asn), asn
+                ),
+            )
+        return self._ranked

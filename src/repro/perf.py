@@ -1,0 +1,219 @@
+"""Pipeline instrumentation: nested stage timers and counters.
+
+Every hot stage of the pipeline (generate → collect → sanitize →
+infer → cones) reports into a :class:`PerfRecorder`, so any run can be
+asked for a per-stage cost profile instead of hand-rolling
+``time.perf_counter()`` around call sites.  The API is deliberately
+tiny:
+
+    >>> from repro import perf
+    >>> rec = perf.PerfRecorder()
+    >>> with perf.use_recorder(rec):
+    ...     with perf.stage("infer"):
+    ...         with perf.stage("fold"):
+    ...             pass
+    ...         perf.counter("links", 42)
+    >>> rec.flat()["infer/fold"] >= 0.0
+    True
+
+Stages nest: entering ``stage("fold")`` inside ``stage("infer")``
+accumulates time under ``infer/fold``.  Re-entering a stage name at the
+same nesting level accumulates into the same node (``calls`` counts the
+re-entries), which is how the four fold passes of one inference run
+show up as a single ``fold`` row.
+
+A module-level default recorder collects everything when the caller
+does not install one; ``use_recorder`` swaps it for a scoped recorder
+(benchmarks use this to isolate one pipeline run per measurement).
+The recorder is process-local: multiprocessing workers record into
+their own copy, which is intentional — the parent's profile then shows
+the wall-clock cost of the fan-out, not the summed worker CPU.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class StageStats:
+    """One node of the stage tree: accumulated seconds + counters."""
+
+    __slots__ = ("name", "seconds", "calls", "counters", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.seconds: float = 0.0
+        self.calls: int = 0
+        self.counters: Dict[str, float] = {}
+        self.children: Dict[str, "StageStats"] = {}
+
+    def child(self, name: str) -> "StageStats":
+        node = self.children.get(name)
+        if node is None:
+            node = StageStats(name)
+            self.children[name] = node
+        return node
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict view (JSON-serializable)."""
+        out: Dict[str, object] = {
+            "seconds": self.seconds,
+            "calls": self.calls,
+        }
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = {
+                name: node.snapshot() for name, node in self.children.items()
+            }
+        return out
+
+
+class PerfRecorder:
+    """Collects a tree of stage timings plus named counters.
+
+    Not thread-safe by design: one recorder per pipeline run.
+    """
+
+    def __init__(self) -> None:
+        self._root = StageStats("")
+        self._stack: List[StageStats] = [self._root]
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[StageStats]:
+        """Time a named stage; nests under the innermost open stage."""
+        node = self._stack[-1].child(name)
+        node.calls += 1
+        self._stack.append(node)
+        start = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.seconds += time.perf_counter() - start
+            self._stack.pop()
+
+    def counter(self, name: str, value: float = 1) -> None:
+        """Accumulate a named counter on the innermost open stage."""
+        node = self._stack[-1]
+        node.counters[name] = node.counters.get(name, 0) + value
+
+    def reset(self) -> None:
+        self._root = StageStats("")
+        self._stack = [self._root]
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The stage tree as nested plain dicts (top-level stages)."""
+        children = self._root.snapshot().get("children", {})
+        assert isinstance(children, dict)
+        return children
+
+    def flat(self, sep: str = "/") -> Dict[str, float]:
+        """``"infer/fold" -> seconds`` for every stage in the tree."""
+        out: Dict[str, float] = {}
+
+        def walk(node: StageStats, prefix: str) -> None:
+            for name, child in node.children.items():
+                path = f"{prefix}{sep}{name}" if prefix else name
+                out[path] = child.seconds
+                walk(child, path)
+
+        walk(self._root, "")
+        return out
+
+    def counters(self, sep: str = "/") -> Dict[str, float]:
+        """``"collect/origins" -> value`` for every recorded counter."""
+        out: Dict[str, float] = {}
+
+        def walk(node: StageStats, prefix: str) -> None:
+            for cname, value in node.counters.items():
+                path = f"{prefix}{sep}{cname}" if prefix else cname
+                out[path] = value
+            for name, child in node.children.items():
+                walk(child, f"{prefix}{sep}{name}" if prefix else name)
+
+        walk(self._root, "")
+        return out
+
+    def report_lines(self) -> List[str]:
+        """Human-readable indented profile."""
+        lines: List[str] = []
+
+        def walk(node: StageStats, depth: int) -> None:
+            for name, child in node.children.items():
+                extras = ""
+                if child.calls > 1:
+                    extras += f"  x{child.calls}"
+                for cname, value in child.counters.items():
+                    extras += f"  {cname}={value:g}"
+                lines.append(
+                    f"{'  ' * depth}{name:<24}{child.seconds:>10.4f}s{extras}"
+                )
+                walk(child, depth + 1)
+
+        walk(self._root, 0)
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# module-level default recorder
+# ---------------------------------------------------------------------------
+
+_recorder = PerfRecorder()
+
+
+def get_recorder() -> PerfRecorder:
+    """The recorder currently collecting pipeline stages."""
+    return _recorder
+
+
+def set_recorder(recorder: PerfRecorder) -> PerfRecorder:
+    """Install ``recorder`` globally; returns the previous one."""
+    global _recorder
+    previous = _recorder
+    _recorder = recorder
+    return previous
+
+
+@contextmanager
+def use_recorder(recorder: PerfRecorder) -> Iterator[PerfRecorder]:
+    """Scope ``recorder`` as the active one, restoring on exit."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+def stage(name: str):
+    """``with perf.stage("infer"): ...`` on the active recorder."""
+    return _recorder.stage(name)
+
+
+def counter(name: str, value: float = 1) -> None:
+    _recorder.counter(name, value)
+
+
+def reset() -> None:
+    _recorder.reset()
+
+
+def snapshot() -> Dict[str, object]:
+    return _recorder.snapshot()
+
+
+def flat(sep: str = "/") -> Dict[str, float]:
+    return _recorder.flat(sep)
+
+
+def report_lines() -> List[str]:
+    return _recorder.report_lines()

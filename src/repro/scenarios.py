@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro import perf
 from repro.bgp.collector import Collector, CollectorConfig, PathCorpus
 from repro.bgp.noise import NoiseConfig
 from repro.core.inference import InferenceConfig, InferenceResult, infer_relationships
@@ -31,16 +32,23 @@ class Scenario:
     inference: InferenceConfig = field(default_factory=InferenceConfig)
 
     def build_graph(self) -> ASGraph:
-        return generate_topology(self.generator)
+        with perf.stage("generate"):
+            return generate_topology(self.generator)
 
     def collect(self, graph: Optional[ASGraph] = None) -> Tuple[ASGraph, PathCorpus]:
         graph = graph or self.build_graph()
         return graph, Collector(graph, self.collector).run()
 
     def run(self) -> Tuple[ASGraph, PathCorpus, PathSet, InferenceResult]:
-        """Full pipeline: generate → simulate → sanitize → infer."""
+        """Full pipeline: generate → simulate → sanitize → infer.
+
+        Each stage reports into the active :mod:`repro.perf` recorder
+        (``generate`` / ``collect`` / ``sanitize`` / ``infer``), so
+        callers get a per-stage cost profile for free.
+        """
         graph, corpus = self.collect()
-        paths = PathSet.sanitize(corpus.paths, ixp_asns=graph.ixp_asns())
+        with perf.stage("sanitize"):
+            paths = PathSet.sanitize(corpus.paths, ixp_asns=graph.ixp_asns())
         result = infer_relationships(paths, self.inference)
         return graph, corpus, paths, result
 

@@ -1,0 +1,50 @@
+"""Determinism of the multiprocessing collection fan-out."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bgp.collector import Collector, CollectorConfig
+from repro.bgp.noise import NoiseConfig
+from repro.topology.generator import GeneratorConfig, generate_topology
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_topology(GeneratorConfig(n_ases=120, seed=5))
+
+
+def _corpus_key(corpus):
+    return (
+        corpus.paths,
+        corpus.path_counts,
+        [(r.vp, r.prefix, r.path, r.communities) for r in corpus.rib],
+    )
+
+
+class TestParallelCollection:
+    def test_noise_free_parallel_matches_serial_exactly(self, graph):
+        base = CollectorConfig(n_vps=8, seed=11, noise=NoiseConfig.none())
+        serial = Collector(graph, base).run()
+        parallel = Collector(graph, replace(base, workers=2)).run()
+        assert _corpus_key(parallel) == _corpus_key(serial)
+
+    def test_worker_count_does_not_change_the_corpus(self, graph):
+        base = CollectorConfig(n_vps=8, seed=11)  # default (noisy) config
+        two = Collector(graph, replace(base, workers=2)).run()
+        three = Collector(graph, replace(base, workers=3)).run()
+        assert _corpus_key(two) == _corpus_key(three)
+
+    def test_parallel_run_is_reproducible(self, graph):
+        config = CollectorConfig(n_vps=8, seed=11, workers=2)
+        assert _corpus_key(Collector(graph, config).run()) == _corpus_key(
+            Collector(graph, config).run()
+        )
+
+    def test_workers_zero_is_serial(self, graph):
+        base = CollectorConfig(n_vps=8, seed=11)
+        assert _corpus_key(Collector(graph, base).run()) == _corpus_key(
+            Collector(graph, replace(base, workers=0)).run()
+        )

@@ -149,3 +149,35 @@ class TestDegrees:
         assert len(sub) == 1
         assert sub.stats is ps.stats
         assert sub.transit_degree(20) == 2
+
+
+class TestMemoization:
+    """PathSet is immutable: corpus-wide scans are computed once."""
+
+    @pytest.fixture
+    def ps(self):
+        return PathSet([(10, 20, 30), (10, 20, 40)])
+
+    def test_asns_cached(self, ps):
+        assert ps.asns() is ps.asns()
+
+    def test_links_cached(self, ps):
+        assert ps.links() is ps.links()
+
+    def test_ranked_cached(self, ps):
+        assert ps.ranked_asns() is ps.ranked_asns()
+
+    def test_filtered_does_not_share_caches(self, ps):
+        ps.asns()
+        ps.links()
+        sub = ps.filtered([(10, 20, 30)])
+        assert sub.asns() == {10, 20, 30}
+        assert sub.links() == {(10, 20), (20, 30)}
+        # and the parent's caches are untouched
+        assert ps.asns() == {10, 20, 30, 40}
+
+    def test_empty_corpus(self):
+        empty = PathSet([])
+        assert empty.asns() == set()
+        assert empty.links() == set()
+        assert empty.ranked_asns() == []

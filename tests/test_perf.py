@@ -1,0 +1,112 @@
+"""Unit tests for the perf instrumentation layer."""
+
+from __future__ import annotations
+
+import time
+
+from repro import perf
+from repro.core.inference import infer_relationships
+from repro.core.paths import PathSet
+
+
+class TestStageTree:
+    def test_nesting_accumulates_under_parent(self):
+        rec = perf.PerfRecorder()
+        with rec.stage("infer"):
+            with rec.stage("fold"):
+                pass
+            with rec.stage("fold"):
+                pass
+        flat = rec.flat()
+        assert set(flat) == {"infer", "infer/fold"}
+        assert flat["infer"] >= flat["infer/fold"] >= 0.0
+
+    def test_reentry_counts_calls(self):
+        rec = perf.PerfRecorder()
+        for _ in range(3):
+            with rec.stage("fold"):
+                pass
+        assert rec.snapshot()["fold"]["calls"] == 3
+
+    def test_seconds_actually_measure_time(self):
+        rec = perf.PerfRecorder()
+        with rec.stage("sleep"):
+            time.sleep(0.01)
+        assert rec.flat()["sleep"] >= 0.009
+
+    def test_counters_attach_to_open_stage(self):
+        rec = perf.PerfRecorder()
+        with rec.stage("collect"):
+            rec.counter("origins", 5)
+            rec.counter("origins", 2)
+        assert rec.counters() == {"collect/origins": 7}
+
+    def test_stage_closed_on_exception(self):
+        rec = perf.PerfRecorder()
+        try:
+            with rec.stage("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        # the stack unwound: a new top-level stage is a sibling
+        with rec.stage("after"):
+            pass
+        assert set(rec.flat()) == {"boom", "after"}
+
+    def test_snapshot_is_json_like(self):
+        rec = perf.PerfRecorder()
+        with rec.stage("a"):
+            with rec.stage("b"):
+                rec.counter("n")
+        snap = rec.snapshot()
+        assert snap["a"]["children"]["b"]["counters"] == {"n": 1}
+
+    def test_report_lines_indent_children(self):
+        rec = perf.PerfRecorder()
+        with rec.stage("outer"):
+            with rec.stage("inner"):
+                pass
+        lines = rec.report_lines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+
+
+class TestScopedRecorder:
+    def test_use_recorder_scopes_and_restores(self):
+        scoped = perf.PerfRecorder()
+        before = perf.get_recorder()
+        with perf.use_recorder(scoped):
+            assert perf.get_recorder() is scoped
+            with perf.stage("x"):
+                pass
+        assert perf.get_recorder() is before
+        assert "x" in scoped.flat()
+        assert "x" not in before.flat()
+
+    def test_reset_clears(self):
+        rec = perf.PerfRecorder()
+        with rec.stage("x"):
+            pass
+        rec.reset()
+        assert rec.flat() == {}
+
+
+class TestPipelineWiring:
+    def test_inference_reports_stages(self):
+        rec = perf.PerfRecorder()
+        paths = PathSet.sanitize([(10, 1, 2, 20), (20, 2, 1, 10)])
+        with perf.use_recorder(rec):
+            infer_relationships(paths)
+        flat = rec.flat()
+        assert "infer" in flat
+        assert any(key.startswith("infer/") for key in flat)
+
+    def test_scenario_run_reports_stages(self):
+        from repro.scenarios import get_scenario
+
+        rec = perf.PerfRecorder()
+        with perf.use_recorder(rec):
+            get_scenario("tiny").run()
+        flat = rec.flat()
+        for stage in ("generate", "collect", "sanitize", "infer"):
+            assert stage in flat, flat
