@@ -93,22 +93,24 @@ class ASRank:
     ) -> "ASRank":
         """Build from an MRT file (RIB dump and/or update stream).
 
-        RIB rows are taken as-is; update messages are folded into a
-        last-announcement-wins table first.  Prefix origins found in
-        the dump feed the prefix/address cone metrics automatically.
+        Snapshot RIB rows seed a per-(prefix, peer) table which the
+        update messages then mutate: announcements replace entries
+        (re-announced snapshot routes are not double-counted) and
+        withdrawals delete them.  Prefix origins found in the dump feed
+        the prefix/address cone metrics automatically.
         """
         from repro.mrt.reader import MrtReader, RibRecord, UpdateRecord
         from repro.mrt.updates import rib_from_updates
 
-        rib_rows: List[RibRecord] = []
+        snapshot_rows: List[RibRecord] = []
         updates: List[UpdateRecord] = []
         with open(path, "rb") as stream:
             for record in MrtReader(stream):
                 if isinstance(record, RibRecord):
-                    rib_rows.append(record)
+                    snapshot_rows.append(record)
                 elif isinstance(record, UpdateRecord):
                     updates.append(record)
-        rib_rows.extend(rib_from_updates(updates))
+        rib_rows = rib_from_updates(updates, base=snapshot_rows)
 
         prefixes_by_asn: Dict[int, Set[Prefix]] = {}
         for row in rib_rows:

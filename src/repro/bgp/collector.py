@@ -122,10 +122,10 @@ class CollectorConfig:
     n_route_leakers: int = 0
     leak_origin_fraction: float = 0.05
     # >1: fan per-origin propagation across this many worker processes.
-    # The merge is deterministic (origin order) and independent of the
-    # worker count, but parallel runs draw per-path noise from
-    # per-origin RNGs, so a noisy parallel corpus differs from the
-    # serial one (noise-free corpora are bit-identical either way).
+    # The merge is deterministic (origin order) and per-path noise is
+    # drawn from per-origin RNGs in serial and parallel runs alike, so
+    # every worker count (including 0/1, i.e. serial) yields the same
+    # corpus bit for bit.
     workers: int = 0
 
 
@@ -166,7 +166,6 @@ class Collector:
         )
         self.taggers = self._choose_taggers()
         self.leakers = self._choose_leakers()
-        self._noiser = PathNoiser(graph, self.config.noise)
 
     # ------------------------------------------------------------------
     # setup
@@ -251,8 +250,8 @@ class Collector:
         routing AS with at least one prefix).  With
         ``CollectorConfig(workers=N)`` (N > 1) the per-origin
         propagations fan out across worker processes; results merge in
-        origin order, so every worker count N > 1 yields the same
-        corpus (and exactly the serial corpus when noise is disabled).
+        origin order and noise is drawn from per-origin RNGs either
+        way, so every worker count yields exactly the serial corpus.
         """
         with perf.stage("collect"):
             prefix_origins = (
@@ -280,7 +279,9 @@ class Collector:
             else:
                 per_origin = (
                     self._collect_origin(
-                        origin_asn, by_origin[origin_asn], self._noiser
+                        origin_asn,
+                        by_origin[origin_asn],
+                        self._origin_noiser(origin_asn),
                     )
                     for origin_asn in origin_list
                 )

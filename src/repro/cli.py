@@ -22,7 +22,14 @@ from repro.core.cone import ConeDefinition, CustomerCones
 from repro.core.inference import infer_relationships
 from repro.core.paths import PathSet
 from repro.core.rank import rank_ases
-from repro.datasets.serialization import save_as_rel, save_paths, save_ppdc_ases, load_paths
+from repro.datasets.serialization import (
+    DatasetFormatError,
+    save_as_rel,
+    save_paths,
+    save_ppdc_ases,
+    load_paths,
+)
+from repro.mrt.constants import MrtFormatError
 from repro.mrt.updates import write_update_dump
 from repro.mrt.writer import write_rib_dump
 from repro.topology.evolution import generate_series
@@ -142,6 +149,22 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_qa(args: argparse.Namespace) -> int:
+    from repro.qa import QaConfig, replay_paths, run_qa
+
+    if args.replay:
+        report = replay_paths(args.replay, log=print)
+    else:
+        config = QaConfig(
+            seeds=args.seeds,
+            base_seed=args.base_seed,
+            repro_dir=args.repro_dir,
+            shrink=not args.no_shrink,
+        )
+        report = run_qa(config, log=print)
+    return 0 if report.ok else 1
+
+
 def _cmd_rank(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario)
     graph, corpus, paths, result = scenario.run()
@@ -206,13 +229,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arg(rank)
     rank.add_argument("--top", type=int, default=15)
     rank.set_defaults(func=_cmd_rank)
+
+    qa = sub.add_parser(
+        "qa",
+        help="run the seeded differential-invariant sweep (repro.qa)",
+    )
+    qa.add_argument("--seeds", type=int, default=20,
+                    help="number of randomized worlds to sweep (default: 20)")
+    qa.add_argument("--base-seed", type=int, default=0,
+                    help="first seed of the sweep (default: 0)")
+    qa.add_argument("--repro-dir", default="benchmarks/repros",
+                    help="where shrunken failure corpora are written")
+    qa.add_argument("--no-shrink", action="store_true",
+                    help="save failing corpora without delta-debugging them")
+    qa.add_argument("--replay", metavar="PATHS_FILE",
+                    help="re-run the corpus invariants on a saved repro")
+    qa.set_defaults(func=_cmd_qa)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point.  Data and I/O errors exit 2 with a one-line message
+    instead of a traceback; invariant violations from ``qa`` exit 1."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (DatasetFormatError, MrtFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -73,6 +73,14 @@ def load_as_rel(path: str) -> List[Tuple[int, int, Relationship]]:
                 raise DatasetFormatError(
                     f"{path}:{line_number}: non-numeric field in {line!r}"
                 ) from None
+            if a < 0 or b < 0:
+                raise DatasetFormatError(
+                    f"{path}:{line_number}: negative ASN in {line!r}"
+                )
+            if a == b:
+                raise DatasetFormatError(
+                    f"{path}:{line_number}: self-link AS{a}|AS{b} in {line!r}"
+                )
             try:
                 rel = Relationship(code)
             except ValueError:
@@ -116,6 +124,14 @@ def load_ppdc_ases(path: str) -> Dict[int, Set[int]]:
                 raise DatasetFormatError(
                     f"{path}:{line_number}: non-numeric ASN in {line!r}"
                 ) from None
+            if any(value < 0 for value in values):
+                raise DatasetFormatError(
+                    f"{path}:{line_number}: negative ASN in {line!r}"
+                )
+            if values[0] in cones:
+                raise DatasetFormatError(
+                    f"{path}:{line_number}: duplicate cone for AS{values[0]}"
+                )
             cones[values[0]] = set(values[1:])
     return cones
 
@@ -148,9 +164,14 @@ def load_paths(path: str) -> List[Tuple[int, ...]]:
             if not line or line.startswith("#"):
                 continue
             try:
-                paths.append(tuple(int(tok) for tok in line.split()))
+                hops = tuple(int(tok) for tok in line.split())
             except ValueError:
                 raise DatasetFormatError(
                     f"{path}:{line_number}: non-numeric hop in {line!r}"
                 ) from None
+            if any(hop < 0 for hop in hops):
+                raise DatasetFormatError(
+                    f"{path}:{line_number}: negative ASN in {line!r}"
+                )
+            paths.append(hops)
     return paths

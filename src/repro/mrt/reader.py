@@ -36,6 +36,7 @@ class UpdateRecord:
     as_path: Tuple[int, ...]
     announced: Tuple[Prefix, ...]
     communities: Tuple[Tuple[int, int], ...]
+    withdrawn: Tuple[Prefix, ...] = ()
 
 
 def _read_exact(stream: IO[bytes], n: int) -> bytes:
@@ -289,10 +290,23 @@ class MrtReader:
         if msg_type != c.BGP_MSG_UPDATE:
             return None
         body = message[19:]
+        if len(body) < 2:
+            raise c.MrtFormatError("truncated UPDATE withdrawn length")
         (withdrawn_len,) = struct.unpack("!H", body[:2])
-        offset = 2 + withdrawn_len
+        offset = 2
+        withdrawn_end = offset + withdrawn_len
+        if withdrawn_end + 2 > len(body):
+            raise c.MrtFormatError("UPDATE withdrawn routes overrun")
+        withdrawn: List[Prefix] = []
+        while offset < withdrawn_end:
+            prefix, offset = _decode_nlri_prefix(body, offset)
+            withdrawn.append(prefix)
+        if offset != withdrawn_end:
+            raise c.MrtFormatError("UPDATE withdrawn routes misframed")
         (attr_len,) = struct.unpack("!H", body[offset:offset + 2])
         offset += 2
+        if offset + attr_len > len(body):
+            raise c.MrtFormatError("UPDATE attributes overrun")
         as_path, communities = decode_attributes(body[offset:offset + attr_len])
         offset += attr_len
         announced: List[Prefix] = []
@@ -305,6 +319,7 @@ class MrtReader:
             as_path=as_path,
             announced=tuple(announced),
             communities=communities,
+            withdrawn=tuple(withdrawn),
         )
 
 

@@ -10,7 +10,7 @@ last-announcement-wins, as real tooling does.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.mrt.reader import MrtReader, RibRecord, UpdateRecord
 from repro.mrt.writer import MrtWriter
@@ -65,14 +65,28 @@ def read_update_dump(path: str) -> List[UpdateRecord]:
         return [r for r in MrtReader(stream) if isinstance(r, UpdateRecord)]
 
 
-def rib_from_updates(updates: Iterable[UpdateRecord]) -> List[RibRecord]:
+def rib_from_updates(
+    updates: Iterable[UpdateRecord],
+    base: Optional[Iterable[RibRecord]] = None,
+) -> List[RibRecord]:
     """Rebuild per-(prefix, peer) RIB rows from an update stream.
 
     Later announcements for the same (prefix, peer) replace earlier
-    ones — the stream-processing rule every MRT consumer implements.
+    ones, and a withdrawal deletes the (prefix, peer) entry — the
+    stream-processing rules every MRT consumer implements.  Within one
+    UPDATE, withdrawals apply before announcements (RFC 4271: a prefix
+    in both fields is a re-announcement, not a removal).
+
+    ``base`` seeds the table with RIB rows from a snapshot taken before
+    the stream, so announce/withdraw messages update and delete
+    snapshot state instead of duplicating it.
     """
     table: Dict[Tuple[Prefix, int], RibRecord] = {}
+    for row in base or ():
+        table[(row.prefix, row.peer_asn)] = row
     for update in updates:
+        for prefix in update.withdrawn:
+            table.pop((prefix, update.peer_asn), None)
         for prefix in update.announced:
             table[(prefix, update.peer_asn)] = RibRecord(
                 prefix=prefix,

@@ -201,15 +201,29 @@ class MrtWriter:
         as_path: Sequence[int],
         announced: Sequence[Prefix],
         communities: Sequence[Tuple[int, int]] = (),
+        withdrawn: Sequence[Prefix] = (),
     ) -> None:
-        """Emit a BGP4MP_MESSAGE_AS4 record wrapping a BGP UPDATE."""
-        attrs = encode_attributes(as_path, communities=tuple(communities))
+        """Emit a BGP4MP_MESSAGE_AS4 record wrapping a BGP UPDATE.
+
+        A pure withdrawal (no ``announced`` prefixes) carries an empty
+        path-attribute blob, as RFC 4271 speakers send it.
+        """
+        attrs = (
+            encode_attributes(as_path, communities=tuple(communities))
+            if announced
+            else b""
+        )
         nlri = b"".join(
             bytes([p.length]) + p.network.to_bytes(4, "big")[: (p.length + 7) // 8]
             for p in announced
         )
+        wd = b"".join(
+            bytes([p.length]) + p.network.to_bytes(4, "big")[: (p.length + 7) // 8]
+            for p in withdrawn
+        )
         update_body = (
-            struct.pack("!H", 0)  # no withdrawn routes
+            struct.pack("!H", len(wd))
+            + wd
             + struct.pack("!H", len(attrs))
             + attrs
             + nlri

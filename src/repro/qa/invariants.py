@@ -1,0 +1,477 @@
+"""The five invariant families the QA sweep asserts per world.
+
+Every checker returns a list of :class:`Violation` (empty = clean)
+instead of raising, so one sweep reports everything it finds and the
+runner can shrink each failure independently.
+
+The cone-nesting family checks what the algorithm actually guarantees:
+``bgp-observed ⊆ recursive`` is a theorem (a descending run is a p2c
+chain, hence inside the closure), while per-AS ``ppdc ⊇ bgp-observed``
+is *not* — a single-VP world observes descending runs from the vantage
+point itself, which by definition is never entered from a provider or
+peer (see docs/INVARIANTS.md).  Each definition is instead pinned to
+its reference oracle, which is strictly stronger.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.cone import (
+    ConeDefinition,
+    compute_cones,
+    reference_bgp_observed_cones,
+    reference_ppdc_cones,
+    reference_recursive_cones,
+)
+from repro.core.inference import (
+    InferenceConfig,
+    InferenceResult,
+    infer_relationships,
+)
+from repro.core.paths import PathSet
+from repro.datasets.serialization import (
+    load_as_rel,
+    load_paths,
+    load_ppdc_ases,
+    save_as_rel,
+    save_paths,
+    save_ppdc_ases,
+)
+from repro.relationships import Relationship
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure, attributable to a world and a checker."""
+
+    invariant: str
+    world: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.world}] {self.invariant}: {self.detail}"
+
+
+def _label_map(
+    result: InferenceResult,
+) -> Dict[Tuple[int, int], Tuple[Relationship, object, object]]:
+    """Canonical pair -> (relationship, provider, step) for comparison."""
+    return {
+        (rel.a, rel.b): (rel.relationship, rel.provider, rel.step)
+        for rel in result
+    }
+
+
+def _cone_sets(result: InferenceResult) -> Dict[str, Dict[int, Set[int]]]:
+    return {
+        definition.value: compute_cones(result, definition)
+        for definition in ConeDefinition
+    }
+
+
+# ---------------------------------------------------------------------------
+# family 1: fast vs reference differential
+# ---------------------------------------------------------------------------
+
+
+def check_differential(
+    raw_paths: Iterable[Sequence[int]],
+    ixp_asns: FrozenSet[int],
+    world: str,
+    config: InferenceConfig = InferenceConfig(),
+) -> Tuple[List[Violation], InferenceResult]:
+    """Fast and reference engines must agree bit for bit.
+
+    Returns the violations plus the fast result so downstream families
+    can reuse it without re-running inference.
+    """
+    violations: List[Violation] = []
+    paths = PathSet.sanitize(raw_paths, ixp_asns=ixp_asns)
+    fast = infer_relationships(paths, replace(config, fast=True))
+    ref = infer_relationships(paths, replace(config, fast=False))
+
+    if fast.clique.members != ref.clique.members:
+        violations.append(
+            Violation(
+                "differential/clique",
+                world,
+                f"fast {fast.clique.members} != ref {ref.clique.members}",
+            )
+        )
+    if fast.discarded_poisoned != ref.discarded_poisoned:
+        violations.append(
+            Violation(
+                "differential/poisoned-filter",
+                world,
+                f"fast discarded {fast.discarded_poisoned}, "
+                f"ref {ref.discarded_poisoned}",
+            )
+        )
+    fast_labels, ref_labels = _label_map(fast), _label_map(ref)
+    if fast_labels != ref_labels:
+        only_fast = sorted(set(fast_labels) - set(ref_labels))[:3]
+        only_ref = sorted(set(ref_labels) - set(fast_labels))[:3]
+        mismatched = sorted(
+            pair
+            for pair in set(fast_labels) & set(ref_labels)
+            if fast_labels[pair] != ref_labels[pair]
+        )[:3]
+        violations.append(
+            Violation(
+                "differential/links",
+                world,
+                f"label maps differ (fast {len(fast_labels)} links, ref "
+                f"{len(ref_labels)}): fast-only {only_fast}, ref-only "
+                f"{only_ref}, relabeled {mismatched}",
+            )
+        )
+    fast_cones, ref_cones = _cone_sets(fast), _cone_sets(ref)
+    for name in fast_cones:
+        if fast_cones[name] != ref_cones[name]:
+            diff = [
+                asn
+                for asn in set(fast_cones[name]) | set(ref_cones[name])
+                if fast_cones[name].get(asn) != ref_cones[name].get(asn)
+            ]
+            violations.append(
+                Violation(
+                    f"differential/cones/{name}",
+                    world,
+                    f"{len(diff)} cones differ, e.g. AS{sorted(diff)[:3]}",
+                )
+            )
+    return violations, fast
+
+
+# ---------------------------------------------------------------------------
+# family 2: hierarchy (acyclic p2c, transit-free clique)
+# ---------------------------------------------------------------------------
+
+
+def check_hierarchy(result: InferenceResult, world: str) -> List[Violation]:
+    """No c2p cycles; clique members have no providers and peer mutually."""
+    violations: List[Violation] = []
+
+    # Kahn's algorithm over the provider->customer adjacency: leftovers
+    # after peeling every zero-in-degree node form a cycle
+    indegree: Dict[int, int] = {}
+    for provider, customers in result.customers.items():
+        indegree.setdefault(provider, 0)
+        for customer in customers:
+            indegree[customer] = indegree.get(customer, 0) + 1
+    frontier = [asn for asn, deg in indegree.items() if deg == 0]
+    seen = 0
+    while frontier:
+        node = frontier.pop()
+        seen += 1
+        for customer in result.customers.get(node, ()):
+            indegree[customer] -= 1
+            if indegree[customer] == 0:
+                frontier.append(customer)
+    if seen != len(indegree):
+        cyclic = sorted(asn for asn, deg in indegree.items() if deg > 0)
+        violations.append(
+            Violation(
+                "hierarchy/p2c-cycle",
+                world,
+                f"{len(cyclic)} ASes on provider cycles, e.g. {cyclic[:5]}",
+            )
+        )
+
+    members = result.clique.member_set
+    for member in sorted(members):
+        providers = result.providers_of_asn(member)
+        if providers:
+            violations.append(
+                Violation(
+                    "hierarchy/clique-transit-free",
+                    world,
+                    f"clique AS{member} has providers {sorted(providers)}",
+                )
+            )
+    for a in sorted(members):
+        for b in sorted(members):
+            if a >= b:
+                continue
+            rel = result.relationship(a, b)
+            if rel is Relationship.P2C:
+                violations.append(
+                    Violation(
+                        "hierarchy/clique-p2p",
+                        world,
+                        f"clique pair AS{a}-AS{b} labeled p2c",
+                    )
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# family 3: cone oracles, nesting and monotonicity
+# ---------------------------------------------------------------------------
+
+
+def check_cones(result: InferenceResult, world: str) -> List[Violation]:
+    violations: List[Violation] = []
+    cones = {
+        ConeDefinition.RECURSIVE: compute_cones(
+            result, ConeDefinition.RECURSIVE
+        ),
+        ConeDefinition.BGP_OBSERVED: compute_cones(
+            result, ConeDefinition.BGP_OBSERVED
+        ),
+        ConeDefinition.PROVIDER_PEER_OBSERVED: compute_cones(
+            result, ConeDefinition.PROVIDER_PEER_OBSERVED
+        ),
+    }
+    oracles = {
+        ConeDefinition.RECURSIVE: reference_recursive_cones(result),
+        ConeDefinition.BGP_OBSERVED: reference_bgp_observed_cones(result),
+        ConeDefinition.PROVIDER_PEER_OBSERVED: reference_ppdc_cones(result),
+    }
+    for definition, computed in cones.items():
+        oracle = oracles[definition]
+        for asn in set(computed) | set(oracle):
+            if computed.get(asn, {asn}) != oracle.get(asn, {asn}):
+                violations.append(
+                    Violation(
+                        f"cones/oracle/{definition.value}",
+                        world,
+                        f"AS{asn}: computed {sorted(computed.get(asn, ()))[:6]}"
+                        f" != oracle {sorted(oracle.get(asn, ()))[:6]}",
+                    )
+                )
+                break  # one per definition is enough to localize
+        for asn, cone in computed.items():
+            if asn not in cone:
+                violations.append(
+                    Violation(
+                        f"cones/self/{definition.value}",
+                        world,
+                        f"AS{asn} missing from its own cone",
+                    )
+                )
+                break
+
+    recursive = cones[ConeDefinition.RECURSIVE]
+    observed = cones[ConeDefinition.BGP_OBSERVED]
+    for asn, cone in observed.items():
+        if not cone <= recursive.get(asn, {asn}):
+            extra = sorted(cone - recursive.get(asn, {asn}))
+            violations.append(
+                Violation(
+                    "cones/nesting",
+                    world,
+                    f"bgp-observed cone of AS{asn} escapes the recursive "
+                    f"closure: {extra[:5]}",
+                )
+            )
+            break
+
+    # monotonicity: a provider's recursive cone contains each customer's
+    for provider, customers in result.customers.items():
+        stop = False
+        for customer in customers:
+            inner = recursive.get(customer, {customer})
+            outer = recursive.get(provider, {provider})
+            if not (inner | {customer}) <= outer:
+                violations.append(
+                    Violation(
+                        "cones/monotonic",
+                        world,
+                        f"recursive cone of AS{provider} misses part of "
+                        f"customer AS{customer}'s cone",
+                    )
+                )
+                stop = True
+                break
+        if stop:
+            break
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# family 4: serialization and MRT round-trips
+# ---------------------------------------------------------------------------
+
+
+def check_round_trips(
+    result: InferenceResult,
+    corpus,
+    directory: str,
+    world: str,
+) -> List[Violation]:
+    """``save_*``/``load_*`` and the MRT codecs must invert exactly."""
+    from repro.mrt.reader import read_rib_dump
+    from repro.mrt.updates import (
+        read_update_dump,
+        rib_from_updates,
+        write_update_dump,
+    )
+    from repro.mrt.writer import MrtWriter, write_rib_dump
+
+    violations: List[Violation] = []
+    os.makedirs(directory, exist_ok=True)
+
+    # as-rel
+    as_rel_file = os.path.join(directory, "qa.as-rel.txt")
+    save_as_rel(as_rel_file, result, comments=["qa round-trip"])
+    expected_rows = set()
+    for rel in result:
+        if rel.relationship is Relationship.P2C:
+            expected_rows.add((rel.provider, rel.customer, Relationship.P2C))
+        else:
+            expected_rows.add((rel.a, rel.b, rel.relationship))
+    loaded_rows = set(load_as_rel(as_rel_file))
+    if loaded_rows != expected_rows:
+        violations.append(
+            Violation(
+                "round-trip/as-rel",
+                world,
+                f"{len(loaded_rows ^ expected_rows)} rows differ",
+            )
+        )
+
+    # ppdc-ases
+    ppdc_file = os.path.join(directory, "qa.ppdc-ases.txt")
+    cones = compute_cones(result, ConeDefinition.PROVIDER_PEER_OBSERVED)
+    save_ppdc_ases(ppdc_file, cones)
+    loaded_cones = load_ppdc_ases(ppdc_file)
+    if loaded_cones != cones:
+        violations.append(
+            Violation("round-trip/ppdc-ases", world, "cone mapping differs")
+        )
+
+    # path file
+    paths_file = os.path.join(directory, "qa.paths.txt")
+    save_paths(paths_file, result.paths.paths)
+    if load_paths(paths_file) != list(result.paths.paths):
+        violations.append(
+            Violation("round-trip/paths", world, "path list differs")
+        )
+
+    # MRT RIB dump
+    rib_file = os.path.join(directory, "qa.rib.mrt")
+    write_rib_dump(rib_file, corpus.rib)
+    original = {
+        (entry.prefix, entry.vp): (tuple(entry.path), tuple(entry.communities))
+        for entry in corpus.rib
+    }
+    rebuilt = {
+        (row.prefix, row.peer_asn): (row.as_path, row.communities)
+        for row in read_rib_dump(rib_file)
+    }
+    if rebuilt != original:
+        violations.append(
+            Violation(
+                "round-trip/mrt-rib",
+                world,
+                f"{len(set(rebuilt) ^ set(original))} key mismatches",
+            )
+        )
+
+    # MRT update stream (announce-only burst)
+    updates_file = os.path.join(directory, "qa.updates.mrt")
+    write_update_dump(updates_file, corpus.rib)
+    rebuilt = {
+        (row.prefix, row.peer_asn): (row.as_path, row.communities)
+        for row in rib_from_updates(read_update_dump(updates_file))
+    }
+    if rebuilt != original:
+        violations.append(
+            Violation(
+                "round-trip/mrt-updates",
+                world,
+                f"{len(set(rebuilt) ^ set(original))} key mismatches",
+            )
+        )
+
+    # MRT update stream with withdrawals: withdraw every third row, then
+    # re-announce every ninth with a fresh path — the rebuilt table must
+    # equal applying those operations to the in-memory table
+    withdrawn_file = os.path.join(directory, "qa.withdrawn.mrt")
+    rows = sorted(
+        corpus.rib, key=lambda e: (e.prefix, e.vp, e.path)
+    )
+    expected = dict(original)
+    with open(withdrawn_file, "wb") as stream:
+        writer = MrtWriter(stream)
+        for entry in rows:
+            writer.write_bgp4mp_update(
+                peer_asn=entry.vp,
+                local_asn=64700,
+                as_path=tuple(entry.path),
+                announced=(entry.prefix,),
+                communities=tuple(entry.communities),
+            )
+        for i, entry in enumerate(rows):
+            if i % 3 == 0:
+                writer.write_bgp4mp_update(
+                    peer_asn=entry.vp,
+                    local_asn=64700,
+                    as_path=(),
+                    announced=(),
+                    withdrawn=(entry.prefix,),
+                )
+                expected.pop((entry.prefix, entry.vp), None)
+        for i, entry in enumerate(rows):
+            if i % 9 == 0:
+                new_path = (entry.vp,) + tuple(entry.path)[-1:]
+                writer.write_bgp4mp_update(
+                    peer_asn=entry.vp,
+                    local_asn=64700,
+                    as_path=new_path,
+                    announced=(entry.prefix,),
+                )
+                expected[(entry.prefix, entry.vp)] = (new_path, ())
+    rebuilt = {
+        (row.prefix, row.peer_asn): (row.as_path, row.communities)
+        for row in rib_from_updates(read_update_dump(withdrawn_file))
+    }
+    if rebuilt != expected:
+        violations.append(
+            Violation(
+                "round-trip/mrt-withdrawals",
+                world,
+                f"{len(set(rebuilt) ^ set(expected))} key mismatches after "
+                "withdraw/re-announce",
+            )
+        )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# family 5: serial == parallel collection
+# ---------------------------------------------------------------------------
+
+
+def _corpus_key(corpus):
+    return (
+        corpus.paths,
+        corpus.path_counts,
+        [(r.vp, r.prefix, r.path, r.communities) for r in corpus.rib],
+    )
+
+
+def check_collection(
+    world, worker_counts: Sequence[int] = (2, 3)
+) -> List[Violation]:
+    """Every worker count must reproduce the serial corpus bit for bit."""
+    from repro.bgp.collector import Collector
+
+    violations: List[Violation] = []
+    serial_key = _corpus_key(world.corpus)
+    for workers in worker_counts:
+        config = replace(world.spec.collector, workers=workers)
+        parallel = Collector(world.graph, config).run()
+        if _corpus_key(parallel) != serial_key:
+            violations.append(
+                Violation(
+                    "collection/serial-vs-parallel",
+                    world.spec.label,
+                    f"workers={workers} corpus differs from serial",
+                )
+            )
+    return violations

@@ -1,0 +1,60 @@
+"""Corpus shrinking: reduce a failing path corpus to a minimal repro.
+
+Classic delta debugging (ddmin) over the raw path list: try dropping
+large chunks first, halve the chunk size when nothing can be dropped,
+and finish with a single-path elimination pass.  The predicate is "the
+invariant still fails", so the result is a locally minimal corpus —
+removing any one remaining path makes the failure disappear.
+
+Each predicate evaluation re-runs inference, so the total number of
+evaluations is capped; shrinking is best-effort within that budget.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+Path = Tuple[int, ...]
+
+
+def shrink_paths(
+    paths: Sequence[Path],
+    still_fails: Callable[[List[Path]], bool],
+    max_evals: int = 250,
+) -> List[Path]:
+    """Smallest corpus (under the eval budget) on which the failure holds.
+
+    ``still_fails`` must be True for ``paths`` itself; if it is not
+    (a flaky predicate), the input is returned unshrunk.
+    """
+    current = list(paths)
+    evals = 0
+
+    def fails(candidate: List[Path]) -> bool:
+        nonlocal evals
+        evals += 1
+        return still_fails(candidate)
+
+    if not current or not fails(current):
+        return current
+
+    chunks = 2
+    while len(current) >= 2 and evals < max_evals:
+        size = max(1, len(current) // chunks)
+        removed_any = False
+        start = 0
+        while start < len(current) and evals < max_evals:
+            candidate = current[:start] + current[start + size:]
+            if candidate and fails(candidate):
+                current = candidate
+                removed_any = True
+                # keep ``start`` where it is: the next chunk slid into place
+            else:
+                start += size
+        if removed_any:
+            chunks = max(2, chunks - 1)
+        elif size == 1:
+            break  # single-path granularity and nothing removable: minimal
+        else:
+            chunks = min(len(current), chunks * 2)
+    return current

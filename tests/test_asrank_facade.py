@@ -57,6 +57,41 @@ class TestConstruction:
         asrank = ASRank.from_mrt(mrt, ixp_asns=small_run.graph.ixp_asns())
         assert set(asrank.clique) == set(small_run.result.clique.members)
 
+    def test_from_mrt_snapshot_plus_reannouncements_dedups(
+        self, tmp_path, small_run
+    ):
+        """Updates re-announcing snapshot routes must not double-count."""
+        snap_only = str(tmp_path / "snap.mrt")
+        write_rib_dump(snap_only, small_run.corpus.rib)
+        combined = str(tmp_path / "combined.mrt")
+        write_rib_dump(combined, small_run.corpus.rib)
+        with open(combined, "ab") as out, open(
+            str(tmp_path / "upd.mrt"), "wb+"
+        ) as upd:
+            write_update_dump(upd.name, small_run.corpus.rib)
+            upd.seek(0)
+            out.write(upd.read())
+        a = ASRank.from_mrt(snap_only, ixp_asns=small_run.graph.ixp_asns())
+        b = ASRank.from_mrt(combined, ixp_asns=small_run.graph.ixp_asns())
+        assert len(b.paths) == len(a.paths)
+        assert sorted(b.paths.paths) == sorted(a.paths.paths)
+
+    def test_from_mrt_honors_withdrawals(self, tmp_path, small_run):
+        """Withdraw-everything updates after a snapshot empty the table."""
+        from repro.mrt.writer import MrtWriter
+
+        mrt = str(tmp_path / "churn.mrt")
+        write_rib_dump(mrt, small_run.corpus.rib)
+        with open(mrt, "ab") as stream:
+            writer = MrtWriter(stream)
+            for entry in small_run.corpus.rib:
+                writer.write_bgp4mp_update(
+                    peer_asn=entry.vp, local_asn=64700, as_path=(),
+                    announced=(), withdrawn=(entry.prefix,),
+                )
+        asrank = ASRank.from_mrt(mrt, ixp_asns=small_run.graph.ixp_asns())
+        assert len(asrank.paths) == 0
+
 
 class TestQueries:
     @pytest.fixture(scope="class")

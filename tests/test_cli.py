@@ -68,3 +68,84 @@ class TestPipeline:
                            "provider/peer-observed"):
             assert main(["cones", "--paths", os.path.join(out, "paths.txt"),
                          "--definition", definition, "--top", "2"]) == 0
+
+    def test_qa_command_clean_sweep(self, tmp_path, capsys):
+        repros = str(tmp_path / "repros")
+        assert main(["qa", "--seeds", "2", "--repro-dir", repros]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert not os.path.isdir(repros)
+
+    def test_qa_replay_round_trip(self, tmp_path, capsys):
+        out = str(tmp_path)
+        main(["simulate", "--scenario", "tiny", "--out-dir", out])
+        assert main(["qa", "--replay", os.path.join(out, "paths.txt")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestErrorExits:
+    """Data and I/O problems exit 2 with a one-line message (no traceback)."""
+
+    def _assert_exit_2(self, capsys, argv):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_infer_missing_file(self, capsys, tmp_path):
+        self._assert_exit_2(
+            capsys, ["infer", "--paths", str(tmp_path / "nope.txt")]
+        )
+
+    def test_infer_malformed_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("1 two 3\n")
+        assert main(["infer", "--paths", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "bad.txt:1:" in err
+
+    def test_cones_missing_file(self, capsys, tmp_path):
+        self._assert_exit_2(
+            capsys, ["cones", "--paths", str(tmp_path / "nope.txt")]
+        )
+
+    def test_simulate_out_dir_collides_with_file(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        self._assert_exit_2(
+            capsys,
+            ["simulate", "--scenario", "tiny", "--out-dir", str(blocker)],
+        )
+
+    def test_qa_replay_missing_file(self, capsys, tmp_path):
+        self._assert_exit_2(
+            capsys, ["qa", "--replay", str(tmp_path / "nope.txt")]
+        )
+
+    def test_validate_scenario_io_failure(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(name):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(cli, "get_scenario", boom)
+        self._assert_exit_2(capsys, ["validate", "--scenario", "tiny"])
+
+    def test_rank_scenario_data_failure(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.datasets.serialization import DatasetFormatError
+
+        def boom(name):
+            raise DatasetFormatError("corrupt corpus")
+
+        monkeypatch.setattr(cli, "get_scenario", boom)
+        self._assert_exit_2(capsys, ["rank", "--scenario", "tiny"])
+
+    def test_evolve_io_failure(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(config):
+            raise OSError("no space left")
+
+        monkeypatch.setattr(cli, "generate_series", boom)
+        self._assert_exit_2(capsys, ["evolve", "--eras", "2"])

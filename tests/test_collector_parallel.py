@@ -48,3 +48,39 @@ class TestParallelCollection:
         assert _corpus_key(Collector(graph, base).run()) == _corpus_key(
             Collector(graph, replace(base, workers=0)).run()
         )
+
+    def test_noisy_parallel_matches_serial_exactly(self, graph):
+        """Per-origin noise RNGs make noisy corpora worker-invariant."""
+        base = CollectorConfig(n_vps=8, seed=11)  # default (noisy) config
+        serial = Collector(graph, base).run()
+        parallel = Collector(graph, replace(base, workers=2)).run()
+        assert _corpus_key(parallel) == _corpus_key(serial)
+
+
+class TestEdgeCases:
+    def test_more_workers_than_origins(self, graph):
+        origins = sorted(asys.asn for asys in graph.ases())[:3]
+        base = CollectorConfig(n_vps=8, seed=11)
+        serial = Collector(graph, base).run(origins=origins)
+        wide = Collector(graph, replace(base, workers=16)).run(
+            origins=origins
+        )
+        assert _corpus_key(wide) == _corpus_key(serial)
+        assert len(serial.paths) > 0
+
+    def test_empty_origin_list_with_workers(self, graph):
+        config = CollectorConfig(n_vps=8, seed=11, workers=3)
+        corpus = Collector(graph, config).run(origins=[])
+        assert len(corpus.paths) == 0
+        assert len(corpus.rib) == 0
+
+    def test_empty_origin_list_serial(self, graph):
+        corpus = Collector(graph, CollectorConfig(n_vps=8, seed=11)).run(
+            origins=[]
+        )
+        assert len(corpus.paths) == 0
+
+    def test_unknown_origins_are_ignored(self, graph):
+        config = CollectorConfig(n_vps=8, seed=11, workers=2)
+        corpus = Collector(graph, config).run(origins=[999_999_999])
+        assert len(corpus.paths) == 0

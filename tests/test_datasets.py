@@ -68,6 +68,21 @@ class TestAsRel:
         with pytest.raises(DatasetFormatError):
             load_as_rel(path)
 
+    @pytest.mark.parametrize("line", ["1|-2|-1", "-1|2|0"])
+    def test_negative_asn_rejected_with_location(self, tmp_path, line):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as f:
+            f.write("# comment\n" + line + "\n")
+        with pytest.raises(DatasetFormatError, match=r"bad\.txt:2:"):
+            load_as_rel(path)
+
+    def test_self_link_rejected_with_location(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as f:
+            f.write("7|7|0\n")
+        with pytest.raises(DatasetFormatError, match=r"bad\.txt:1:.*self"):
+            load_as_rel(path)
+
 
 class TestPpdc:
     def test_round_trip(self, tmp_path):
@@ -88,6 +103,20 @@ class TestPpdc:
         with pytest.raises(DatasetFormatError):
             load_ppdc_ases(path)
 
+    def test_duplicate_cone_rejected_with_location(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as f:
+            f.write("1 1 2\n1 1 3\n")
+        with pytest.raises(DatasetFormatError, match=r"bad\.txt:2:"):
+            load_ppdc_ases(path)
+
+    def test_negative_asn_rejected_with_location(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as f:
+            f.write("1 1 -2\n")
+        with pytest.raises(DatasetFormatError, match=r"bad\.txt:1:"):
+            load_ppdc_ases(path)
+
 
 class TestPathFiles:
     def test_round_trip(self, tmp_path):
@@ -106,6 +135,13 @@ class TestPathFiles:
         with open(file_path, "w") as f:
             f.write("1 2 three\n")
         with pytest.raises(DatasetFormatError):
+            load_paths(file_path)
+
+    def test_negative_hop_rejected_with_location(self, tmp_path):
+        file_path = str(tmp_path / "bad.txt")
+        with open(file_path, "w") as f:
+            f.write("1 2 3\n1 -2 3\n")
+        with pytest.raises(DatasetFormatError, match=r"bad\.txt:2:"):
             load_paths(file_path)
 
     def test_scenario_round_trip(self, tmp_path, small_run):

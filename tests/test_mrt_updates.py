@@ -10,7 +10,19 @@ from repro.mrt.updates import (
     rib_from_updates,
     write_update_dump,
 )
+from repro.mrt.writer import MrtWriter
 from repro.net.prefix import Prefix
+
+
+def _update(peer, path, announced=(), withdrawn=()):
+    return UpdateRecord(
+        peer_asn=peer,
+        local_asn=64700,
+        as_path=tuple(path),
+        announced=tuple(announced),
+        communities=(),
+        withdrawn=tuple(withdrawn),
+    )
 
 
 class TestRoundTrip:
@@ -80,3 +92,131 @@ class TestStreamSemantics:
 
     def test_empty_stream(self):
         assert rib_from_updates([]) == []
+
+
+class TestWithdrawals:
+    def test_withdrawal_removes_the_route(self):
+        p = Prefix.parse("10.0.0.0/8")
+        stream = [
+            _update(1, (1, 2), announced=(p,)),
+            _update(1, (), withdrawn=(p,)),
+        ]
+        assert rib_from_updates(stream) == []
+
+    def test_withdrawal_is_per_peer(self):
+        p = Prefix.parse("10.0.0.0/8")
+        stream = [
+            _update(1, (1, 5), announced=(p,)),
+            _update(2, (2, 5), announced=(p,)),
+            _update(1, (), withdrawn=(p,)),
+        ]
+        rebuilt = rib_from_updates(stream)
+        assert [(r.peer_asn, r.prefix) for r in rebuilt] == [(2, p)]
+
+    def test_same_prefix_in_both_fields_is_reannouncement(self):
+        # RFC 4271: within one UPDATE, withdrawals apply first
+        p = Prefix.parse("10.0.0.0/8")
+        stream = [
+            _update(1, (1, 2), announced=(p,)),
+            _update(1, (1, 3), announced=(p,), withdrawn=(p,)),
+        ]
+        rebuilt = rib_from_updates(stream)
+        assert len(rebuilt) == 1
+        assert rebuilt[0].as_path == (1, 3)
+
+    def test_withdrawal_of_unknown_route_is_ignored(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert rib_from_updates([_update(1, (), withdrawn=(p,))]) == []
+
+    def test_base_snapshot_rows_can_be_withdrawn(self):
+        p = Prefix.parse("10.0.0.0/8")
+        q = Prefix.parse("10.1.0.0/16")
+        base = [
+            RibRecord(prefix=p, peer_asn=1, as_path=(1, 2), communities=()),
+            RibRecord(prefix=q, peer_asn=1, as_path=(1, 3), communities=()),
+        ]
+        rebuilt = rib_from_updates([_update(1, (), withdrawn=(p,))], base=base)
+        assert [(r.prefix, r.as_path) for r in rebuilt] == [(q, (1, 3))]
+
+    def test_reannounced_snapshot_row_not_duplicated(self):
+        p = Prefix.parse("10.0.0.0/8")
+        base = [
+            RibRecord(prefix=p, peer_asn=1, as_path=(1, 2), communities=()),
+        ]
+        rebuilt = rib_from_updates([_update(1, (1, 2), announced=(p,))],
+                                   base=base)
+        assert len(rebuilt) == 1
+
+    def test_pure_withdrawal_survives_the_wire(self, tmp_path):
+        """Writer -> reader round-trip for an UPDATE with withdrawals."""
+        p = Prefix.parse("10.0.0.0/8")
+        q = Prefix.parse("192.168.4.0/24")
+        dump = str(tmp_path / "wd.mrt")
+        with open(dump, "wb") as stream:
+            writer = MrtWriter(stream)
+            writer.write_bgp4mp_update(
+                peer_asn=7, local_asn=64700, as_path=(7, 8),
+                announced=(p, q),
+            )
+            writer.write_bgp4mp_update(
+                peer_asn=7, local_asn=64700, as_path=(),
+                announced=(), withdrawn=(q,),
+            )
+        updates = read_update_dump(dump)
+        assert len(updates) == 2
+        assert updates[1].withdrawn == (q,)
+        assert updates[1].announced == ()
+        rebuilt = rib_from_updates(updates)
+        assert [(r.prefix, r.as_path) for r in rebuilt] == [(p, (7, 8))]
+
+    def test_mixed_update_survives_the_wire(self, tmp_path):
+        """One UPDATE carrying both withdrawals and announcements."""
+        p = Prefix.parse("10.0.0.0/8")
+        q = Prefix.parse("192.168.4.0/24")
+        dump = str(tmp_path / "mixed.mrt")
+        with open(dump, "wb") as stream:
+            MrtWriter(stream).write_bgp4mp_update(
+                peer_asn=7, local_asn=64700, as_path=(7, 9),
+                announced=(p,), withdrawn=(q,),
+            )
+        (update,) = read_update_dump(dump)
+        assert update.announced == (p,)
+        assert update.withdrawn == (q,)
+        assert update.as_path == (7, 9)
+
+    def test_withdraw_then_announce_matches_snapshot(self, tmp_path,
+                                                     small_run):
+        """A full churn stream must rebuild exactly the surviving RIB.
+
+        Announce everything, withdraw every 3rd row, re-announce every
+        9th: the rebuilt table must equal the snapshot of what survived.
+        """
+        rib = list(small_run.corpus.rib)
+        dump = str(tmp_path / "churn.mrt")
+        write_update_dump(dump, rib)
+        with open(dump, "ab") as stream:
+            writer = MrtWriter(stream)
+            for i, entry in enumerate(rib):
+                if i % 3 == 0:
+                    writer.write_bgp4mp_update(
+                        peer_asn=entry.vp, local_asn=64700, as_path=(),
+                        announced=(), withdrawn=(entry.prefix,),
+                    )
+            for i, entry in enumerate(rib):
+                if i % 9 == 0:
+                    writer.write_bgp4mp_update(
+                        peer_asn=entry.vp, local_asn=64700,
+                        as_path=tuple(entry.path),
+                        announced=(entry.prefix,),
+                        communities=tuple(entry.communities),
+                    )
+        rebuilt = {
+            (r.prefix, r.peer_asn): (r.as_path, r.communities)
+            for r in rib_from_updates(read_update_dump(dump))
+        }
+        expected = {
+            (e.prefix, e.vp): (tuple(e.path), tuple(e.communities))
+            for i, e in enumerate(rib)
+            if i % 3 != 0 or i % 9 == 0
+        }
+        assert rebuilt == expected
