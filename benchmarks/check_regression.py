@@ -1,0 +1,90 @@
+"""Bench-regression smoke check for the collection pipeline.
+
+Re-runs the E00 300-AS scale point (the cheapest one, a few hundred
+milliseconds) and compares `propagate+collect` against the committed
+``reports/BENCH_e00.json``.  Fails — exit code 1 — if the measured
+time regresses more than ``TOLERANCE`` over the committed number.
+
+The committed baseline and the CI runner are different machines, so
+the committed seconds are first rescaled by a calibration ratio: the
+check replays the same workload through the per-origin reference
+engine, whose cost is engine-independent across this repo's history,
+and uses measured/committed reference time as the machine factor.
+Without that, a slower runner would flag phantom regressions and a
+faster one would mask real ones.
+
+Usage (what CI runs)::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import replace
+
+from repro.bgp.collector import Collector, CollectorConfig
+from repro.bgp.propagation import PropagationConfig
+from repro.topology.generator import GeneratorConfig, generate_topology
+
+N_ASES = 300
+ROUNDS = 3
+TOLERANCE = 0.25  # fail on >25% regression
+BASELINE_FILE = os.path.join(
+    os.path.dirname(__file__), "reports", "BENCH_e00.json"
+)
+
+
+def _collect_seconds(graph, config) -> float:
+    """Min-of-N wall time of one collection run."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        Collector(graph, config).run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    with open(BASELINE_FILE) as handle:
+        baseline = json.load(handle)
+    point = baseline["current"][str(N_ASES)]
+    committed = point["stages"]["propagate+collect"]
+    committed_reference = baseline.get("reference_collect_300")
+
+    graph = generate_topology(GeneratorConfig(n_ases=N_ASES, seed=99))
+    config = CollectorConfig(n_vps=max(12, N_ASES // 35), seed=1)
+
+    measured = _collect_seconds(graph, config)
+
+    # calibrate out machine-speed differences between the committed
+    # report and this runner via the reference engine's cost
+    factor = 1.0
+    if committed_reference:
+        reference = _collect_seconds(
+            graph,
+            replace(config, propagation=PropagationConfig(batched=False)),
+        )
+        factor = reference / committed_reference
+    allowed = committed * factor * (1.0 + TOLERANCE)
+
+    print(
+        f"propagate+collect @ {N_ASES} ASes: measured {measured:.4f}s, "
+        f"committed {committed:.4f}s, machine factor {factor:.2f}, "
+        f"allowed {allowed:.4f}s"
+    )
+    if measured > allowed:
+        print(
+            f"REGRESSION: {measured:.4f}s exceeds the committed baseline "
+            f"by more than {TOLERANCE:.0%} (machine-adjusted)"
+        )
+        return 1
+    print("ok: within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,12 +87,16 @@ def series_metrics(
     collector_config: Optional[CollectorConfig] = None,
     inference_config: Optional[InferenceConfig] = None,
     vps_per_as: float = 0.05,
+    workers: int = 0,
 ) -> List[SnapshotMetrics]:
     """Analyze every era of a series.
 
     The number of vantage points grows with the topology (as RouteViews
     itself did); ``vps_per_as`` sets that proportion unless an explicit
-    collector config pins it.
+    collector config pins it.  ``workers`` fans each era's collection
+    across that many processes; the collector keeps one persistent
+    worker pool per process, so consecutive eras reuse the same workers
+    instead of forking a fresh pool per snapshot.
     """
     metrics: List[SnapshotMetrics] = []
     persistent_vps: list = []
@@ -100,7 +104,8 @@ def series_metrics(
         config = collector_config
         if config is None:
             config = CollectorConfig(
-                n_vps=max(10, int(len(graph) * vps_per_as))
+                n_vps=max(10, int(len(graph) * vps_per_as)),
+                workers=workers,
             )
         snapshot = analyze_snapshot(
             label, graph, config, inference_config, preset_vps=persistent_vps

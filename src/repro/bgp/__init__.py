@@ -10,7 +10,13 @@ BGP communities — is the only thing the inference algorithm ever sees,
 exactly as in the paper.
 """
 
-from repro.bgp.propagation import GraphIndex, RouteState, propagate_origin
+from repro.bgp.propagation import (
+    GraphIndex,
+    PropagationConfig,
+    RouteState,
+    propagate_batch,
+    propagate_origin,
+)
 from repro.bgp.collector import (
     Collector,
     CollectorConfig,
@@ -18,12 +24,15 @@ from repro.bgp.collector import (
     RibEntry,
     VantagePoint,
     collect,
+    shutdown_worker_pool,
 )
 from repro.bgp.noise import NoiseConfig
 
 __all__ = [
     "GraphIndex",
+    "PropagationConfig",
     "RouteState",
+    "propagate_batch",
     "propagate_origin",
     "Collector",
     "CollectorConfig",
@@ -31,5 +40,6 @@ __all__ = [
     "RibEntry",
     "VantagePoint",
     "collect",
+    "shutdown_worker_pool",
     "NoiseConfig",
 ]

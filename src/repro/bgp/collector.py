@@ -15,18 +15,24 @@ communities for the ASes that tag (the validation substrate).
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro import perf
 from repro.bgp.noise import NoiseConfig, PathNoiser
 from repro.bgp.propagation import (
     CLS_CUSTOMER,
     CLS_ORIGIN,
+    CLS_PEER,
+    CLS_PROVIDER,
     GraphIndex,
+    PropagationConfig,
     RouteState,
+    propagate_batch,
     propagate_origin,
 )
 from repro.net.prefix import Prefix
@@ -40,6 +46,12 @@ REL_CODE = {
     RelClass.PROVIDER: 1003,
 }
 CODE_REL = {code: rel for rel, code in REL_CODE.items()}
+# the same encoding keyed by the propagation engine's route-class ints
+_CLS_CODE = {
+    CLS_CUSTOMER: REL_CODE[RelClass.CUSTOMER],
+    CLS_PEER: REL_CODE[RelClass.PEER],
+    CLS_PROVIDER: REL_CODE[RelClass.PROVIDER],
+}
 
 
 @dataclass(frozen=True)
@@ -77,8 +89,17 @@ class PathCorpus:
     paths: List[Tuple[int, ...]] = field(default_factory=list)
     path_counts: Dict[Tuple[int, ...], int] = field(default_factory=dict)
     rib: List[RibEntry] = field(default_factory=list)
+    # memoized observed_asns()/observed_links(); add_path invalidates
+    _asns_cache: Optional[Set[int]] = field(
+        default=None, repr=False, compare=False
+    )
+    _links_cache: Optional[Set[Tuple[int, int]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def add_path(self, path: Tuple[int, ...]) -> None:
+        self._asns_cache = None
+        self._links_cache = None
         if path in self.path_counts:
             self.path_counts[path] += 1
         else:
@@ -89,16 +110,22 @@ class PathCorpus:
         return len(self.paths)
 
     def observed_asns(self) -> Set[int]:
-        return {asn for path in self.paths for asn in path}
+        if self._asns_cache is None:
+            self._asns_cache = {
+                asn for path in self.paths for asn in path
+            }
+        return self._asns_cache
 
     def observed_links(self) -> Set[Tuple[int, int]]:
         """Unordered AS adjacencies present in the observed paths."""
-        links: Set[Tuple[int, int]] = set()
-        for path in self.paths:
-            for a, b in zip(path, path[1:]):
-                if a != b:
-                    links.add((a, b) if a < b else (b, a))
-        return links
+        if self._links_cache is None:
+            links: Set[Tuple[int, int]] = set()
+            for path in self.paths:
+                for a, b in zip(path, path[1:]):
+                    if a != b:
+                        links.add((a, b) if a < b else (b, a))
+            self._links_cache = links
+        return self._links_cache
 
 
 @dataclass
@@ -122,11 +149,14 @@ class CollectorConfig:
     n_route_leakers: int = 0
     leak_origin_fraction: float = 0.05
     # >1: fan per-origin propagation across this many worker processes.
-    # The merge is deterministic (origin order) and per-path noise is
-    # drawn from per-origin RNGs in serial and parallel runs alike, so
-    # every worker count (including 0/1, i.e. serial) yields the same
-    # corpus bit for bit.
+    # The merge is deterministic (strided chunks reassembled in origin
+    # order) and per-path noise is drawn from per-origin RNGs in serial
+    # and parallel runs alike, so every worker count (including 0/1,
+    # i.e. serial) yields the same corpus bit for bit.  Workers come
+    # from a process-wide persistent pool reused across runs.
     workers: int = 0
+    # which propagation engine computes per-origin route state
+    propagation: PropagationConfig = field(default_factory=PropagationConfig)
 
 
 class Collector:
@@ -166,6 +196,24 @@ class Collector:
         )
         self.taggers = self._choose_taggers()
         self.leakers = self._choose_leakers()
+        # shared across per-origin noisers: all deterministic in
+        # (graph, noise seed), so sharing never changes an emitted path
+        self._noise_prepends: Dict[Tuple[int, int], int] = {}
+        self._noise_edges: Dict[Tuple[int, int], List[int]] = {}
+        self._noise_clique: Optional[Sequence[int]] = None
+        self._tagger_nodes = {
+            self.index.index[asn]
+            for asn in self.taggers
+            if asn in self.index.index
+        }
+        self._sibling_nodes: Dict[int, Set[int]] = {
+            node: {
+                self.index.index[s]
+                for s in graph.siblings[self.index.asns[node]]
+                if s in self.index.index
+            }
+            for node in self._tagger_nodes
+        }
 
     # ------------------------------------------------------------------
     # setup
@@ -277,14 +325,7 @@ class Collector:
                     workers, origin_list, by_origin
                 )
             else:
-                per_origin = (
-                    self._collect_origin(
-                        origin_asn,
-                        by_origin[origin_asn],
-                        self._origin_noiser(origin_asn),
-                    )
-                    for origin_asn in origin_list
-                )
+                per_origin = self._collect_block(origin_list, by_origin)
             for observed_paths, rib_rows in per_origin:
                 for path in observed_paths:
                     corpus.add_path(path)
@@ -298,48 +339,110 @@ class Collector:
         origin_list: List[int],
         by_origin: Dict[int, List[Prefix]],
     ) -> List[Tuple[List[Tuple[int, ...]], List["RibEntry"]]]:
-        """Fan ``_collect_origin`` across processes, preserving order."""
-        # a few chunks per worker smooths load imbalance between origins
-        chunk_size = max(1, len(origin_list) // (workers * 4))
-        chunks = [
-            origin_list[i: i + chunk_size]
-            for i in range(0, len(origin_list), chunk_size)
-        ]
+        """Fan origin blocks across the persistent pool, preserving order.
+
+        Each worker gets one strided chunk ``origin_list[w::workers]``
+        — every stride interleaves cheap and expensive origins, so no
+        worker is left holding a heavy tail.  The chunks come back in
+        worker order and are re-interleaved the same way, which is
+        exactly origin order.
+        """
+        workers = min(workers, len(origin_list))
+        pool = _worker_pool(workers)
         payloads = [
-            [(origin, by_origin[origin]) for origin in chunk]
-            for chunk in chunks
+            (self, [(o, by_origin[o]) for o in origin_list[w::workers]])
+            for w in range(workers)
         ]
-        with multiprocessing.Pool(
-            processes=workers, initializer=_pool_init, initargs=(self,)
-        ) as pool:
-            chunk_results = pool.map(_pool_collect_chunk, payloads)
-        return [result for chunk in chunk_results for result in chunk]
+        chunk_results = pool.map(_pool_collect_chunk, payloads)
+        results: List[Tuple[List[Tuple[int, ...]], List[RibEntry]]] = (
+            [None] * len(origin_list)  # type: ignore[list-item]
+        )
+        for w, chunk in enumerate(chunk_results):
+            results[w:: workers] = chunk
+        return results
 
     def _origin_noiser(self, origin_asn: int) -> PathNoiser:
         """A per-origin noiser: reproducible regardless of worker split."""
         cfg = self.config.noise
+        if self._noise_clique is None:
+            self._noise_clique = self.graph.clique_asns()
         return PathNoiser(
-            self.graph, cfg, rng_seed=(cfg.seed << 20) ^ origin_asn
+            self.graph,
+            cfg,
+            rng_seed=(cfg.seed << 20) ^ origin_asn,
+            prepend_cache=self._noise_prepends,
+            clique=self._noise_clique,
+            edge_cache=self._noise_edges,
         )
 
-    def _collect_origin(
+    def _collect_block(
         self,
-        origin_asn: int,
-        prefixes: List[Prefix],
-        noiser: PathNoiser,
-    ) -> Tuple[List[Tuple[int, ...]], List[RibEntry]]:
-        """Propagate one origin and materialize what every VP exports."""
-        state = propagate_origin(
-            self.index, origin_asn,
-            leakers=self._leakers_for_origin(origin_asn),
-        )
-        observed_paths: List[Tuple[int, ...]] = []
-        rib_rows: List[RibEntry] = []
+        origin_list: Sequence[int],
+        by_origin: Dict[int, List[Prefix]],
+    ) -> List[Tuple[List[Tuple[int, ...]], List[RibEntry]]]:
+        """Collect ``origin_list`` in engine-sized blocks, in order.
+
+        One batched propagation per block, then per-origin
+        materialization in three phases (path walk, noise, RIB) whose
+        time lands on the ``collect/propagate|paths|noise|rib``
+        substages.  Phase order per origin matches the reference
+        per-VP loop, so the per-origin noise RNG is consumed in the
+        same sequence and the corpus is bit-identical.
+        """
+        pcfg = self.config.propagation
+        build_rib = self.config.build_rib
+        clock = time.perf_counter
+        results: List[Tuple[List[Tuple[int, ...]], List[RibEntry]]] = []
+        block_size = max(1, pcfg.batch_size)
+        for start in range(0, len(origin_list), block_size):
+            block = list(origin_list[start: start + block_size])
+            t0 = clock()
+            leakers = {
+                asn: active
+                for asn in block
+                if (active := self._leakers_for_origin(asn))
+            }
+            states = propagate_batch(self.index, block, leakers, pcfg)
+            perf.add_seconds("propagate", clock() - t0)
+            t_paths = t_noise = t_rib = 0.0
+            for origin_asn, state in zip(block, states):
+                noiser = self._origin_noiser(origin_asn)
+                t0 = clock()
+                exported = self._exported_paths(state)
+                t_paths += clock() - t0
+                t0 = clock()
+                observed = [
+                    (vp_asn, vp_idx, noiser.apply(path))
+                    for vp_asn, vp_idx, path in exported
+                ]
+                t_noise += clock() - t0
+                rib_rows: List[RibEntry] = []
+                if build_rib:
+                    t0 = clock()
+                    rib_rows = self._rib_rows(
+                        state, observed, by_origin[origin_asn]
+                    )
+                    t_rib += clock() - t0
+                results.append(
+                    ([path for _, _, path in observed], rib_rows)
+                )
+            perf.add_seconds("paths", t_paths)
+            perf.add_seconds("noise", t_noise)
+            perf.add_seconds("rib", t_rib)
+        return results
+
+    def _exported_paths(
+        self, state: RouteState
+    ) -> List[Tuple[int, int, Tuple[int, ...]]]:
+        """``(vp_asn, vp_index, true_path)`` per VP exporting this route."""
+        out: List[Tuple[int, int, Tuple[int, ...]]] = []
+        index_of = self.index.index
+        cls = state.cls
         for vp in self.vps:
-            vp_idx = self.index.index.get(vp.asn)
+            vp_idx = index_of.get(vp.asn)
             if vp_idx is None:
                 continue
-            route_cls = state.cls[vp_idx]
+            route_cls = cls[vp_idx]
             if route_cls == 0:
                 continue  # no route at this VP
             if not vp.full_feed and route_cls not in (
@@ -348,20 +451,53 @@ class Collector:
                 continue  # partial feeds export only customer/originated
             true_path = state.path_from(self.index, vp_idx)
             assert true_path is not None
-            observed = noiser.apply(true_path)
-            observed_paths.append(observed)
-            if self.config.build_rib:
-                communities = self._communities_for(state, vp_idx)
-                for prefix in prefixes:
-                    rib_rows.append(
-                        RibEntry(
-                            vp=vp.asn,
-                            prefix=prefix,
-                            path=observed,
-                            communities=communities,
-                        )
+            out.append((vp.asn, vp_idx, true_path))
+        return out
+
+    def _rib_rows(
+        self,
+        state: RouteState,
+        observed: List[Tuple[int, int, Tuple[int, ...]]],
+        prefixes: List[Prefix],
+    ) -> List[RibEntry]:
+        """Per-prefix RIB entries for every exported (noised) path."""
+        rib_rows: List[RibEntry] = []
+        for vp_asn, vp_idx, path in observed:
+            communities = self._communities_for(state, vp_idx)
+            for prefix in prefixes:
+                rib_rows.append(
+                    RibEntry(
+                        vp=vp_asn,
+                        prefix=prefix,
+                        path=path,
+                        communities=communities,
                     )
-        return observed_paths, rib_rows
+                )
+        return rib_rows
+
+    def _collect_origin(
+        self,
+        origin_asn: int,
+        prefixes: List[Prefix],
+        noiser: PathNoiser,
+    ) -> Tuple[List[Tuple[int, ...]], List[RibEntry]]:
+        """Propagate one origin and materialize what every VP exports.
+
+        The one-origin composition of the phase helpers — the reference
+        path the batched :meth:`_collect_block` is checked against.
+        """
+        state = propagate_origin(
+            self.index, origin_asn,
+            leakers=self._leakers_for_origin(origin_asn),
+        )
+        observed = [
+            (vp_asn, vp_idx, noiser.apply(path))
+            for vp_asn, vp_idx, path in self._exported_paths(state)
+        ]
+        rib_rows: List[RibEntry] = []
+        if self.config.build_rib:
+            rib_rows = self._rib_rows(state, observed, prefixes)
+        return [path for _, _, path in observed], rib_rows
 
     def _communities_for(
         self, state: RouteState, vp_idx: int
@@ -374,44 +510,80 @@ class Collector:
         """
         tags: List[Tuple[int, int]] = []
         node = vp_idx
-        while node != -1 and node != state.origin:
-            asn = self.index.asns[node]
-            relclass = state.relclass(node)
-            nexthop = state.nexthop[node]
-            if asn in self.taggers and relclass in REL_CODE:
+        origin = state.origin
+        cls = state.cls
+        nexthop = state.nexthop
+        tagger_nodes = self._tagger_nodes
+        asns = self.index.asns
+        while node != -1 and node != origin:
+            nh = nexthop[node]
+            if node in tagger_nodes:
+                code = _CLS_CODE.get(cls[node])
                 # internal (sibling) sessions carry no external
                 # relationship communities
-                neighbor = self.index.asns[nexthop] if nexthop != -1 else None
-                if neighbor is None or neighbor not in self.graph.siblings[asn]:
-                    tags.append((asn, REL_CODE[relclass]))
-            node = nexthop
+                if code is not None and (
+                    nh == -1 or nh not in self._sibling_nodes[node]
+                ):
+                    tags.append((asns[node], code))
+            node = nh
         return tuple(tags)
 
 
 # ---------------------------------------------------------------------------
-# multiprocessing plumbing: the collector is shipped to each worker once
-# (pool initializer), then chunks of origins stream through it
+# multiprocessing plumbing: one persistent worker pool per process,
+# reused across every Collector.run() (each era of a timeseries, each
+# plane of a congruence run) instead of forking a fresh pool per call.
+# The collector rides along in each task payload — pickled once per
+# worker per run, exactly what the old pool initializer cost, minus the
+# fork/teardown.
 # ---------------------------------------------------------------------------
 
-_POOL_COLLECTOR: Optional[Collector] = None
+_WORKER_POOL: Optional[multiprocessing.pool.Pool] = None
+_WORKER_POOL_SIZE = 0
 
 
-def _pool_init(collector: Collector) -> None:
-    global _POOL_COLLECTOR
-    _POOL_COLLECTOR = collector
+def _worker_pool(workers: int) -> multiprocessing.pool.Pool:
+    """The persistent pool, grown (never shrunk) to ``workers`` processes.
+
+    A run needing fewer workers than the pool holds just submits fewer
+    chunks — idle processes cost nothing — so alternating worker counts
+    does not thrash fork/teardown.
+    """
+    global _WORKER_POOL, _WORKER_POOL_SIZE
+    if _WORKER_POOL is not None and _WORKER_POOL_SIZE < workers:
+        shutdown_worker_pool()
+    if _WORKER_POOL is None:
+        _WORKER_POOL = multiprocessing.Pool(processes=workers)
+        _WORKER_POOL_SIZE = workers
+    return _WORKER_POOL
+
+
+def shutdown_worker_pool() -> None:
+    """Tear down the persistent collection pool (no-op when absent)."""
+    global _WORKER_POOL, _WORKER_POOL_SIZE
+    if _WORKER_POOL is not None:
+        _WORKER_POOL.terminate()
+        _WORKER_POOL.join()
+        _WORKER_POOL = None
+        _WORKER_POOL_SIZE = 0
+
+
+atexit.register(shutdown_worker_pool)
 
 
 def _pool_collect_chunk(
-    items: List[Tuple[int, List[Prefix]]],
+    payload: Tuple[Collector, List[Tuple[int, List[Prefix]]]],
 ) -> List[Tuple[List[Tuple[int, ...]], List[RibEntry]]]:
-    collector = _POOL_COLLECTOR
-    assert collector is not None
-    return [
-        collector._collect_origin(
-            origin, prefixes, collector._origin_noiser(origin)
-        )
-        for origin, prefixes in items
-    ]
+    """Collect one strided chunk of origins inside a worker process.
+
+    Runs the same batched block path as a serial collector, so worker
+    count changes neither the engine nor any emitted path; the
+    substage timers land on the worker's process-local recorder by
+    design (the parent's profile shows fan-out wall clock).
+    """
+    collector, items = payload
+    by_origin = dict(items)
+    return collector._collect_block([o for o, _ in items], by_origin)
 
 
 def collect(

@@ -66,12 +66,24 @@ class PathNoiser:
         graph: ASGraph,
         config: NoiseConfig,
         rng_seed: Optional[int] = None,
+        prepend_cache: Optional[Dict[Tuple[int, int], int]] = None,
+        clique: Optional[Sequence[int]] = None,
+        edge_cache: Optional[Dict[Tuple[int, int], List[int]]] = None,
     ):
         """``rng_seed`` overrides the seed of the per-path artifact RNG
         only (parallel collection derives one per origin); the
         per-adjacency prepend policy always hashes ``config.seed`` so a
         session prepends identically regardless of which origin's route
-        it exports."""
+        it exports.
+
+        ``prepend_cache``, ``clique`` and ``edge_cache`` let a caller
+        constructing one noiser per origin (the collector) share the
+        memoized prepend policy, the precomputed clique, and the
+        per-edge expansion segments across all of them.  All three are
+        deterministic functions of the graph and ``config.seed``, never
+        of the per-origin RNG, so sharing cannot change any emitted
+        path.
+        """
         self._config = config
         self._rng = random.Random(
             config.seed if rng_seed is None else rng_seed
@@ -79,8 +91,14 @@ class PathNoiser:
         self._via_ixp: Dict[Tuple[int, int], int] = (
             getattr(graph, "via_ixp", {}) if config.ixp_insertion else {}
         )
-        self._clique = graph.clique_asns()
-        self._prepend_cache: Dict[Tuple[int, int], int] = {}
+        self._clique = graph.clique_asns() if clique is None else clique
+        self._prepend_cache: Dict[Tuple[int, int], int] = (
+            {} if prepend_cache is None else prepend_cache
+        )
+        # (prev hop, hop) -> the observed segment that hop contributes
+        self._edge_cache: Dict[Tuple[int, int], List[int]] = (
+            {} if edge_cache is None else edge_cache
+        )
 
     def _prepend_count(self, asn: int, toward: int) -> int:
         """How many extra copies ``asn`` inserts when exporting to ``toward``."""
@@ -96,20 +114,41 @@ class PathNoiser:
             self._prepend_cache[key] = count
         return count
 
+    def _edge_segment(self, prev: int, asn: int) -> List[int]:
+        """What ``asn`` contributes to a path observed after ``prev``.
+
+        The deterministic artifacts — the route-server ASN sitting on
+        the ``prev``–``asn`` edge, then ``asn`` itself, then ``asn``'s
+        prepends toward ``prev`` — depend only on the directed edge,
+        never on which origin's route crosses it, so segments memoize
+        per ``(prev, asn)`` pair.
+        """
+        segment: List[int] = []
+        rs = self._via_ixp.get(canonical_pair(prev, asn))
+        if rs is not None:
+            segment.append(rs)
+        segment.append(asn)
+        if self._config.prepend_prob > 0:
+            # prepends show up after the first occurrence in collector
+            # order
+            segment.extend([asn] * self._prepend_count(asn, prev))
+        return segment
+
     def apply(self, path: Tuple[int, ...]) -> Tuple[int, ...]:
         """Return the observed form of a true AS path."""
-        observed: List[int] = []
+        if not path:
+            return ()
         cfg = self._config
-        for i, asn in enumerate(path):
-            observed.append(asn)
-            if cfg.prepend_prob > 0 and i > 0:
-                # `asn` exported toward path[i-1]; prepends show up after
-                # the first occurrence in collector order
-                observed.extend([asn] * self._prepend_count(asn, path[i - 1]))
-            if i + 1 < len(path):
-                rs = self._via_ixp.get(canonical_pair(asn, path[i + 1]))
-                if rs is not None:
-                    observed.append(rs)
+        edges = self._edge_cache
+        observed: List[int] = [path[0]]
+        prev = path[0]
+        for asn in path[1:]:
+            segment = edges.get((prev, asn))
+            if segment is None:
+                segment = self._edge_segment(prev, asn)
+                edges[(prev, asn)] = segment
+            observed.extend(segment)
+            prev = asn
 
         if cfg.poison_prob > 0 and len(observed) >= 3 and self._clique:
             if self._rng.random() < cfg.poison_prob:

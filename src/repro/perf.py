@@ -103,6 +103,18 @@ class PerfRecorder:
         node = self._stack[-1]
         node.counters[name] = node.counters.get(name, 0) + value
 
+    def add_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate externally measured time under the open stage.
+
+        For substages whose phases interleave inside a loop (e.g. the
+        collector's propagate/paths/noise/rib phases within one origin
+        block): the caller measures each slice itself and deposits the
+        total here, avoiding a context-manager entry per slice.
+        """
+        node = self._stack[-1].child(name)
+        node.calls += 1
+        node.seconds += seconds
+
     def reset(self) -> None:
         self._root = StageStats("")
         self._stack = [self._root]
@@ -201,6 +213,10 @@ def stage(name: str):
 
 def counter(name: str, value: float = 1) -> None:
     _recorder.counter(name, value)
+
+
+def add_seconds(name: str, seconds: float) -> None:
+    _recorder.add_seconds(name, seconds)
 
 
 def reset() -> None:

@@ -3,7 +3,7 @@
 The paper's core claim is *validation*, so the reproduction carries its
 own correctness harness: :func:`run_qa` sweeps randomized worlds
 (sizes, clique shapes, multihoming density, noise on/off, adversarial
-shapes like prepend-heavy and single-VP corpora) and asserts five
+shapes like prepend-heavy and single-VP corpora) and asserts six
 invariant families over each one:
 
 1. **differential** — the fast engine and ``InferenceConfig(fast=False)``
@@ -16,7 +16,10 @@ invariant families over each one:
 4. **round-trip** — ``save_*``/``load_*`` and the MRT RIB/update codecs
    (withdrawals included) reproduce their inputs exactly;
 5. **collection** — serial and parallel collector runs agree for every
-   worker count.
+   worker count;
+6. **propagation** — the batched multi-origin propagation engine and
+   the per-origin reference sweeps emit bit-identical corpora (default
+   and odd batch sizes, v4 and the restricted v6 plane).
 
 On failure the harness shrinks the corpus to a minimal repro, writes it
 under ``benchmarks/repros/`` and prints a one-line replay command.
@@ -29,6 +32,7 @@ from repro.qa.invariants import (
     check_cones,
     check_differential,
     check_hierarchy,
+    check_propagation,
     check_round_trips,
 )
 from repro.qa.runner import QaConfig, QaReport, replay_paths, run_qa
@@ -45,6 +49,7 @@ __all__ = [
     "check_cones",
     "check_differential",
     "check_hierarchy",
+    "check_propagation",
     "check_round_trips",
     "replay_paths",
     "run_qa",

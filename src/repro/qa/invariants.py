@@ -1,4 +1,4 @@
-"""The five invariant families the QA sweep asserts per world.
+"""The six invariant families the QA sweep asserts per world.
 
 Every checker returns a list of :class:`Violation` (empty = clean)
 instead of raising, so one sweep reports everything it finds and the
@@ -474,4 +474,62 @@ def check_collection(
                     f"workers={workers} corpus differs from serial",
                 )
             )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# family 6: batched propagation == reference sweeps
+# ---------------------------------------------------------------------------
+
+
+def check_propagation(world) -> List[Violation]:
+    """The batched engine must reproduce the reference corpus bit for bit.
+
+    ``world.corpus`` is collected with the default (batched) engine;
+    this family re-collects with ``PropagationConfig(batched=False)``
+    (the pure-Python one-origin-at-a-time sweeps) and with a deliberately
+    awkward batch size, on both address planes.  Leaky world shapes
+    exercise the per-row leak pass, and the v6 plane exercises the
+    restricted :class:`~repro.bgp.propagation.GraphIndex`.
+    """
+    from repro.bgp.collector import Collector
+    from repro.bgp.propagation import PropagationConfig
+
+    violations: List[Violation] = []
+    label = world.spec.label
+    batched_key = _corpus_key(world.corpus)
+    variants = (
+        ("reference", PropagationConfig(batched=False)),
+        ("odd-batch", PropagationConfig(batched=True, batch_size=17)),
+    )
+    for name, propagation in variants:
+        config = replace(world.spec.collector, propagation=propagation)
+        corpus = Collector(world.graph, config).run()
+        if _corpus_key(corpus) != batched_key:
+            violations.append(
+                Violation(
+                    f"propagation/{name}",
+                    label,
+                    "corpus differs from the batched engine's",
+                )
+            )
+
+    # restricted (IPv6) plane: batched vs reference
+    v6_batched = Collector(world.graph, world.spec.collector, plane="v6").run()
+    v6_reference = Collector(
+        world.graph,
+        replace(
+            world.spec.collector,
+            propagation=PropagationConfig(batched=False),
+        ),
+        plane="v6",
+    ).run()
+    if _corpus_key(v6_batched) != _corpus_key(v6_reference):
+        violations.append(
+            Violation(
+                "propagation/v6-plane",
+                label,
+                "batched v6 corpus differs from reference",
+            )
+        )
     return violations

@@ -1,7 +1,7 @@
 """The QA sweep driver: worlds → invariants → shrink → repro files.
 
 ``run_qa`` is what ``repro-asrank qa --seeds N`` executes.  Every world
-runs all five invariant families; the corpus-level families (1–3) are
+runs all six invariant families; the corpus-level families (1–3) are
 shrunk on failure and the minimal corpus is written under
 ``benchmarks/repros/`` together with a one-line replay command, so a
 red sweep is immediately actionable.
@@ -24,6 +24,7 @@ from repro.qa.invariants import (
     check_cones,
     check_differential,
     check_hierarchy,
+    check_propagation,
     check_round_trips,
 )
 from repro.qa.shrink import shrink_paths
@@ -45,6 +46,10 @@ class QaConfig:
     # full seed range still covers every shape
     collection_every: int = 4
     collection_workers: Sequence[int] = (2, 3)
+    # family 6 (batched vs reference propagation) re-collects four
+    # times per checked world; same every-Nth budget trade-off, offset
+    # from family 5 below so the two never stack on one world
+    propagation_every: int = 2
 
 
 @dataclass
@@ -189,6 +194,15 @@ def run_qa(
                                 check_collection(
                                     world, config.collection_workers
                                 )
+                            )
+                        report.checks += 1
+                    if (
+                        config.propagation_every
+                        and (index + 1) % config.propagation_every == 0
+                    ):
+                        with perf.stage("qa-propagation"):
+                            world_violations.extend(
+                                check_propagation(world)
                             )
                         report.checks += 1
 

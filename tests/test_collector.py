@@ -158,3 +158,25 @@ class TestDeterminism:
         b = Collector(graph, quiet_config).run()
         assert a.paths == b.paths
         assert a.rib == b.rib
+
+
+class TestObservedMemoization:
+    def test_repeated_calls_return_cached_object(self, corpus):
+        assert corpus.observed_asns() is corpus.observed_asns()
+        assert corpus.observed_links() is corpus.observed_links()
+
+    def test_add_path_invalidates_both_caches(self, graph, quiet_config):
+        corpus = Collector(graph, quiet_config).run()
+        asns_before = set(corpus.observed_asns())
+        links_before = set(corpus.observed_links())
+        corpus.add_path((999_901, 999_902))
+        assert corpus.observed_asns() == asns_before | {999_901, 999_902}
+        assert corpus.observed_links() == links_before | {(999_901, 999_902)}
+
+    def test_duplicate_path_still_invalidates(self, graph, quiet_config):
+        corpus = Collector(graph, quiet_config).run()
+        path = corpus.paths[0]
+        before = corpus.observed_asns()
+        corpus.add_path(path)  # increments the count, same path set
+        after = corpus.observed_asns()
+        assert after == before  # equal contents, possibly fresh set

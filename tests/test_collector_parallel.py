@@ -6,7 +6,12 @@ from dataclasses import replace
 
 import pytest
 
-from repro.bgp.collector import Collector, CollectorConfig
+import repro.bgp.collector as collector_module
+from repro.bgp.collector import (
+    Collector,
+    CollectorConfig,
+    shutdown_worker_pool,
+)
 from repro.bgp.noise import NoiseConfig
 from repro.topology.generator import GeneratorConfig, generate_topology
 
@@ -55,6 +60,44 @@ class TestParallelCollection:
         serial = Collector(graph, base).run()
         parallel = Collector(graph, replace(base, workers=2)).run()
         assert _corpus_key(parallel) == _corpus_key(serial)
+
+    @pytest.mark.parametrize("workers", [2, 3, 4, 5])
+    def test_strided_chunks_merge_in_origin_order(self, graph, workers):
+        """Every worker count reassembles the exact serial corpus."""
+        base = CollectorConfig(n_vps=8, seed=11, n_route_leakers=2)
+        serial = Collector(graph, base).run()
+        parallel = Collector(graph, replace(base, workers=workers)).run()
+        assert _corpus_key(parallel) == _corpus_key(serial)
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_across_runs(self, graph):
+        shutdown_worker_pool()
+        config = CollectorConfig(n_vps=8, seed=11, workers=2)
+        Collector(graph, config).run()
+        first = collector_module._WORKER_POOL
+        assert first is not None
+        Collector(graph, config).run()
+        assert collector_module._WORKER_POOL is first
+
+    def test_smaller_worker_count_reuses_larger_pool(self, graph):
+        shutdown_worker_pool()
+        base = CollectorConfig(n_vps=8, seed=11)
+        Collector(graph, replace(base, workers=3)).run()
+        pool = collector_module._WORKER_POOL
+        Collector(graph, replace(base, workers=2)).run()
+        assert collector_module._WORKER_POOL is pool
+
+    def test_shutdown_is_idempotent(self, graph):
+        config = CollectorConfig(n_vps=8, seed=11, workers=2)
+        Collector(graph, config).run()
+        shutdown_worker_pool()
+        assert collector_module._WORKER_POOL is None
+        shutdown_worker_pool()  # no-op on an absent pool
+        # and collection still works after a shutdown
+        corpus = Collector(graph, config).run()
+        assert len(corpus.paths) > 0
+        shutdown_worker_pool()
 
 
 class TestEdgeCases:

@@ -110,3 +110,48 @@ class TestPipelineWiring:
         flat = rec.flat()
         for stage in ("generate", "collect", "sanitize", "infer"):
             assert stage in flat, flat
+
+
+class TestAddSeconds:
+    def test_accumulates_under_open_stage(self):
+        rec = perf.PerfRecorder()
+        with rec.stage("collect"):
+            rec.add_seconds("propagate", 0.25)
+            rec.add_seconds("propagate", 0.5)
+            rec.add_seconds("noise", 0.1)
+        flat = rec.flat()
+        assert flat["collect/propagate"] == 0.75
+        assert flat["collect/noise"] == 0.1
+
+    def test_counts_each_deposit_as_a_call(self):
+        rec = perf.PerfRecorder()
+        with rec.stage("collect"):
+            rec.add_seconds("rib", 0.1)
+            rec.add_seconds("rib", 0.2)
+        assert rec.snapshot()["collect"]["children"]["rib"]["calls"] == 2
+
+    def test_module_level_helper_uses_active_recorder(self):
+        rec = perf.PerfRecorder()
+        with perf.use_recorder(rec):
+            with perf.stage("collect"):
+                perf.add_seconds("paths", 0.05)
+        assert rec.flat()["collect/paths"] == 0.05
+
+    def test_collector_reports_substages(self):
+        from repro.bgp.collector import Collector, CollectorConfig
+        from repro.topology.generator import (
+            GeneratorConfig,
+            generate_topology,
+        )
+
+        graph = generate_topology(GeneratorConfig(n_ases=60, seed=2))
+        rec = perf.PerfRecorder()
+        with perf.use_recorder(rec):
+            Collector(graph, CollectorConfig(n_vps=6, seed=3)).run()
+        flat = rec.flat()
+        for substage in ("propagate", "paths", "noise", "rib"):
+            assert f"collect/{substage}" in flat, flat
+        substage_sum = sum(
+            v for k, v in flat.items() if k.startswith("collect/")
+        )
+        assert substage_sum <= flat["collect"]
