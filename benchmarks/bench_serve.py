@@ -1,0 +1,142 @@
+"""Serving benchmark: snapshot build/load costs and sustained QPS.
+
+Builds the ``medium``-scenario snapshot, measures the compile /
+serialize / load legs, then drives the asyncio server with the
+closed-loop load generator and records sustained throughput and
+latency percentiles into ``reports/BENCH_serve.json``.
+
+The committed JSON is the regression baseline for
+``check_regression.py``: alongside the throughput it stores a
+``calibration`` number — the wall time of a fixed pure-python workload
+(:func:`repro.serve.loadgen.calibration_workload`) on the machine that
+produced the report — so a slower CI runner rescales the committed
+throughput instead of flagging phantom regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.asrank import ASRank
+from repro.scenarios import get_scenario
+from repro.serve.loadgen import (
+    LoadGenConfig,
+    calibration_workload,
+    run_loadgen,
+)
+from repro.serve.server import ServerThread
+from repro.serve.store import SnapshotStore, load_snapshot, save_snapshot
+
+SCENARIO = "medium"
+REQUESTS = 30_000
+CONNECTIONS = 8
+REPORT_FILE = os.path.join(
+    os.path.dirname(__file__), "reports", "BENCH_serve.json"
+)
+
+
+def main() -> int:
+    print(f"building {SCENARIO} scenario ...")
+    _graph, _corpus, paths, result = get_scenario(SCENARIO).run()
+    facade = ASRank(paths)
+    facade._result = result
+
+    start = time.perf_counter()
+    snapshot = facade.snapshot(source=f"scenario:{SCENARIO}")
+    build_seconds = time.perf_counter() - start
+
+    scratch = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    path = os.path.join(scratch, f"{SCENARIO}.snap")
+    start = time.perf_counter()
+    save_snapshot(snapshot, path)
+    save_seconds = time.perf_counter() - start
+    size_bytes = os.path.getsize(path)
+
+    start = time.perf_counter()
+    load_snapshot(path)
+    load_eager_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    load_snapshot(path, lazy=True)
+    load_lazy_seconds = time.perf_counter() - start
+
+    store = SnapshotStore(snapshot=snapshot, path=path)
+    thread = ServerThread(store)
+    host, port = thread.start()
+    try:
+        # short warmup fills the response cache before the timed run
+        run_loadgen(
+            LoadGenConfig(host=host, port=port, requests=2_000,
+                          connections=CONNECTIONS, seed=1)
+        )
+        report = run_loadgen(
+            LoadGenConfig(host=host, port=port, requests=REQUESTS,
+                          connections=CONNECTIONS, seed=2)
+        )
+        metrics = thread.server.metrics.view()
+    finally:
+        thread.stop()
+
+    calibration = calibration_workload()
+
+    payload = {
+        "scenario": SCENARIO,
+        "snapshot": {
+            "version": snapshot.version,
+            "ases": len(snapshot),
+            "bytes": size_bytes,
+            "build_seconds": round(build_seconds, 4),
+            "save_seconds": round(save_seconds, 4),
+            "load_eager_seconds": round(load_eager_seconds, 4),
+            "load_lazy_seconds": round(load_lazy_seconds, 4),
+        },
+        "load": {
+            "requests": report.requests,
+            "connections": report.connections,
+            "errors": report.errors,
+            "not_found": report.not_found,
+            "seconds": round(report.seconds, 4),
+            "throughput_rps": round(report.throughput, 1),
+            "p50_ms": round(report.percentile(0.50), 3),
+            "p99_ms": round(report.percentile(0.99), 3),
+            "cache_hit_rate": metrics["cache"]["hit_rate"],
+        },
+        "calibration": round(calibration, 4),
+    }
+
+    os.makedirs(os.path.dirname(REPORT_FILE), exist_ok=True)
+    with open(REPORT_FILE, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        f"snapshot {snapshot.version}: {len(snapshot)} ASes, "
+        f"{size_bytes} bytes, build {build_seconds:.3f}s, "
+        f"save {save_seconds:.3f}s, load {load_eager_seconds:.3f}s "
+        f"(lazy {load_lazy_seconds:.3f}s)"
+    )
+    print(
+        f"load: {report.requests} requests / {report.connections} conns "
+        f"-> {report.throughput:,.0f} req/s, p50 "
+        f"{report.percentile(0.50):.2f}ms, p99 "
+        f"{report.percentile(0.99):.2f}ms, {report.errors} errors, "
+        f"cache hit rate {metrics['cache']['hit_rate']:.0%}"
+    )
+    print(f"calibration workload: {calibration:.4f}s")
+    print(f"wrote {REPORT_FILE}")
+
+    if report.errors:
+        print(f"FAIL: {report.errors} transport/5xx errors during the run")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,22 @@
-"""Bench-regression smoke check for the collection pipeline.
+"""Bench-regression smoke checks: collection pipeline and serving.
 
-Re-runs the E00 300-AS scale point (the cheapest one, a few hundred
-milliseconds) and compares `propagate+collect` against the committed
-``reports/BENCH_e00.json``.  Fails — exit code 1 — if the measured
-time regresses more than ``TOLERANCE`` over the committed number.
+Two checks, each failing — exit code 1 — on a >``TOLERANCE``
+regression against the committed report:
 
-The committed baseline and the CI runner are different machines, so
-the committed seconds are first rescaled by a calibration ratio: the
-check replays the same workload through the per-origin reference
-engine, whose cost is engine-independent across this repo's history,
-and uses measured/committed reference time as the machine factor.
+* the E00 300-AS scale point's `propagate+collect` time vs
+  ``reports/BENCH_e00.json`` (the cheapest point, a few hundred
+  milliseconds);
+* the query service's sustained throughput on a ``small``-scenario
+  snapshot vs the ``medium``-snapshot throughput committed in
+  ``reports/BENCH_serve.json``.
+
+The committed baselines and the CI runner are different machines, so
+the committed numbers are first rescaled by a calibration ratio.  The
+collection check replays the same workload through the per-origin
+reference engine, whose cost is engine-independent across this repo's
+history, and uses measured/committed reference time as the machine
+factor.  The serve check reruns the fixed pure-python
+``calibration_workload`` recorded alongside the committed throughput.
 Without that, a slower runner would flag phantom regressions and a
 faster one would mask real ones.
 
@@ -36,6 +43,11 @@ TOLERANCE = 0.25  # fail on >25% regression
 BASELINE_FILE = os.path.join(
     os.path.dirname(__file__), "reports", "BENCH_e00.json"
 )
+SERVE_BASELINE_FILE = os.path.join(
+    os.path.dirname(__file__), "reports", "BENCH_serve.json"
+)
+SERVE_REQUESTS = 5_000
+SERVE_CONNECTIONS = 4
 
 
 def _collect_seconds(graph, config) -> float:
@@ -46,6 +58,66 @@ def _collect_seconds(graph, config) -> float:
         Collector(graph, config).run()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def check_serve() -> int:
+    """Serve-throughput leg: small snapshot, calibrated vs committed."""
+    from repro.asrank import ASRank
+    from repro.scenarios import get_scenario
+    from repro.serve.loadgen import (
+        LoadGenConfig,
+        calibration_workload,
+        run_loadgen,
+    )
+    from repro.serve.server import ServerThread
+    from repro.serve.store import SnapshotStore
+
+    with open(SERVE_BASELINE_FILE) as handle:
+        baseline = json.load(handle)
+    committed_rps = baseline["load"]["throughput_rps"]
+    committed_cal = baseline["calibration"]
+
+    _graph, _corpus, paths, result = get_scenario("small").run()
+    facade = ASRank(paths)
+    facade._result = result
+    store = SnapshotStore(snapshot=facade.snapshot())
+    thread = ServerThread(store)
+    host, port = thread.start()
+    try:
+        run_loadgen(  # warmup fills the response cache
+            LoadGenConfig(host=host, port=port, requests=500,
+                          connections=SERVE_CONNECTIONS, seed=1)
+        )
+        report = run_loadgen(
+            LoadGenConfig(host=host, port=port, requests=SERVE_REQUESTS,
+                          connections=SERVE_CONNECTIONS, seed=2)
+        )
+    finally:
+        thread.stop()
+
+    if report.errors:
+        print(f"REGRESSION: {report.errors} serve errors during the run")
+        return 1
+
+    # a machine `factor` > 1 means this runner is slower than the one
+    # that committed the baseline, so it owes proportionally less QPS
+    factor = calibration_workload() / committed_cal if committed_cal else 1.0
+    allowed = committed_rps / factor * (1.0 - TOLERANCE)
+
+    print(
+        f"serve throughput: measured {report.throughput:,.0f} req/s, "
+        f"committed {committed_rps:,.0f} req/s (medium snapshot), "
+        f"machine factor {factor:.2f}, floor {allowed:,.0f} req/s"
+    )
+    if report.throughput < allowed:
+        print(
+            f"REGRESSION: {report.throughput:,.0f} req/s is more than "
+            f"{TOLERANCE:.0%} below the committed baseline "
+            f"(machine-adjusted)"
+        )
+        return 1
+    print("ok: serve throughput within the regression budget")
+    return 0
 
 
 def main() -> int:
@@ -82,8 +154,8 @@ def main() -> int:
             f"by more than {TOLERANCE:.0%} (machine-adjusted)"
         )
         return 1
-    print("ok: within the regression budget")
-    return 0
+    print("ok: propagate+collect within the regression budget")
+    return check_serve()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,128 @@
+"""CI smoke for the query service: build, serve, load, hot-reload.
+
+Builds a ``small``-scenario snapshot, starts the server on an
+ephemeral port, drives a short closed-loop load run (must finish with
+zero transport/5xx errors and a sane p99), then exercises an atomic
+hot reload via ``POST /admin/reload`` while load is in flight and
+checks the served version flipped with no failed requests.
+
+Exit code 0 on success, 1 with a one-line reason on any failure.
+
+Usage (what CI runs)::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import sys
+import tempfile
+import threading
+
+from repro.asrank import ASRank
+from repro.scenarios import get_scenario
+from repro.serve.loadgen import LoadGenConfig, run_loadgen
+from repro.serve.server import ServerThread
+from repro.serve.store import SnapshotStore, save_snapshot
+
+REQUESTS = 3_000
+CONNECTIONS = 4
+P99_BOUND_MS = 250.0  # generous: CI runners are slow and noisy
+
+
+def _fail(reason: str) -> int:
+    print(f"FAIL: {reason}")
+    return 1
+
+
+def main() -> int:
+    _graph, _corpus, paths, result = get_scenario("small").run()
+    facade = ASRank(paths)
+    facade._result = result
+    snapshot = facade.snapshot(source="scenario:small")
+
+    scratch = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    path = os.path.join(scratch, "small.snap")
+    save_snapshot(snapshot, path)
+
+    store = SnapshotStore(snapshot=snapshot, path=path)
+    thread = ServerThread(store)
+    host, port = thread.start()
+    try:
+        report = run_loadgen(
+            LoadGenConfig(host=host, port=port, requests=REQUESTS,
+                          connections=CONNECTIONS, seed=0)
+        )
+        print(
+            f"load: {report.requests} requests -> "
+            f"{report.throughput:,.0f} req/s, "
+            f"p99 {report.percentile(0.99):.2f}ms, {report.errors} errors"
+        )
+        if report.errors:
+            return _fail(f"{report.errors} errors during the load run")
+        if report.requests != REQUESTS:
+            return _fail(
+                f"only {report.requests}/{REQUESTS} requests completed"
+            )
+        p99 = report.percentile(0.99)
+        if p99 > P99_BOUND_MS:
+            return _fail(f"p99 {p99:.1f}ms exceeds {P99_BOUND_MS}ms bound")
+
+        # --- hot reload under concurrent load -------------------------
+        old_version = store.current.version
+        tiny = get_scenario("tiny").run()
+        tiny_facade = ASRank(tiny[2])
+        tiny_facade._result = tiny[3]
+        next_path = os.path.join(scratch, "next.snap")
+        save_snapshot(tiny_facade.snapshot(source="scenario:tiny"),
+                      next_path)
+
+        failures = []
+        loader = threading.Thread(
+            target=lambda: failures.extend(
+                ["loadgen"]
+                * run_loadgen(
+                    LoadGenConfig(host=host, port=port, requests=2_000,
+                                  connections=CONNECTIONS, seed=3)
+                ).errors
+            )
+        )
+        loader.start()
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        conn.request(
+            "POST", "/admin/reload",
+            body=json.dumps({"path": next_path}).encode(),
+        )
+        response = conn.getresponse()
+        reload_payload = json.loads(response.read())
+        conn.close()
+        loader.join(timeout=120)
+        if response.status != 200:
+            return _fail(f"reload returned {response.status}")
+        if failures:
+            return _fail(f"{len(failures)} request errors during reload")
+        new_version = store.current.version
+        if new_version == old_version or (
+            new_version != reload_payload.get("version")
+        ):
+            return _fail(
+                f"version did not flip cleanly: {old_version} -> "
+                f"{new_version} (reload said "
+                f"{reload_payload.get('version')})"
+            )
+        print(
+            f"hot reload under load: {old_version} -> {new_version}, "
+            f"0 failed requests"
+        )
+    finally:
+        thread.stop()
+
+    print("ok: serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -199,6 +199,15 @@ class ASRank:
     # export
     # ------------------------------------------------------------------
 
+    def snapshot(self, source: str = "asrank"):
+        """Compile this result into a serveable, immutable
+        :class:`repro.serve.snapshot.Snapshot` (forces every lazy
+        stage; the snapshot's answers are bit-identical to this
+        facade's)."""
+        from repro.serve.snapshot import Snapshot
+
+        return Snapshot.build(self, source=source)
+
     def save(self, directory: str, tag: str = "repro") -> Dict[str, str]:
         """Write the CAIDA-format artifacts; returns name → file path."""
         os.makedirs(directory, exist_ok=True)

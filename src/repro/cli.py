@@ -166,9 +166,15 @@ def _cmd_qa(args: argparse.Namespace) -> int:
 
 
 def _cmd_rank(args: argparse.Namespace) -> int:
-    scenario = get_scenario(args.scenario)
-    graph, corpus, paths, result = scenario.run()
-    prefixes = {asys.asn: asys.prefixes for asys in graph.ases()}
+    if args.paths:
+        raw = load_paths(args.paths)
+        paths = PathSet.sanitize(raw)
+        result = infer_relationships(paths)
+        prefixes = None
+    else:
+        scenario = get_scenario(args.scenario)
+        graph, corpus, paths, result = scenario.run()
+        prefixes = {asys.asn: asys.prefixes for asys in graph.ases()}
     cones = CustomerCones.compute(
         result, ConeDefinition.PROVIDER_PEER_OBSERVED, prefixes_by_asn=prefixes
     )
@@ -181,6 +187,82 @@ def _cmd_rank(args: argparse.Namespace) -> int:
             f"{entry.transit_degree:>8} {entry.num_customers:>5} "
             f"{entry.num_peers:>5} {entry.num_providers:>5}"
         )
+    return 0
+
+
+def _build_snapshot(args: argparse.Namespace):
+    """Compile a Snapshot from whichever input the flags select."""
+    from repro.asrank import ASRank
+    from repro.serve.snapshot import Snapshot
+
+    if args.as_rel:
+        return Snapshot.from_files(args.as_rel, ppdc_path=args.ppdc)
+    if args.paths:
+        return ASRank.from_path_file(args.paths).snapshot(
+            source=f"paths:{args.paths}"
+        )
+    scenario = get_scenario(args.scenario)
+    graph, corpus, paths, result = scenario.run()
+    facade = ASRank(
+        paths,
+        prefixes_by_asn={a.asn: a.prefixes for a in graph.ases()},
+    )
+    facade._result = result
+    return facade.snapshot(source=f"scenario:{scenario.name}")
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.serve.store import load_snapshot, save_snapshot
+
+    if args.snapshot_command == "build":
+        snapshot = _build_snapshot(args)
+        version = save_snapshot(snapshot, args.out)
+        size = os.path.getsize(args.out)
+        print(
+            f"wrote snapshot {version} to {args.out}: "
+            f"{len(snapshot)} ASes, {snapshot.stats['n_links']} links, "
+            f"{size} bytes"
+        )
+        return 0
+    # info
+    snapshot = load_snapshot(args.file, lazy=True)
+    print(f"snapshot {snapshot.version} ({args.file})")
+    print(f"  source       {snapshot.meta.get('source')}")
+    print(f"  definitions  {', '.join(snapshot.meta['definitions'])}")
+    print(f"  ases         {snapshot.stats.get('n_ases')}")
+    print(f"  links        {snapshot.stats.get('n_links')}")
+    clique = snapshot.meta.get("clique") or []
+    print(f"  clique       {clique}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import SnapshotServer
+    from repro.serve.store import SnapshotStore, save_snapshot
+
+    if args.snapshot:
+        store = SnapshotStore(path=args.snapshot, lazy=args.lazy)
+    else:
+        snapshot = _build_snapshot(args)
+        path = None
+        if args.out:
+            save_snapshot(snapshot, args.out)
+            path = args.out
+        store = SnapshotStore(snapshot=snapshot, path=path)
+    server = SnapshotServer(
+        store,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        allow_admin=not args.no_admin,
+        install_sighup=True,
+    )
+    try:
+        asyncio.run(server.run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -227,8 +309,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     rank = sub.add_parser("rank", help="run a scenario and print the AS ranking")
     _add_scenario_arg(rank)
+    rank.add_argument("--paths", help="rank from a path file instead of a scenario")
     rank.add_argument("--top", type=int, default=15)
     rank.set_defaults(func=_cmd_rank)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="build/inspect query-service snapshots (repro.serve)"
+    )
+    snap_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+    snap_build = snap_sub.add_parser(
+        "build", help="compile a snapshot file from a scenario or input files"
+    )
+    _add_scenario_arg(snap_build)
+    snap_build.add_argument("--paths", help="build from a path file")
+    snap_build.add_argument("--as-rel", help="build from a CAIDA as-rel file")
+    snap_build.add_argument("--ppdc", help="ppdc-ases file (with --as-rel)")
+    snap_build.add_argument("--out", required=True, help="snapshot file to write")
+    snap_build.set_defaults(func=_cmd_snapshot)
+    snap_info = snap_sub.add_parser("info", help="print a snapshot's metadata")
+    snap_info.add_argument("file", help="snapshot file")
+    snap_info.set_defaults(func=_cmd_snapshot)
+
+    serve = sub.add_parser(
+        "serve", help="serve a snapshot over the asyncio HTTP/JSON API"
+    )
+    _add_scenario_arg(serve)
+    serve.add_argument("--snapshot", help="snapshot file to serve")
+    serve.add_argument("--paths", help="build + serve from a path file")
+    serve.add_argument("--as-rel", help="build + serve from an as-rel file")
+    serve.add_argument("--ppdc", help="ppdc-ases file (with --as-rel)")
+    serve.add_argument("--out", help="also write the built snapshot here")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="response-cache entries (default: 4096)")
+    serve.add_argument("--lazy", action="store_true",
+                       help="load snapshot sections on demand")
+    serve.add_argument("--no-admin", action="store_true",
+                       help="disable POST /admin/reload")
+    serve.set_defaults(func=_cmd_serve)
 
     qa = sub.add_parser(
         "qa",
@@ -250,13 +369,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point.  Data and I/O errors exit 2 with a one-line message
-    instead of a traceback; invariant violations from ``qa`` exit 1."""
+    instead of a traceback; invariant violations from ``qa`` exit 1.
+
+    ``SnapshotFormatError`` (corrupted/truncated snapshot files) is a
+    ``DatasetFormatError`` subclass, so ``serve``/``snapshot`` follow
+    the same convention.  ``UnicodeDecodeError`` covers binary garbage
+    handed to the text loaders (``infer``/``cones``/``rank --paths``).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
     except (DatasetFormatError, MrtFormatError) as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except UnicodeDecodeError as exc:
+        print(f"error: input is not a text file ({exc.reason})",
+              file=sys.stderr)
         return 2
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)

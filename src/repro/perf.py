@@ -28,10 +28,18 @@ does not install one; ``use_recorder`` swaps it for a scoped recorder
 The recorder is process-local: multiprocessing workers record into
 their own copy, which is intentional — the parent's profile then shows
 the wall-clock cost of the fan-out, not the summed worker CPU.
+
+Thread safety: mutations (``stage`` bookkeeping, ``counter``,
+``add_seconds``) are guarded by a per-recorder lock and the stage
+*stack* is thread-local (each thread nests independently under the
+shared root), so the query service's concurrent handlers can deposit
+per-route timings while ``snapshot()`` — which returns fully detached
+plain dicts — reads a consistent tree without mutating it.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
@@ -74,12 +82,26 @@ class StageStats:
 class PerfRecorder:
     """Collects a tree of stage timings plus named counters.
 
-    Not thread-safe by design: one recorder per pipeline run.
+    One recorder per pipeline run is still the intended shape, but the
+    recorder is safe to share across threads/asyncio handlers: the
+    stage stack is per-thread (every thread nests under the shared
+    root) and all structural mutation happens under ``_lock``.
     """
 
     def __init__(self) -> None:
         self._root = StageStats("")
-        self._stack: List[StageStats] = [self._root]
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        # bumped by reset(): threads detect a stale stack and rebuild
+        self._generation = 0
+
+    @property
+    def _stack(self) -> List[StageStats]:
+        state = getattr(self._local, "state", None)
+        if state is None or state[0] != self._generation:
+            state = (self._generation, [self._root])
+            self._local.state = state
+        return state[1]
 
     # ------------------------------------------------------------------
     # recording
@@ -88,20 +110,25 @@ class PerfRecorder:
     @contextmanager
     def stage(self, name: str) -> Iterator[StageStats]:
         """Time a named stage; nests under the innermost open stage."""
-        node = self._stack[-1].child(name)
-        node.calls += 1
-        self._stack.append(node)
+        stack = self._stack
+        with self._lock:
+            node = stack[-1].child(name)
+            node.calls += 1
+        stack.append(node)
         start = time.perf_counter()
         try:
             yield node
         finally:
-            node.seconds += time.perf_counter() - start
-            self._stack.pop()
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                node.seconds += elapsed
+            stack.pop()
 
     def counter(self, name: str, value: float = 1) -> None:
         """Accumulate a named counter on the innermost open stage."""
         node = self._stack[-1]
-        node.counters[name] = node.counters.get(name, 0) + value
+        with self._lock:
+            node.counters[name] = node.counters.get(name, 0) + value
 
     def add_seconds(self, name: str, seconds: float) -> None:
         """Accumulate externally measured time under the open stage.
@@ -111,21 +138,30 @@ class PerfRecorder:
         block): the caller measures each slice itself and deposits the
         total here, avoiding a context-manager entry per slice.
         """
-        node = self._stack[-1].child(name)
-        node.calls += 1
-        node.seconds += seconds
+        with self._lock:
+            node = self._stack[-1].child(name)
+            node.calls += 1
+            node.seconds += seconds
 
     def reset(self) -> None:
-        self._root = StageStats("")
-        self._stack = [self._root]
+        with self._lock:
+            self._root = StageStats("")
+            self._generation += 1
+            self._local.state = (self._generation, [self._root])
 
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
-        """The stage tree as nested plain dicts (top-level stages)."""
-        children = self._root.snapshot().get("children", {})
+        """The stage tree as nested plain dicts (top-level stages).
+
+        The returned structure shares nothing with the live tree, so
+        concurrent handlers (the server's ``/metrics`` endpoint) can
+        read it without racing recorders still mutating stages.
+        """
+        with self._lock:
+            children = self._root.snapshot().get("children", {})
         assert isinstance(children, dict)
         return children
 
@@ -139,7 +175,8 @@ class PerfRecorder:
                 out[path] = child.seconds
                 walk(child, path)
 
-        walk(self._root, "")
+        with self._lock:
+            walk(self._root, "")
         return out
 
     def counters(self, sep: str = "/") -> Dict[str, float]:
@@ -153,7 +190,8 @@ class PerfRecorder:
             for name, child in node.children.items():
                 walk(child, f"{prefix}{sep}{name}" if prefix else name)
 
-        walk(self._root, "")
+        with self._lock:
+            walk(self._root, "")
         return out
 
     def report_lines(self) -> List[str]:
@@ -172,7 +210,8 @@ class PerfRecorder:
                 )
                 walk(child, depth + 1)
 
-        walk(self._root, 0)
+        with self._lock:
+            walk(self._root, 0)
         return lines
 
 
@@ -224,6 +263,7 @@ def reset() -> None:
 
 
 def snapshot() -> Dict[str, object]:
+    """Detached plain-dict view of the active recorder (non-mutating)."""
     return _recorder.snapshot()
 
 

@@ -1,4 +1,4 @@
-"""The six invariant families the QA sweep asserts per world.
+"""The seven invariant families the QA sweep asserts per world.
 
 Every checker returns a list of :class:`Violation` (empty = clean)
 instead of raising, so one sweep reports everything it finds and the
@@ -532,4 +532,145 @@ def check_propagation(world) -> List[Violation]:
                 "batched v6 corpus differs from reference",
             )
         )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# family 7: snapshot-served answers == the in-memory facade's
+# ---------------------------------------------------------------------------
+
+
+def check_serving(
+    result: InferenceResult, directory: str, world: str
+) -> List[Violation]:
+    """Everything the query service answers must be bit-identical to
+    the :class:`~repro.asrank.ASRank` facade on the same world.
+
+    Covers the whole serving pipeline: facade → snapshot compilation →
+    file container round-trip (checksummed save/load) → the handler
+    layer's JSON, for relationships (every inferred link plus absent
+    pairs), cone membership under all three definitions, and the full
+    rank table.
+    """
+    from repro.asrank import ASRank
+    from repro.serve.handlers import Api
+    from repro.serve.snapshot import Snapshot
+    from repro.serve.store import SnapshotStore, load_snapshot, save_snapshot
+
+    violations: List[Violation] = []
+    facade = ASRank(result.paths, config=result.config)
+    facade._result = result
+
+    os.makedirs(directory, exist_ok=True)
+    snapshot_file = os.path.join(directory, "qa.snapshot")
+    save_snapshot(Snapshot.build(facade), snapshot_file)
+    served = load_snapshot(snapshot_file)
+
+    # relationships + providers: every inferred link, bit for bit
+    for a, b in result.links():
+        if served.relationship(a, b) is not result.relationship(a, b) or (
+            served.provider_of(a, b) != result.provider_of(a, b)
+        ):
+            violations.append(
+                Violation(
+                    "serving/relationship",
+                    world,
+                    f"AS{a}-AS{b}: served "
+                    f"{served.relationship(a, b)}/"
+                    f"{served.provider_of(a, b)} != facade "
+                    f"{result.relationship(a, b)}/"
+                    f"{result.provider_of(a, b)}",
+                )
+            )
+            break
+    # a non-link must stay a non-link (absent pairs answer 404)
+    asns = sorted(result.paths.asns())
+    linked = set(result.links())
+    for a in asns[:10]:
+        for b in asns[-10:]:
+            pair = (a, b) if a <= b else (b, a)
+            if a != b and pair not in linked:
+                if served.relationship(a, b) is not None:
+                    violations.append(
+                        Violation(
+                            "serving/phantom-link",
+                            world,
+                            f"AS{a}-AS{b} served a relationship the "
+                            "facade never inferred",
+                        )
+                    )
+                break
+
+    # cones: all three definitions, every AS
+    for definition in ConeDefinition:
+        cones = facade.cones(definition)
+        mismatch = next(
+            (
+                asn
+                for asn in asns
+                if served.cone(asn, definition) != cones.cone(asn)
+            ),
+            None,
+        )
+        if mismatch is not None:
+            violations.append(
+                Violation(
+                    f"serving/cone/{definition.value}",
+                    world,
+                    f"AS{mismatch}: served cone differs from facade",
+                )
+            )
+
+    # rank table: exact rows in exact order
+    if served.ranks() != facade.rank():
+        violations.append(
+            Violation(
+                "serving/rank",
+                world,
+                "served rank table differs from facade ranking",
+            )
+        )
+
+    # the handler layer: JSON answers over the loaded snapshot
+    api = Api(SnapshotStore(snapshot=served))
+    for asn in asns[:5]:
+        status, payload, _route, _c = api.handle("GET", f"/asns/{asn}", {})
+        entry = served.rank_entry(asn)
+        assert entry is not None
+        if status != 200 or (
+            payload["rank"],
+            payload["cone"]["ases"],
+            payload["neighbors"]["customers"],
+            payload["neighbors"]["peers"],
+            payload["neighbors"]["providers"],
+        ) != (
+            entry.rank,
+            entry.cone_ases,
+            len(result.customers_of_asn(asn)),
+            len(result.peers_of_asn(asn)),
+            len(result.providers_of_asn(asn)),
+        ):
+            violations.append(
+                Violation(
+                    "serving/handler-asn",
+                    world,
+                    f"/asns/{asn} JSON disagrees with the facade",
+                )
+            )
+            break
+        status, payload, _route, _c = api.handle(
+            "GET", f"/asns/{asn}/cone",
+            {"definition": "provider/peer-observed"},
+        )
+        if status != 200 or payload["members"] != sorted(
+            facade.customer_cone(asn)
+        ):
+            violations.append(
+                Violation(
+                    "serving/handler-cone",
+                    world,
+                    f"/asns/{asn}/cone JSON disagrees with the facade",
+                )
+            )
+            break
     return violations

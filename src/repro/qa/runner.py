@@ -1,7 +1,7 @@
 """The QA sweep driver: worlds → invariants → shrink → repro files.
 
 ``run_qa`` is what ``repro-asrank qa --seeds N`` executes.  Every world
-runs all six invariant families; the corpus-level families (1–3) are
+runs all seven invariant families; the corpus-level families (1–3) are
 shrunk on failure and the minimal corpus is written under
 ``benchmarks/repros/`` together with a one-line replay command, so a
 red sweep is immediately actionable.
@@ -26,6 +26,7 @@ from repro.qa.invariants import (
     check_hierarchy,
     check_propagation,
     check_round_trips,
+    check_serving,
 )
 from repro.qa.shrink import shrink_paths
 
@@ -173,13 +174,22 @@ def run_qa(
                     if repro:
                         report.repros.append(repro)
                 else:
-                    # families 4 and 5 ride on a healthy inference result
+                    # families 4–7 ride on a healthy inference result
                     result = infer_relationships(world.paths)
                     with perf.stage("qa-round-trips"):
                         world_violations.extend(
                             check_round_trips(
                                 result,
                                 world.corpus,
+                                os.path.join(scratch, f"world{seed}"),
+                                label,
+                            )
+                        )
+                    report.checks += 1
+                    with perf.stage("qa-serving"):
+                        world_violations.extend(
+                            check_serving(
+                                result,
                                 os.path.join(scratch, f"world{seed}"),
                                 label,
                             )

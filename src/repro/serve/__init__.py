@@ -1,0 +1,28 @@
+"""Read-optimized snapshot store + asrank-style HTTP query service.
+
+The batch pipeline ends in an :class:`~repro.asrank.ASRank` facade;
+this package is what turns that result into the paper's public
+artifact shape — a service.  ``Snapshot`` compiles a facade result (or
+CAIDA-format files) into an immutable, versioned, query-optimized
+blob; ``SnapshotStore`` persists it to a single checksummed file and
+hot-swaps versions atomically; ``SnapshotServer`` serves it over a
+dependency-free asyncio HTTP/JSON API; ``loadgen`` measures it.
+"""
+
+from repro.serve.snapshot import Snapshot, SnapshotFormatError
+from repro.serve.store import SnapshotStore, load_snapshot, save_snapshot
+from repro.serve.server import SnapshotServer, ServerThread
+from repro.serve.loadgen import LoadGenConfig, LoadReport, run_loadgen
+
+__all__ = [
+    "Snapshot",
+    "SnapshotFormatError",
+    "SnapshotStore",
+    "load_snapshot",
+    "save_snapshot",
+    "SnapshotServer",
+    "ServerThread",
+    "LoadGenConfig",
+    "LoadReport",
+    "run_loadgen",
+]

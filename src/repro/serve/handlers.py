@@ -1,0 +1,318 @@
+"""Route handlers: (method, path, query) → JSON payload.
+
+Kept free of sockets and HTTP framing so the QA invariants and unit
+tests can drive the exact serving logic in-process: :class:`Api` turns
+a parsed request into ``(status, payload, route, cacheable)`` and the
+asyncio server in :mod:`repro.serve.server` only adds wire framing,
+the response cache and ETags on top.
+
+Routes (all JSON)::
+
+    GET  /asns/{asn}                     rank-table row for one AS
+    GET  /asns/{asn}/cone?definition=    cone membership (paginated)
+    GET  /links/{a}/{b}                  relationship + provider
+    GET  /ranks?page=&per_page=          the rank table, paginated
+    GET  /snapshot                       version + metadata + stats
+    GET  /healthz                        liveness
+    GET  /metrics                        perf counters, latencies, cache
+    POST /admin/reload                   atomic hot snapshot reload
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import perf
+from repro.serve.snapshot import (
+    Snapshot,
+    SnapshotFormatError,
+    resolve_definition,
+)
+from repro.serve.store import SnapshotStore
+
+#: (status, JSON-serializable payload, route label, cacheable)
+HandlerResult = Tuple[int, object, str, bool]
+
+MAX_PER_PAGE = 1000
+DEFAULT_PER_PAGE = 50
+
+
+class Api:
+    """The query service's routing + handler logic over one store."""
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        metrics_view: Optional[Callable[[], Dict[str, object]]] = None,
+        allow_admin: bool = True,
+    ):
+        self.store = store
+        self._metrics_view = metrics_view
+        self.allow_admin = allow_admin
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        body: bytes = b"",
+    ) -> HandlerResult:
+        snapshot = self.store.current  # one atomic read per request
+        parts = [p for p in path.split("/") if p]
+        try:
+            if method == "GET":
+                if parts == ["healthz"]:
+                    return (
+                        200,
+                        {"status": "ok", "version": snapshot.version},
+                        "healthz",
+                        False,
+                    )
+                if parts == ["metrics"]:
+                    return 200, self._metrics(), "metrics", False
+                if parts == ["snapshot"]:
+                    return (
+                        200,
+                        self._snapshot_info(snapshot),
+                        "snapshot",
+                        True,
+                    )
+                if parts == ["ranks"]:
+                    return self._ranks(snapshot, query)
+                if len(parts) == 2 and parts[0] == "asns":
+                    return self._asn(snapshot, parts[1])
+                if (
+                    len(parts) == 3
+                    and parts[0] == "asns"
+                    and parts[2] == "cone"
+                ):
+                    return self._cone(snapshot, parts[1], query)
+                if len(parts) == 3 and parts[0] == "links":
+                    return self._link(snapshot, parts[1], parts[2])
+            elif method == "POST":
+                if parts == ["admin", "reload"]:
+                    return self._reload(body)
+                if parts[:1] in (["asns"], ["links"], ["ranks"]):
+                    return 405, _error("method not allowed"), "error", False
+            else:
+                return 405, _error("method not allowed"), "error", False
+        except _BadRequest as exc:
+            return 400, _error(str(exc)), "error", False
+        return 404, _error(f"no route for {path}"), "error", False
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+
+    def _asn(self, snapshot: Snapshot, raw: str) -> HandlerResult:
+        asn = _parse_asn(raw)
+        entry = snapshot.rank_entry(asn)
+        if entry is None:
+            return 404, _error(f"AS{asn} not in snapshot"), "asn", True
+        payload = {
+            "asn": asn,
+            "rank": entry.rank,
+            "cone": {
+                "ases": entry.cone_ases,
+                "prefixes": entry.cone_prefixes,
+                "addresses": entry.cone_addresses,
+            },
+            "degree": {
+                "transit": entry.transit_degree,
+                "node": entry.node_degree,
+            },
+            "neighbors": {
+                "customers": entry.num_customers,
+                "peers": entry.num_peers,
+                "providers": entry.num_providers,
+            },
+            "clique": asn in snapshot.meta.get("clique", ()),
+            "snapshot": snapshot.version,
+        }
+        return 200, payload, "asn", True
+
+    def _cone(
+        self, snapshot: Snapshot, raw: str, query: Dict[str, str]
+    ) -> HandlerResult:
+        asn = _parse_asn(raw)
+        name = query.get("definition", "provider/peer-observed")
+        try:
+            definition = resolve_definition(name)
+        except KeyError as exc:
+            raise _BadRequest(str(exc).strip('"')) from None
+        if asn not in snapshot:
+            return 404, _error(f"AS{asn} not in snapshot"), "cone", True
+        try:
+            members = sorted(snapshot.cone(asn, definition))
+        except KeyError as exc:
+            raise _BadRequest(str(exc).strip('"')) from None
+        page, per_page = _pagination(query, default_per_page=None)
+        total = len(members)
+        if per_page is not None:
+            members = members[(page - 1) * per_page:page * per_page]
+        payload = {
+            "asn": asn,
+            "definition": definition.value,
+            "size": total,
+            "members": members,
+            "snapshot": snapshot.version,
+        }
+        if per_page is not None:
+            payload["page"] = page
+            payload["per_page"] = per_page
+        return 200, payload, "cone", True
+
+    def _link(
+        self, snapshot: Snapshot, raw_a: str, raw_b: str
+    ) -> HandlerResult:
+        a, b = _parse_asn(raw_a), _parse_asn(raw_b)
+        relationship = snapshot.relationship(a, b)
+        if relationship is None:
+            return (
+                404,
+                _error(f"no inferred link AS{a}-AS{b}"),
+                "link",
+                True,
+            )
+        payload = {
+            "a": a,
+            "b": b,
+            "relationship": relationship.label,
+            "provider": snapshot.provider_of(a, b),
+            "snapshot": snapshot.version,
+        }
+        return 200, payload, "link", True
+
+    def _ranks(
+        self, snapshot: Snapshot, query: Dict[str, str]
+    ) -> HandlerResult:
+        page, per_page = _pagination(
+            query, default_per_page=DEFAULT_PER_PAGE
+        )
+        assert per_page is not None
+        entries = snapshot.ranks(
+            offset=(page - 1) * per_page, limit=per_page
+        )
+        payload = {
+            "page": page,
+            "per_page": per_page,
+            "total": len(snapshot),
+            "entries": [
+                {
+                    "rank": e.rank,
+                    "asn": e.asn,
+                    "cone_ases": e.cone_ases,
+                    "cone_prefixes": e.cone_prefixes,
+                    "cone_addresses": e.cone_addresses,
+                    "transit_degree": e.transit_degree,
+                    "node_degree": e.node_degree,
+                    "customers": e.num_customers,
+                    "peers": e.num_peers,
+                    "providers": e.num_providers,
+                }
+                for e in entries
+            ],
+            "snapshot": snapshot.version,
+        }
+        return 200, payload, "ranks", True
+
+    def _snapshot_info(self, snapshot: Snapshot) -> Dict[str, object]:
+        return {
+            "version": snapshot.version,
+            "source": snapshot.meta.get("source"),
+            "definitions": snapshot.meta.get("definitions"),
+            "clique": snapshot.meta.get("clique"),
+            "stats": snapshot.stats,
+            "reloads": self.store.reloads,
+            "path": self.store.path,
+        }
+
+    def _metrics(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "reloads": self.store.reloads,
+            "perf": perf.snapshot(),
+        }
+        if self._metrics_view is not None:
+            out.update(self._metrics_view())
+        return out
+
+    def _reload(self, body: bytes) -> HandlerResult:
+        if not self.allow_admin:
+            return 403, _error("admin endpoints disabled"), "admin", False
+        path: Optional[str] = None
+        if body:
+            try:
+                parsed = json.loads(body)
+            except ValueError:
+                raise _BadRequest("reload body must be JSON") from None
+            if not isinstance(parsed, dict):
+                raise _BadRequest("reload body must be a JSON object")
+            path = parsed.get("path")
+        try:
+            fresh = self.store.reload(path)
+        except (SnapshotFormatError, OSError) as exc:
+            return (
+                409,
+                _error(f"reload failed, still serving "
+                       f"{self.store.current.version}: {exc}"),
+                "admin",
+                False,
+            )
+        return (
+            200,
+            {"version": fresh.version, "reloads": self.store.reloads},
+            "admin",
+            False,
+        )
+
+
+class _BadRequest(Exception):
+    """Internal: turns into a 400 at the dispatch boundary."""
+
+
+def _error(message: str) -> Dict[str, str]:
+    return {"error": message}
+
+
+def _parse_asn(raw: str) -> int:
+    try:
+        asn = int(raw)
+    except ValueError:
+        raise _BadRequest(f"ASN must be an integer, got {raw!r}") from None
+    if asn < 0 or asn > 0xFFFFFFFF:
+        raise _BadRequest(f"ASN {asn} outside the 32-bit range")
+    return asn
+
+
+def _pagination(
+    query: Dict[str, str], default_per_page: Optional[int]
+) -> Tuple[int, Optional[int]]:
+    page_raw = query.get("page")
+    per_raw = query.get("per_page")
+    if page_raw is None and per_raw is None and default_per_page is None:
+        return 1, None
+    try:
+        page = int(page_raw) if page_raw is not None else 1
+        per_page = (
+            int(per_raw) if per_raw is not None else (default_per_page or
+                                                      DEFAULT_PER_PAGE)
+        )
+    except ValueError:
+        raise _BadRequest("page/per_page must be integers") from None
+    if page < 1:
+        raise _BadRequest("page must be >= 1")
+    if per_page < 1 or per_page > MAX_PER_PAGE:
+        raise _BadRequest(f"per_page must be 1..{MAX_PER_PAGE}")
+    return page, per_page
+
+
+def encode_payload(payload: object) -> bytes:
+    """Canonical JSON bytes (sorted keys, compact separators)."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode()

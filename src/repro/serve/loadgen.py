@@ -1,0 +1,303 @@
+"""Closed-loop load generator for the snapshot query service.
+
+``run_loadgen`` opens N persistent connections and drives each in a
+closed loop — send one request, await the full response, send the
+next — so measured throughput is what a synchronous client population
+of that size actually sustains, and p50/p99 come from real end-to-end
+latencies rather than queue-free service times.
+
+The request mix is seeded and deterministic: the generator pulls the
+target ASN population from ``/ranks`` pages first, then draws a
+weighted mix of per-AS lookups, cone queries (all three definitions),
+link queries (including misses — 404 is a valid, counted answer, not
+an error), rank pages and snapshot metadata.  Only transport failures
+and 5xx responses count as errors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: (route label, weight); targets are formatted per draw
+_MIX: Tuple[Tuple[str, int], ...] = (
+    ("asn", 35),
+    ("cone", 25),
+    ("link", 15),
+    ("ranks", 15),
+    ("snapshot", 5),
+    ("healthz", 5),
+)
+
+_DEFINITIONS = (
+    "recursive",
+    "bgp-observed",
+    "provider%2Fpeer-observed",
+    "ppdc",
+)
+
+
+@dataclass
+class LoadGenConfig:
+    """Shape of one load run."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    connections: int = 8
+    requests: int = 5000
+    seed: int = 0
+    #: per-request timeout, seconds
+    timeout: float = 10.0
+    #: cap on ASNs sampled from /ranks to build the target population
+    population: int = 500
+
+
+@dataclass
+class LoadReport:
+    """What one run measured."""
+
+    requests: int = 0
+    errors: int = 0
+    not_found: int = 0
+    seconds: float = 0.0
+    connections: int = 0
+    latencies_ms: List[float] = field(default_factory=list, repr=False)
+    by_route: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.requests / self.seconds if self.seconds else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "not_found": self.not_found,
+            "seconds": round(self.seconds, 4),
+            "throughput_rps": round(self.throughput, 1),
+            "connections": self.connections,
+            "latency_ms": {
+                "p50": round(self.percentile(0.50), 4),
+                "p90": round(self.percentile(0.90), 4),
+                "p99": round(self.percentile(0.99), 4),
+                "mean": round(
+                    sum(self.latencies_ms) / len(self.latencies_ms), 4
+                ) if self.latencies_ms else 0.0,
+            },
+            "by_route": dict(sorted(self.by_route.items())),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.requests} requests over {self.connections} connections "
+            f"in {self.seconds:.2f}s: {self.throughput:,.0f} req/s, "
+            f"p50 {self.percentile(0.5):.2f}ms, "
+            f"p99 {self.percentile(0.99):.2f}ms, "
+            f"{self.errors} errors"
+        )
+
+
+async def _request(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    target: str,
+    host: str,
+    timeout: float,
+) -> Tuple[int, bytes]:
+    """One GET on a persistent connection; returns (status, body)."""
+    writer.write(
+        f"GET {target} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Connection: keep-alive\r\n\r\n".encode()
+    )
+    await writer.drain()
+    head = await asyncio.wait_for(
+        reader.readuntil(b"\r\n\r\n"), timeout=timeout
+    )
+    lines = head.split(b"\r\n")
+    status = int(lines[0].split(b" ")[1])
+    content_length = 0
+    for line in lines[1:]:
+        if line.lower().startswith(b"content-length:"):
+            content_length = int(line.split(b":")[1])
+            break
+    body = b""
+    if content_length:
+        body = await asyncio.wait_for(
+            reader.readexactly(content_length), timeout=timeout
+        )
+    return status, body
+
+
+def _build_targets(
+    rng: random.Random, asns: Sequence[int], count: int
+) -> List[Tuple[str, str]]:
+    """Pre-draw the whole request schedule as (route, target) pairs."""
+    routes = [route for route, _w in _MIX]
+    weights = [weight for _r, weight in _MIX]
+    population = list(asns) or [0]
+    targets: List[Tuple[str, str]] = []
+    for _ in range(count):
+        route = rng.choices(routes, weights)[0]
+        if route == "asn":
+            targets.append((route, f"/asns/{rng.choice(population)}"))
+        elif route == "cone":
+            definition = rng.choice(_DEFINITIONS)
+            targets.append(
+                (
+                    route,
+                    f"/asns/{rng.choice(population)}/cone"
+                    f"?definition={definition}",
+                )
+            )
+        elif route == "link":
+            a, b = rng.choice(population), rng.choice(population)
+            targets.append((route, f"/links/{a}/{b}"))
+        elif route == "ranks":
+            targets.append(
+                (route, f"/ranks?page={rng.randint(1, 4)}&per_page=50")
+            )
+        elif route == "snapshot":
+            targets.append((route, "/snapshot"))
+        else:
+            targets.append((route, "/healthz"))
+    return targets
+
+
+async def _discover_population(
+    config: LoadGenConfig,
+) -> List[int]:
+    """Pull ASNs off the server's own rank pages."""
+    reader, writer = await asyncio.open_connection(config.host, config.port)
+    asns: List[int] = []
+    try:
+        page = 1
+        while len(asns) < config.population:
+            status, body = await _request(
+                reader, writer,
+                f"/ranks?page={page}&per_page=200",
+                config.host, config.timeout,
+            )
+            if status != 200:
+                break
+            entries = json.loads(body).get("entries", [])
+            if not entries:
+                break
+            asns.extend(entry["asn"] for entry in entries)
+            page += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+    return asns[:config.population]
+
+
+async def _worker(
+    config: LoadGenConfig,
+    schedule: List[Tuple[str, str]],
+    cursor: List[int],
+    report: LoadReport,
+) -> None:
+    reader, writer = await asyncio.open_connection(config.host, config.port)
+    try:
+        while True:
+            index = cursor[0]
+            if index >= len(schedule):
+                return
+            cursor[0] = index + 1
+            route, target = schedule[index]
+            start = time.perf_counter()
+            try:
+                status, _body = await _request(
+                    reader, writer, target, config.host, config.timeout
+                )
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                ConnectionResetError,
+                OSError,
+            ):
+                report.errors += 1
+                report.requests += 1
+                # reconnect and keep going: one broken connection must
+                # not starve the rest of the schedule
+                writer.close()
+                reader, writer = await asyncio.open_connection(
+                    config.host, config.port
+                )
+                continue
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            report.requests += 1
+            report.latencies_ms.append(elapsed_ms)
+            report.by_route[route] = report.by_route.get(route, 0) + 1
+            if status >= 500:
+                report.errors += 1
+            elif status == 404:
+                report.not_found += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+async def run_loadgen_async(
+    config: LoadGenConfig, asns: Optional[Sequence[int]] = None
+) -> LoadReport:
+    if asns is None:
+        asns = await _discover_population(config)
+    rng = random.Random(config.seed)
+    schedule = _build_targets(rng, asns, config.requests)
+    report = LoadReport(connections=config.connections)
+    cursor = [0]
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _worker(config, schedule, cursor, report)
+            for _ in range(config.connections)
+        )
+    )
+    report.seconds = time.perf_counter() - start
+    return report
+
+
+def run_loadgen(
+    config: LoadGenConfig, asns: Optional[Sequence[int]] = None
+) -> LoadReport:
+    """Synchronous entry point: run one closed-loop load measurement."""
+    return asyncio.run(run_loadgen_async(config, asns))
+
+
+def calibration_workload(rounds: int = 20000) -> float:
+    """Seconds for a fixed CPU-bound slice of the serve hot path.
+
+    Used by the bench-regression check to factor out machine speed:
+    the workload (JSON encode + small-dict churn, what a handler does
+    per request) is engine-independent across this repo's history, so
+    measured/committed time is a machine-speed ratio.
+    """
+    payload = {
+        "asn": 64512,
+        "rank": 17,
+        "cone": {"ases": 421, "prefixes": 910, "addresses": 2 ** 20},
+        "neighbors": {"customers": 12, "peers": 31, "providers": 2},
+        "snapshot": "abcdef012345",
+    }
+    start = time.perf_counter()
+    for i in range(rounds):
+        payload["rank"] = i & 0xFF
+        json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return time.perf_counter() - start

@@ -1,0 +1,620 @@
+"""Immutable, versioned, read-optimized view of one pipeline result.
+
+A :class:`Snapshot` is the unit the query service serves: everything
+the asrank-style API answers — relationships, customer cones under all
+three definitions, the rank table, summary stats — compiled into dense
+arrays over a sorted ASN index so every query is O(1) or O(answer):
+
+* **ASN index** — sorted ASN list; ``asn -> dense id`` dict.
+* **Links** — packed parallel arrays ``(a_id, b_id, rel_code,
+  provider_flag)`` plus an ``(a_id << 32 | b_id) -> row`` dict for
+  O(1) link lookup.
+* **Cones** — one Python-int bitset per AS per definition; membership
+  is one shift-and-mask, full cones decode in O(members).
+* **Rank table** — the exact :func:`repro.core.rank.rank_ases` rows in
+  ranking order, plus ``asn -> row`` for point lookups.
+
+Snapshots are built from an :class:`~repro.asrank.ASRank` facade
+(:meth:`Snapshot.build` — bit-identical to the facade by construction)
+or from CAIDA-format ``as-rel``/``ppdc-ases`` files
+(:meth:`Snapshot.from_files` — only the definitions derivable from
+those files are available).  ``encode_sections``/``decode_sections``
+turn a snapshot into named byte sections and back; the file container
+(checksums, lazy loading) lives in :mod:`repro.serve.store`.
+
+The *version* is content-derived — the first 12 hex digits of the
+sha256 over the canonically encoded sections — so the same world
+always produces the same version string and ETags survive rebuilds
+that change nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.cone import ConeDefinition
+from repro.core.rank import ASRankEntry
+from repro.datasets.serialization import DatasetFormatError
+from repro.relationships import Relationship
+
+
+class SnapshotFormatError(DatasetFormatError):
+    """Raised on a malformed, truncated or corrupted snapshot blob."""
+
+
+#: query-string spellings accepted for each cone definition
+DEFINITION_ALIASES: Dict[str, ConeDefinition] = {
+    definition.value: definition for definition in ConeDefinition
+}
+DEFINITION_ALIASES["ppdc"] = ConeDefinition.PROVIDER_PEER_OBSERVED
+DEFINITION_ALIASES["provider-peer-observed"] = (
+    ConeDefinition.PROVIDER_PEER_OBSERVED
+)
+
+_LINK_STRUCT = struct.Struct("<IIbB")
+_RANK_STRUCT = struct.Struct("<IQIqqIIIII")
+_NO_PROVIDER, _PROVIDER_A, _PROVIDER_B = 0, 1, 2
+
+
+def resolve_definition(name: str) -> ConeDefinition:
+    """Map a query-string spelling to a :class:`ConeDefinition`."""
+    try:
+        return DEFINITION_ALIASES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cone definition {name!r}; "
+            f"one of {sorted(DEFINITION_ALIASES)}"
+        ) from None
+
+
+class Snapshot:
+    """One compiled, immutable pipeline result.
+
+    Sections may be attached lazily: the store hands a loader callback
+    that materializes a named section's bytes on first access, so a
+    server can open a multi-section file and decode only what traffic
+    actually touches.
+    """
+
+    def __init__(
+        self,
+        asns: List[int],
+        meta: Dict[str, object],
+        stats: Dict[str, object],
+        version: str = "",
+    ):
+        self.asns = asns
+        self.meta = meta
+        self.stats = stats
+        self.version = version
+        self._ids: Dict[int, int] = {asn: i for i, asn in enumerate(asns)}
+        # links
+        self._link_rows: Optional[List[Tuple[int, int, int, int]]] = None
+        self._link_index: Dict[int, int] = {}
+        # cones: definition value -> one bitset per dense id
+        self._cones: Dict[str, List[int]] = {}
+        # rank table
+        self._rank_rows: Optional[List[Tuple[int, ...]]] = None
+        self._rank_of: Dict[int, int] = {}
+        # lazy section source installed by the store
+        self._section_loader: Optional[Callable[[str], bytes]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, asrank, source: str = "asrank") -> "Snapshot":
+        """Compile an :class:`~repro.asrank.ASRank` facade.
+
+        Forces every lazy stage (inference, all three cone definitions,
+        the full rank table), so the snapshot answers are bit-identical
+        to the facade's by construction.
+        """
+        result = asrank.result
+        asns = sorted(result.paths.asns())
+        ids = {asn: i for i, asn in enumerate(asns)}
+
+        link_rows: List[Tuple[int, int, int, int]] = []
+        for rel in result:
+            flag = _NO_PROVIDER
+            if rel.provider == rel.a:
+                flag = _PROVIDER_A
+            elif rel.provider == rel.b:
+                flag = _PROVIDER_B
+            link_rows.append(
+                (ids[rel.a], ids[rel.b], int(rel.relationship), flag)
+            )
+        link_rows.sort()
+
+        snapshot = cls(
+            asns=asns,
+            meta={
+                "source": source,
+                "clique": list(asrank.clique),
+                "definitions": sorted(
+                    definition.value for definition in ConeDefinition
+                ),
+            },
+            stats={},
+        )
+        snapshot._attach_links(link_rows)
+
+        for definition in ConeDefinition:
+            cones = asrank.cones(definition)
+            bits: List[int] = []
+            for asn in asns:
+                mask = 0
+                for member in cones.cones.get(asn, {asn}):
+                    mask |= 1 << ids[member]
+                bits.append(mask)
+            snapshot._cones[definition.value] = bits
+
+        snapshot._attach_ranks(
+            [_rank_entry_to_row(entry) for entry in asrank.rank()]
+        )
+        snapshot.stats = snapshot._summary_stats()
+        snapshot.version = snapshot.content_version()
+        return snapshot
+
+    @classmethod
+    def from_files(
+        cls, as_rel_path: str, ppdc_path: Optional[str] = None
+    ) -> "Snapshot":
+        """Compile CAIDA-format ``as-rel`` (+ optional ``ppdc-ases``) files.
+
+        Only the definitions derivable from the files are served:
+        ``recursive`` (closure of the p2c rows) always, and
+        ``provider/peer-observed`` when a ppdc file is given;
+        ``bgp-observed`` needs the path corpus and is unavailable.
+        Ranks fall back to cone size, then node degree, then ASN
+        (transit degree needs paths and reads as 0).
+        """
+        from repro.datasets.serialization import load_as_rel, load_ppdc_ases
+
+        rows = load_as_rel(as_rel_path)
+        ppdc = load_ppdc_ases(ppdc_path) if ppdc_path else None
+
+        asn_set: Set[int] = set()
+        for a, b, _rel in rows:
+            asn_set.add(a)
+            asn_set.add(b)
+        if ppdc:
+            for asn, members in ppdc.items():
+                asn_set.add(asn)
+                asn_set.update(members)
+        asns = sorted(asn_set)
+        ids = {asn: i for i, asn in enumerate(asns)}
+
+        link_rows: List[Tuple[int, int, int, int]] = []
+        customers: Dict[int, List[int]] = {}
+        for a, b, rel in rows:
+            lo, hi = (a, b) if a <= b else (b, a)
+            flag = _NO_PROVIDER
+            if rel is Relationship.P2C:
+                # in as-rel rows the first AS is the provider
+                flag = _PROVIDER_A if a == lo else _PROVIDER_B
+                customers.setdefault(a, []).append(b)
+            link_rows.append((ids[lo], ids[hi], int(rel), flag))
+        link_rows.sort()
+
+        definitions = [ConeDefinition.RECURSIVE.value]
+        if ppdc is not None:
+            definitions.append(ConeDefinition.PROVIDER_PEER_OBSERVED.value)
+
+        snapshot = cls(
+            asns=asns,
+            meta={
+                "source": f"files:{as_rel_path}",
+                "clique": [],
+                "definitions": sorted(definitions),
+            },
+            stats={},
+        )
+        snapshot._attach_links(link_rows)
+        snapshot._cones[ConeDefinition.RECURSIVE.value] = _closure_bits(
+            asns, ids, customers
+        )
+        if ppdc is not None:
+            bits = []
+            for asn in asns:
+                mask = 1 << ids[asn]
+                for member in ppdc.get(asn, ()):
+                    mask |= 1 << ids[member]
+                bits.append(mask)
+            snapshot._cones[
+                ConeDefinition.PROVIDER_PEER_OBSERVED.value
+            ] = bits
+
+        cone_bits = snapshot._cones[
+            definitions[-1] if ppdc is not None else definitions[0]
+        ]
+        customers_of, peers_of, providers_of = snapshot._degree_counts()
+        order = sorted(
+            range(len(asns)),
+            key=lambda i: (
+                -cone_bits[i].bit_count(),
+                -(customers_of[i] + peers_of[i] + providers_of[i]),
+                asns[i],
+            ),
+        )
+        rank_rows = [
+            (
+                position,
+                asns[i],
+                cone_bits[i].bit_count(),
+                -1,
+                -1,
+                0,
+                customers_of[i] + peers_of[i] + providers_of[i],
+                customers_of[i],
+                peers_of[i],
+                providers_of[i],
+            )
+            for position, i in enumerate(order, start=1)
+        ]
+        snapshot._attach_ranks(rank_rows)
+        snapshot.stats = snapshot._summary_stats()
+        snapshot.version = snapshot.content_version()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # internal wiring
+    # ------------------------------------------------------------------
+
+    def _attach_links(self, rows: List[Tuple[int, int, int, int]]) -> None:
+        self._link_rows = rows
+        self._link_index = {
+            (a_id << 32) | b_id: i for i, (a_id, b_id, _c, _f) in
+            enumerate(rows)
+        }
+
+    def _attach_ranks(self, rows: List[Tuple[int, ...]]) -> None:
+        self._rank_rows = rows
+        self._rank_of = {row[1]: i for i, row in enumerate(rows)}
+
+    def _links(self) -> List[Tuple[int, int, int, int]]:
+        if self._link_rows is None:
+            self._attach_links(_decode_links(self._load_section("links")))
+        return self._link_rows
+
+    def _ranks(self) -> List[Tuple[int, ...]]:
+        if self._rank_rows is None:
+            self._attach_ranks(_decode_ranks(self._load_section("ranks")))
+        return self._rank_rows
+
+    def _cone_bits(self, definition: ConeDefinition) -> List[int]:
+        if definition.value not in self.meta["definitions"]:
+            raise KeyError(
+                f"definition {definition.value!r} not in this snapshot "
+                f"(built from {self.meta.get('source')})"
+            )
+        bits = self._cones.get(definition.value)
+        if bits is None:
+            bits = _decode_cones(
+                self._load_section(_cone_section(definition)), len(self.asns)
+            )
+            self._cones[definition.value] = bits
+        return bits
+
+    def _load_section(self, name: str) -> bytes:
+        if self._section_loader is None:
+            raise SnapshotFormatError(f"section {name!r} missing")
+        return self._section_loader(name)
+
+    def _degree_counts(self) -> Tuple[List[int], List[int], List[int]]:
+        customers = [0] * len(self.asns)
+        peers = [0] * len(self.asns)
+        providers = [0] * len(self.asns)
+        for a_id, b_id, code, flag in self._links():
+            if code == int(Relationship.P2C):
+                prov, cust = (
+                    (a_id, b_id) if flag == _PROVIDER_A else (b_id, a_id)
+                )
+                customers[prov] += 1
+                providers[cust] += 1
+            elif code == int(Relationship.P2P):
+                peers[a_id] += 1
+                peers[b_id] += 1
+        return customers, peers, providers
+
+    def _summary_stats(self) -> Dict[str, object]:
+        links = self._links()
+        counts: Dict[str, int] = {}
+        for _a, _b, code, _f in links:
+            label = Relationship(code).label
+            counts[label] = counts.get(label, 0) + 1
+        sizes = sorted(
+            (row[2] for row in self._ranks()), reverse=True
+        )
+        return {
+            "n_ases": len(self.asns),
+            "n_links": len(links),
+            "links_by_relationship": counts,
+            "cone_sizes": {
+                "max": sizes[0] if sizes else 0,
+                "median": sizes[len(sizes) // 2] if sizes else 0,
+                "mean": (sum(sizes) / len(sizes)) if sizes else 0.0,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._ids
+
+    def relationship(self, a: int, b: int) -> Optional[Relationship]:
+        row = self._link_row(a, b)
+        return None if row is None else Relationship(row[2])
+
+    def provider_of(self, a: int, b: int) -> Optional[int]:
+        row = self._link_row(a, b)
+        if row is None or row[3] == _NO_PROVIDER:
+            return None
+        return self.asns[row[0] if row[3] == _PROVIDER_A else row[1]]
+
+    def _link_row(
+        self, a: int, b: int
+    ) -> Optional[Tuple[int, int, int, int]]:
+        a_id, b_id = self._ids.get(a), self._ids.get(b)
+        if a_id is None or b_id is None:
+            return None
+        if a_id > b_id:
+            a_id, b_id = b_id, a_id
+        links = self._links()
+        index = self._link_index.get((a_id << 32) | b_id)
+        return None if index is None else links[index]
+
+    def cone(
+        self,
+        asn: int,
+        definition: ConeDefinition = ConeDefinition.PROVIDER_PEER_OBSERVED,
+    ) -> Set[int]:
+        """Cone members incl. self — matches ``CustomerCones.cone``."""
+        asn_id = self._ids.get(asn)
+        if asn_id is None:
+            return {asn}
+        bits = self._cone_bits(definition)[asn_id]
+        out: Set[int] = set()
+        while bits:
+            low = bits & -bits
+            out.add(self.asns[low.bit_length() - 1])
+            bits ^= low
+        return out
+
+    def in_cone(
+        self,
+        asn: int,
+        member: int,
+        definition: ConeDefinition = ConeDefinition.PROVIDER_PEER_OBSERVED,
+    ) -> bool:
+        asn_id, member_id = self._ids.get(asn), self._ids.get(member)
+        if asn_id is None or member_id is None:
+            return asn == member
+        return bool(self._cone_bits(definition)[asn_id] >> member_id & 1)
+
+    def cone_size(
+        self,
+        asn: int,
+        definition: ConeDefinition = ConeDefinition.PROVIDER_PEER_OBSERVED,
+    ) -> int:
+        asn_id = self._ids.get(asn)
+        if asn_id is None:
+            return 1
+        return self._cone_bits(definition)[asn_id].bit_count()
+
+    def rank_entry(self, asn: int) -> Optional[ASRankEntry]:
+        index = self._rank_of_index(asn)
+        return None if index is None else _row_to_rank_entry(
+            self._ranks()[index]
+        )
+
+    def _rank_of_index(self, asn: int) -> Optional[int]:
+        self._ranks()
+        return self._rank_of.get(asn)
+
+    def ranks(self, offset: int = 0, limit: Optional[int] = None
+              ) -> List[ASRankEntry]:
+        rows = self._ranks()
+        window = rows[offset:] if limit is None else rows[
+            offset:offset + limit
+        ]
+        return [_row_to_rank_entry(row) for row in window]
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    @property
+    def definitions(self) -> List[ConeDefinition]:
+        return [ConeDefinition(v) for v in self.meta["definitions"]]
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def encode_sections(self) -> Dict[str, bytes]:
+        """All sections as canonical bytes (the store writes these)."""
+        sections: Dict[str, bytes] = {
+            "asns": struct.pack(f"<{len(self.asns)}Q", *self.asns),
+            "links": _encode_links(self._links()),
+            "ranks": _encode_ranks(self._ranks()),
+            "stats": _json_bytes(self.stats),
+            "meta": _json_bytes(self.meta),
+        }
+        for definition in self.definitions:
+            sections[_cone_section(definition)] = _encode_cones(
+                self._cone_bits(definition)
+            )
+        return sections
+
+    def content_version(self) -> str:
+        """Content hash over the canonical sections (12 hex digits)."""
+        digest = hashlib.sha256()
+        for name, blob in sorted(self.encode_sections().items()):
+            digest.update(name.encode())
+            digest.update(struct.pack("<Q", len(blob)))
+            digest.update(blob)
+        return digest.hexdigest()[:12]
+
+    @classmethod
+    def from_sections(
+        cls,
+        meta_blob: bytes,
+        stats_blob: bytes,
+        asns_blob: bytes,
+        version: str,
+        loader: Callable[[str], bytes],
+        eager_sections: Optional[Mapping[str, bytes]] = None,
+    ) -> "Snapshot":
+        """Rebuild from decoded header sections + a section loader.
+
+        ``eager_sections`` (the store passes it for non-lazy loads)
+        decodes everything up front; otherwise links/cones/ranks
+        materialize on first query via ``loader``.
+        """
+        try:
+            meta = json.loads(meta_blob)
+            stats = json.loads(stats_blob)
+        except ValueError as exc:
+            raise SnapshotFormatError(f"bad meta/stats JSON: {exc}") from None
+        if len(asns_blob) % 8:
+            raise SnapshotFormatError("asns section not a multiple of 8")
+        asns = list(struct.unpack(f"<{len(asns_blob) // 8}Q", asns_blob))
+        snapshot = cls(asns=asns, meta=meta, stats=stats, version=version)
+        snapshot._section_loader = loader
+        if eager_sections is not None:
+            snapshot._attach_links(
+                _decode_links(eager_sections["links"])
+            )
+            snapshot._attach_ranks(
+                _decode_ranks(eager_sections["ranks"])
+            )
+            for definition in snapshot.definitions:
+                snapshot._cones[definition.value] = _decode_cones(
+                    eager_sections[_cone_section(definition)], len(asns)
+                )
+        return snapshot
+
+
+# ---------------------------------------------------------------------------
+# section codecs
+# ---------------------------------------------------------------------------
+
+
+def _cone_section(definition: ConeDefinition) -> str:
+    return f"cones:{definition.value}"
+
+
+def _json_bytes(value: object) -> bytes:
+    return json.dumps(value, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _encode_links(rows: Iterable[Tuple[int, int, int, int]]) -> bytes:
+    return b"".join(_LINK_STRUCT.pack(*row) for row in rows)
+
+
+def _decode_links(blob: bytes) -> List[Tuple[int, int, int, int]]:
+    if len(blob) % _LINK_STRUCT.size:
+        raise SnapshotFormatError("links section truncated")
+    return [tuple(row) for row in _LINK_STRUCT.iter_unpack(blob)]
+
+
+def _encode_ranks(rows: Iterable[Tuple[int, ...]]) -> bytes:
+    return b"".join(_RANK_STRUCT.pack(*row) for row in rows)
+
+
+def _decode_ranks(blob: bytes) -> List[Tuple[int, ...]]:
+    if len(blob) % _RANK_STRUCT.size:
+        raise SnapshotFormatError("ranks section truncated")
+    return [tuple(row) for row in _RANK_STRUCT.iter_unpack(blob)]
+
+
+def _encode_cones(bits: List[int]) -> bytes:
+    chunks: List[bytes] = []
+    for mask in bits:
+        blob = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+        chunks.append(struct.pack("<I", len(blob)))
+        chunks.append(blob)
+    return b"".join(chunks)
+
+
+def _decode_cones(blob: bytes, n: int) -> List[int]:
+    bits: List[int] = []
+    offset = 0
+    for _ in range(n):
+        if offset + 4 > len(blob):
+            raise SnapshotFormatError("cones section truncated")
+        (length,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        if offset + length > len(blob):
+            raise SnapshotFormatError("cones section truncated")
+        bits.append(int.from_bytes(blob[offset:offset + length], "little"))
+        offset += length
+    if offset != len(blob):
+        raise SnapshotFormatError("cones section has trailing bytes")
+    return bits
+
+
+def _rank_entry_to_row(entry: ASRankEntry) -> Tuple[int, ...]:
+    return (
+        entry.rank,
+        entry.asn,
+        entry.cone_ases,
+        -1 if entry.cone_prefixes is None else entry.cone_prefixes,
+        -1 if entry.cone_addresses is None else entry.cone_addresses,
+        entry.transit_degree,
+        entry.node_degree,
+        entry.num_customers,
+        entry.num_peers,
+        entry.num_providers,
+    )
+
+
+def _row_to_rank_entry(row: Tuple[int, ...]) -> ASRankEntry:
+    return ASRankEntry(
+        rank=row[0],
+        asn=row[1],
+        cone_ases=row[2],
+        cone_prefixes=None if row[3] < 0 else row[3],
+        cone_addresses=None if row[4] < 0 else row[4],
+        transit_degree=row[5],
+        node_degree=row[6],
+        num_customers=row[7],
+        num_peers=row[8],
+        num_providers=row[9],
+    )
+
+
+def _closure_bits(
+    asns: List[int], ids: Dict[int, int], customers: Dict[int, List[int]]
+) -> List[int]:
+    """Transitive closure of the p2c DAG as bitsets (file-built path)."""
+    bits: List[int] = [1 << i for i in range(len(asns))]
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {}
+    for root in asns:
+        if color.get(root, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                mask = 1 << ids[node]
+                for child in customers.get(node, ()):
+                    mask |= bits[ids[child]]
+                bits[ids[node]] = mask
+                color[node] = BLACK
+                continue
+            if color.get(node, WHITE) != WHITE:
+                continue
+            color[node] = GRAY
+            stack.append((node, True))
+            for child in customers.get(node, ()):
+                if color.get(child, WHITE) == WHITE:
+                    stack.append((child, False))
+    return bits

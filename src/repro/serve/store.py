@@ -1,0 +1,233 @@
+"""Single-file snapshot container + the hot-swappable store.
+
+File layout (all little-endian)::
+
+    offset 0   magic        8 bytes  b"REPROSNP"
+    offset 8   format       u32      container format version (1)
+    offset 12  header_len   u32      length of the JSON header
+    offset 16  header       JSON     {"version", "payload_sha256",
+                                      "sections": {name: {offset,
+                                      length, sha256}}}
+    then       payload      bytes    section blobs, concatenated
+
+Integrity is two-level: the header carries a sha256 over the whole
+payload (verified on eager loads) and one per section (verified on
+first access in lazy loads), so a flipped byte is rejected on either
+path.  ``save_snapshot`` writes to a temp file in the target directory
+and ``os.replace``s it into place, so a concurrently reloading server
+never observes a half-written file.
+
+:class:`SnapshotStore` is what the server holds: the current
+:class:`~repro.serve.snapshot.Snapshot` behind one attribute, swapped
+atomically by ``reload()`` — in-flight requests keep the reference
+they started with, new requests see the new version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import tempfile
+import threading
+from typing import Callable, Dict, Optional
+
+from repro import perf
+from repro.serve.snapshot import Snapshot, SnapshotFormatError
+
+MAGIC = b"REPROSNP"
+FORMAT_VERSION = 1
+_FIXED = struct.Struct("<8sII")
+
+
+def save_snapshot(snapshot: Snapshot, path: str) -> str:
+    """Write ``snapshot`` to ``path`` atomically; returns its version."""
+    with perf.stage("snapshot-save"):
+        sections = snapshot.encode_sections()
+        table: Dict[str, Dict[str, object]] = {}
+        payload_parts = []
+        offset = 0
+        for name in sorted(sections):
+            blob = sections[name]
+            table[name] = {
+                "offset": offset,
+                "length": len(blob),
+                "sha256": hashlib.sha256(blob).hexdigest(),
+            }
+            payload_parts.append(blob)
+            offset += len(blob)
+        payload = b"".join(payload_parts)
+        version = snapshot.version or snapshot.content_version()
+        header = json.dumps(
+            {
+                "version": version,
+                "payload_sha256": hashlib.sha256(payload).hexdigest(),
+                "sections": table,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode()
+
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".snap.tmp")
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                stream.write(
+                    _FIXED.pack(MAGIC, FORMAT_VERSION, len(header))
+                )
+                stream.write(header)
+                stream.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+    return version
+
+
+def _read_header(stream) -> Dict[str, object]:
+    fixed = stream.read(_FIXED.size)
+    if len(fixed) < _FIXED.size:
+        raise SnapshotFormatError("file too short for a snapshot header")
+    magic, fmt, header_len = _FIXED.unpack(fixed)
+    if magic != MAGIC:
+        raise SnapshotFormatError(f"bad magic {magic!r}")
+    if fmt != FORMAT_VERSION:
+        raise SnapshotFormatError(f"unsupported container format {fmt}")
+    header_blob = stream.read(header_len)
+    if len(header_blob) < header_len:
+        raise SnapshotFormatError("truncated snapshot header")
+    try:
+        header = json.loads(header_blob)
+    except ValueError as exc:
+        raise SnapshotFormatError(f"bad header JSON: {exc}") from None
+    for key in ("version", "payload_sha256", "sections"):
+        if key not in header:
+            raise SnapshotFormatError(f"header missing {key!r}")
+    return header
+
+
+class _SectionReader:
+    """Seek-and-read section access with per-section checksum checks."""
+
+    def __init__(self, path: str, header: Dict[str, object],
+                 payload_offset: int):
+        self._path = path
+        self._sections: Dict[str, Dict[str, object]] = header["sections"]
+        self._payload_offset = payload_offset
+        self._lock = threading.Lock()
+
+    def __call__(self, name: str) -> bytes:
+        entry = self._sections.get(name)
+        if entry is None:
+            raise SnapshotFormatError(f"section {name!r} missing")
+        with self._lock, open(self._path, "rb") as stream:
+            stream.seek(self._payload_offset + int(entry["offset"]))
+            blob = stream.read(int(entry["length"]))
+        if len(blob) != int(entry["length"]):
+            raise SnapshotFormatError(f"section {name!r} truncated")
+        if hashlib.sha256(blob).hexdigest() != entry["sha256"]:
+            raise SnapshotFormatError(
+                f"section {name!r} checksum mismatch (corrupted snapshot)"
+            )
+        return blob
+
+
+def load_snapshot(path: str, lazy: bool = False) -> Snapshot:
+    """Load a snapshot file.
+
+    Eager (default): the whole payload is read, checksummed and every
+    section decoded up front.  Lazy: only ``meta``/``stats``/``asns``
+    are decoded; links, cones and ranks come off disk (and are
+    checksum-verified) on first query.
+    """
+    with perf.stage("snapshot-load"):
+        with open(path, "rb") as stream:
+            header = _read_header(stream)
+            payload_offset = stream.tell()
+            reader = _SectionReader(path, header, payload_offset)
+            eager: Optional[Dict[str, bytes]] = None
+            if not lazy:
+                payload = stream.read()
+                if (
+                    hashlib.sha256(payload).hexdigest()
+                    != header["payload_sha256"]
+                ):
+                    raise SnapshotFormatError(
+                        f"{path}: payload checksum mismatch "
+                        "(corrupted snapshot)"
+                    )
+                eager = {}
+                for name, entry in header["sections"].items():
+                    start = int(entry["offset"])
+                    eager[name] = payload[start:start + int(entry["length"])]
+
+        def section(name: str) -> bytes:
+            if eager is not None:
+                blob = eager.get(name)
+                if blob is None:
+                    raise SnapshotFormatError(f"section {name!r} missing")
+                return blob
+            return reader(name)
+
+        return Snapshot.from_sections(
+            meta_blob=section("meta"),
+            stats_blob=section("stats"),
+            asns_blob=section("asns"),
+            version=str(header["version"]),
+            loader=section,
+            eager_sections=eager,
+        )
+
+
+class SnapshotStore:
+    """The server's mount point: one current snapshot, swapped atomically.
+
+    ``current`` is a single attribute read; Python attribute assignment
+    is atomic, so handlers grab a reference once per request and keep
+    serving the version they started with while ``reload()`` swaps in
+    a new one mid-flight.
+    """
+
+    def __init__(
+        self,
+        snapshot: Optional[Snapshot] = None,
+        path: Optional[str] = None,
+        lazy: bool = False,
+    ):
+        if snapshot is None and path is None:
+            raise ValueError("SnapshotStore needs a snapshot or a path")
+        self.path = path
+        self.lazy = lazy
+        self._reload_lock = threading.Lock()
+        self.reloads = 0
+        self.current: Snapshot = (
+            snapshot if snapshot is not None else load_snapshot(path, lazy)
+        )
+
+    def reload(self, path: Optional[str] = None) -> Snapshot:
+        """Load (or re-load) the file and swap it in atomically.
+
+        Raises without touching ``current`` if the file is missing or
+        corrupted — a bad rebuild never takes down a serving store.
+        """
+        with self._reload_lock:
+            target = path or self.path
+            if target is None:
+                raise SnapshotFormatError(
+                    "store has no file to reload from"
+                )
+            fresh = load_snapshot(target, self.lazy)
+            self.path = target
+            self.current = fresh
+            self.reloads += 1
+            perf.counter("snapshot-reloads")
+        return fresh
+
+    def swap(self, snapshot: Snapshot) -> None:
+        """Install an in-memory snapshot (tests / embedded rebuilds)."""
+        with self._reload_lock:
+            self.current = snapshot
+            self.reloads += 1

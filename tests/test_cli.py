@@ -149,3 +149,59 @@ class TestErrorExits:
 
         monkeypatch.setattr(cli, "generate_series", boom)
         self._assert_exit_2(capsys, ["evolve", "--eras", "2"])
+
+    def test_rank_missing_paths_file(self, capsys, tmp_path):
+        self._assert_exit_2(
+            capsys, ["rank", "--paths", str(tmp_path / "nope.txt")]
+        )
+
+    def test_cones_binary_file(self, capsys, tmp_path):
+        bad = tmp_path / "bin.paths.txt"
+        bad.write_bytes(bytes(range(256)))
+        self._assert_exit_2(capsys, ["cones", "--paths", str(bad)])
+
+    def test_snapshot_build_missing_input(self, capsys, tmp_path):
+        self._assert_exit_2(
+            capsys,
+            [
+                "snapshot", "build",
+                "--paths", str(tmp_path / "nope.txt"),
+                "--out", str(tmp_path / "out.snap"),
+            ],
+        )
+
+    def test_serve_missing_snapshot(self, capsys, tmp_path):
+        self._assert_exit_2(
+            capsys, ["serve", "--snapshot", str(tmp_path / "nope.snap")]
+        )
+
+    def test_serve_corrupt_snapshot(self, capsys, tmp_path):
+        junk = tmp_path / "junk.snap"
+        junk.write_bytes(b"not a snapshot")
+        self._assert_exit_2(capsys, ["serve", "--snapshot", str(junk)])
+
+
+class TestSnapshotCommand:
+    def test_build_then_info(self, tmp_path, capsys):
+        out = str(tmp_path / "tiny.snap")
+        assert main(["snapshot", "build", "--scenario", "tiny",
+                     "--out", out]) == 0
+        built = capsys.readouterr().out
+        assert built.startswith("wrote snapshot ") and os.path.exists(out)
+        version = built.split()[2]
+        assert main(["snapshot", "info", out]) == 0
+        info = capsys.readouterr().out
+        assert version in info
+        assert "definitions" in info
+
+    def test_build_from_as_rel_files(self, tmp_path, capsys):
+        as_rel = tmp_path / "w.as-rel.txt"
+        as_rel.write_text("1|2|-1\n2|3|0\n")
+        out = str(tmp_path / "w.snap")
+        assert main(["snapshot", "build", "--as-rel", str(as_rel),
+                     "--out", out]) == 0
+        from repro.serve.store import load_snapshot
+
+        snapshot = load_snapshot(out)
+        assert snapshot.asns == [1, 2, 3]
+        assert snapshot.provider_of(1, 2) == 1

@@ -112,6 +112,80 @@ class TestPipelineWiring:
             assert stage in flat, flat
 
 
+class TestThreadSafety:
+    def test_concurrent_counters_sum_exactly(self):
+        import threading
+
+        rec = perf.PerfRecorder()
+        rounds = 2000
+
+        def work():
+            with rec.stage("worker"):
+                for _ in range(rounds):
+                    rec.counter("ticks")
+                    rec.add_seconds("busy", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert rec.counters()["worker/ticks"] == 8 * rounds
+        assert abs(rec.flat()["worker/busy"] - 8 * rounds * 0.001) < 1e-6
+
+    def test_each_thread_gets_its_own_stage_stack(self):
+        import threading
+
+        rec = perf.PerfRecorder()
+        barrier = threading.Barrier(2)
+
+        def left():
+            with rec.stage("left"):
+                barrier.wait()
+                with rec.stage("inner"):
+                    barrier.wait()
+
+        def right():
+            with rec.stage("right"):
+                barrier.wait()
+                with rec.stage("inner"):
+                    barrier.wait()
+
+        threads = [
+            threading.Thread(target=left),
+            threading.Thread(target=right),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        flat = rec.flat()
+        # each thread nests "inner" under its own top-level stage — the
+        # stacks never bleed into each other
+        assert set(flat) == {"left", "right", "left/inner", "right/inner"}
+
+    def test_snapshot_does_not_mutate(self):
+        rec = perf.PerfRecorder()
+        with rec.stage("a"):
+            rec.counter("n")
+        first = rec.snapshot()
+        first["a"]["counters"]["n"] = 999
+        first["a"]["ghost"] = {}
+        second = rec.snapshot()
+        assert second["a"]["counters"] == {"n": 1}
+        assert "ghost" not in second["a"]
+
+    def test_module_snapshot_is_detached_view(self):
+        rec = perf.PerfRecorder()
+        with perf.use_recorder(rec):
+            with perf.stage("x"):
+                pass
+            snap = perf.snapshot()
+        assert "x" in snap
+        snap["x"]["seconds"] = -1.0
+        assert rec.snapshot()["x"]["seconds"] >= 0.0
+
+
 class TestAddSeconds:
     def test_accumulates_under_open_stage(self):
         rec = perf.PerfRecorder()

@@ -1,0 +1,272 @@
+"""Integration tests for the asyncio HTTP query service."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.asrank import ASRank
+from repro.serve.handlers import Api
+from repro.serve.loadgen import LoadGenConfig, run_loadgen
+from repro.serve.server import ServerThread
+from repro.serve.store import SnapshotStore, save_snapshot
+
+
+@pytest.fixture(scope="module")
+def tiny_snapshot(tiny_run):
+    facade = ASRank(tiny_run.paths)
+    facade._result = tiny_run.result
+    return facade.snapshot()
+
+
+@pytest.fixture()
+def served(tiny_snapshot, tmp_path):
+    path = str(tmp_path / "tiny.snap")
+    save_snapshot(tiny_snapshot, path)
+    store = SnapshotStore(snapshot=tiny_snapshot, path=path)
+    thread = ServerThread(store)
+    host, port = thread.start()
+    yield store, thread.server, host, port
+    thread.stop()
+
+
+def _get(host, port, target, headers=None):
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request("GET", target, headers=headers or {})
+        response = conn.getresponse()
+        body = response.read()
+        return response.status, body, dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+class TestEndpoints:
+    def test_asn_detail_matches_rank_table(self, served, tiny_run):
+        store, _server, host, port = served
+        snapshot = store.current
+        top = snapshot.ranks(limit=1)[0]
+        status, body, _ = _get(host, port, f"/asns/{top.asn}")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["rank"] == 1
+        assert payload["cone"]["ases"] == top.cone_ases
+        assert payload["neighbors"]["customers"] == top.num_customers
+        assert payload["snapshot"] == snapshot.version
+
+    def test_cone_definitions_and_pagination(self, served):
+        store, _server, host, port = served
+        snapshot = store.current
+        asn = snapshot.ranks(limit=1)[0].asn
+        status, body, _ = _get(
+            host, port,
+            f"/asns/{asn}/cone?definition=provider%2Fpeer-observed",
+        )
+        assert status == 200
+        full = json.loads(body)
+        assert sorted(full["members"]) == full["members"]
+        assert full["size"] == len(full["members"]) >= 1
+        status, body, _ = _get(
+            host, port, f"/asns/{asn}/cone?page=1&per_page=2"
+        )
+        paged = json.loads(body)
+        assert paged["members"] == full["members"][:2]
+        assert paged["size"] == full["size"]
+
+    def test_link_lookup(self, served, tiny_run):
+        _store, _server, host, port = served
+        a, b = next(iter(tiny_run.result.links()))
+        status, body, _ = _get(host, port, f"/links/{a}/{b}")
+        assert status == 200
+        payload = json.loads(body)
+        rel = tiny_run.result.relationship(a, b)
+        assert payload["relationship"] == rel.label
+        assert payload["provider"] == tiny_run.result.provider_of(a, b)
+
+    def test_ranks_pagination_covers_everything(self, served):
+        store, _server, host, port = served
+        snapshot = store.current
+        seen = []
+        page = 1
+        while True:
+            status, body, _ = _get(
+                host, port, f"/ranks?page={page}&per_page=60"
+            )
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["total"] == len(snapshot)
+            if not payload["entries"]:
+                break
+            seen.extend(entry["asn"] for entry in payload["entries"])
+            page += 1
+        assert seen == [entry.asn for entry in snapshot.ranks()]
+
+    def test_snapshot_and_healthz(self, served):
+        store, _server, host, port = served
+        status, body, _ = _get(host, port, "/snapshot")
+        assert status == 200
+        assert json.loads(body)["version"] == store.current.version
+        status, body, _ = _get(host, port, "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_errors(self, served):
+        _store, _server, host, port = served
+        assert _get(host, port, "/asns/999999999")[0] == 404
+        assert _get(host, port, "/asns/notanumber")[0] == 400
+        assert _get(host, port, "/asns/1/cone?definition=bogus")[0] == 400
+        assert _get(host, port, "/ranks?page=0")[0] == 400
+        assert _get(host, port, "/nope")[0] == 404
+        assert _get(host, port, "/links/1")[0] == 404
+
+
+class TestCachingAndEtags:
+    def test_etag_304_revalidation(self, served):
+        _store, _server, host, port = served
+        status, body, headers = _get(host, port, "/snapshot")
+        etag = headers.get("ETag")
+        assert status == 200 and etag
+        status, body, headers = _get(
+            host, port, "/snapshot", headers={"If-None-Match": etag}
+        )
+        assert status == 304
+        assert body == b""
+        assert headers.get("ETag") == etag
+
+    def test_cache_hits_show_in_metrics(self, served):
+        _store, server, host, port = served
+        for _ in range(3):
+            _get(host, port, "/ranks?page=1&per_page=5")
+        status, body, _ = _get(host, port, "/metrics")
+        assert status == 200
+        metrics = json.loads(body)
+        assert metrics["cache"]["hits"] >= 2
+        assert 0.0 <= metrics["cache"]["hit_rate"] <= 1.0
+        assert "ranks" in metrics["routes"]
+        assert metrics["routes"]["ranks"]["requests"] >= 1
+        assert "perf" in metrics
+
+    def test_metrics_not_cached(self, served):
+        _store, _server, host, port = served
+        _, first, _ = _get(host, port, "/metrics")
+        _, second, _ = _get(host, port, "/metrics")
+        first_count = (
+            json.loads(first)["routes"].get("metrics", {}).get("requests", 0)
+        )
+        second_count = json.loads(second)["routes"]["metrics"]["requests"]
+        assert second_count > first_count
+
+
+class TestHotReload:
+    def test_reload_swaps_version_atomically(self, served, small_run,
+                                             tmp_path):
+        store, _server, host, port = served
+        old_version = store.current.version
+        facade = ASRank(small_run.paths)
+        facade._result = small_run.result
+        new_path = str(tmp_path / "next.snap")
+        save_snapshot(facade.snapshot(), new_path)
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        body = json.dumps({"path": new_path}).encode()
+        conn.request("POST", "/admin/reload", body=body)
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        conn.close()
+        assert response.status == 200
+        assert payload["version"] != old_version
+        assert store.current.version == payload["version"]
+        status, body, _ = _get(host, port, "/snapshot")
+        assert json.loads(body)["version"] == payload["version"]
+
+    def test_reload_failure_keeps_serving(self, served, tmp_path):
+        store, _server, host, port = served
+        version = store.current.version
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(b"garbage")
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        conn.request(
+            "POST", "/admin/reload",
+            body=json.dumps({"path": str(bad)}).encode(),
+        )
+        response = conn.getresponse()
+        status, payload = response.status, json.loads(response.read())
+        conn.close()
+        assert status == 409
+        assert "error" in payload
+        assert store.current.version == version
+        assert _get(host, port, "/healthz")[0] == 200
+
+    def test_reload_under_concurrent_load_zero_failures(
+        self, served, small_run, tmp_path
+    ):
+        store, _server, host, port = served
+        facade = ASRank(small_run.paths)
+        facade._result = small_run.result
+        new_path = str(tmp_path / "swap.snap")
+        save_snapshot(facade.snapshot(), new_path)
+
+        failures = []
+        stop = threading.Event()
+
+        def hammer():
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                while not stop.is_set():
+                    conn.request("GET", "/snapshot")
+                    response = conn.getresponse()
+                    data = response.read()
+                    if response.status != 200 or not data:
+                        failures.append(response.status)
+            except Exception as exc:
+                failures.append(repr(exc))
+            finally:
+                conn.close()
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for worker in workers:
+            worker.start()
+        try:
+            for _ in range(3):
+                conn = http.client.HTTPConnection(host, port, timeout=10)
+                conn.request(
+                    "POST", "/admin/reload",
+                    body=json.dumps({"path": new_path}).encode(),
+                )
+                assert conn.getresponse().status == 200
+                conn.close()
+        finally:
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=10)
+        assert failures == []
+        assert store.reloads >= 3
+
+
+class TestLoadgen:
+    def test_loadgen_round_trip(self, served):
+        _store, _server, host, port = served
+        report = run_loadgen(
+            LoadGenConfig(host=host, port=port, requests=300,
+                          connections=3, seed=7)
+        )
+        assert report.requests == 300
+        assert report.errors == 0
+        assert report.throughput > 0
+        assert report.percentile(0.99) >= report.percentile(0.50) >= 0
+        as_dict = report.as_dict()
+        assert as_dict["requests"] == 300
+        assert set(as_dict["by_route"]) <= {
+            "asn", "cone", "link", "ranks", "snapshot", "healthz"
+        }
+
+
+class TestAdminDisabled:
+    def test_admin_disabled_returns_403(self, tiny_snapshot):
+        api = Api(SnapshotStore(snapshot=tiny_snapshot), allow_admin=False)
+        status, payload, route, _ = api.handle(
+            "POST", "/admin/reload", {}, b""
+        )
+        assert status == 403 and route == "admin"
