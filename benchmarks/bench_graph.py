@@ -1,0 +1,112 @@
+"""Graph-core benchmark: snapshot build time on the medium world.
+
+Measures what the shared columnar core (``repro.graph``) bought the
+snapshot builder.  Before the core existed, ``Snapshot.build``
+re-derived a sorted ASN index from the path corpus and re-encoded
+every cone set into bitsets; now it adopts the facade's ``RelGraph``
+index and the ``CustomerCones`` bitsets zero-copy, so the build is
+mostly link packing and rank-row conversion.
+
+Two timings, min-of-N over the 800-AS ``medium`` scenario:
+
+* **cold** — a fresh facade per round: inference + all three cone
+  definitions + the rank table + the snapshot compile (the end-to-end
+  cost a pipeline pays);
+* **warm** — cones and ranks prewarmed, so the round times the
+  snapshot compile itself (the part the zero-copy refactor targets).
+
+Writes ``reports/BENCH_graph.json`` next to the committed pre-core
+baseline (captured on the same machine right before the refactor) and
+a ``calibration`` workload number so ``check_regression.py`` can
+rescale the committed numbers on other machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_graph.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.asrank import ASRank
+from repro.core.cone import ConeDefinition
+from repro.scenarios import get_scenario
+from repro.serve.loadgen import calibration_workload
+from repro.serve.snapshot import Snapshot
+
+ROUNDS = 5
+REPORT = os.path.join(
+    os.path.dirname(__file__), "reports", "BENCH_graph.json"
+)
+
+#: measured immediately before the graph-core refactor (same machine
+#: that committed the current numbers): Snapshot.build re-indexed the
+#: corpus and re-encoded every cone set on every call
+PRE_CORE_BASELINE = {
+    "build_cold_seconds": 0.04163,
+    "build_warm_seconds": 0.01422,
+    "calibration": 0.14185,
+}
+
+
+def _facade(paths, result):
+    facade = ASRank(paths)
+    facade._result = result
+    return facade
+
+
+def bench() -> dict:
+    _graph, _corpus, paths, result = get_scenario("medium").run()
+
+    cold = float("inf")
+    for _ in range(ROUNDS):
+        facade = _facade(paths, result)
+        # a fresh facade recomputes cones/ranks, but shares the result:
+        # drop the cached RelGraph so every round pays the full compile
+        if hasattr(result, "_rel_graph"):
+            del result._rel_graph
+        facade._cones = {}
+        start = time.perf_counter()
+        Snapshot.build(facade)
+        cold = min(cold, time.perf_counter() - start)
+
+    facade = _facade(paths, result)
+    for definition in ConeDefinition:
+        facade.cones(definition)
+    facade.rank()
+    warm = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        snapshot = Snapshot.build(facade)
+        warm = min(warm, time.perf_counter() - start)
+
+    return {
+        "scenario": "medium",
+        "ases": len(snapshot.asns),
+        "version": snapshot.version,
+        "build_cold_seconds": round(cold, 5),
+        "build_warm_seconds": round(warm, 5),
+        "calibration": round(calibration_workload(), 5),
+        "pre_core_baseline": PRE_CORE_BASELINE,
+    }
+
+
+def main() -> None:
+    report = bench()
+    with open(REPORT, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    base = report["pre_core_baseline"]
+    for key in ("build_cold_seconds", "build_warm_seconds"):
+        before, after = base[key], report[key]
+        speedup = before / after if after else float("inf")
+        print(f"{key}: {before:.5f}s -> {after:.5f}s ({speedup:.2f}x)")
+    print(f"wrote {REPORT}")
+
+
+if __name__ == "__main__":
+    main()

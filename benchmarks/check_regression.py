@@ -8,7 +8,11 @@ regression against the committed report:
   milliseconds);
 * the query service's sustained throughput on a ``small``-scenario
   snapshot vs the ``medium``-snapshot throughput committed in
-  ``reports/BENCH_serve.json``.
+  ``reports/BENCH_serve.json``;
+* the warm ``Snapshot.build`` time on the ``medium`` scenario vs
+  ``reports/BENCH_graph.json`` — guards the graph core's zero-copy
+  build path (the snapshot adopts the facade's ``RelGraph`` index and
+  cone bitsets instead of re-indexing).
 
 The committed baselines and the CI runner are different machines, so
 the committed numbers are first rescaled by a calibration ratio.  The
@@ -48,6 +52,10 @@ SERVE_BASELINE_FILE = os.path.join(
 )
 SERVE_REQUESTS = 5_000
 SERVE_CONNECTIONS = 4
+GRAPH_BASELINE_FILE = os.path.join(
+    os.path.dirname(__file__), "reports", "BENCH_graph.json"
+)
+GRAPH_ROUNDS = 5
 
 
 def _collect_seconds(graph, config) -> float:
@@ -120,6 +128,53 @@ def check_serve() -> int:
     return 0
 
 
+def check_graph() -> int:
+    """Snapshot-build leg: warm medium-world build, calibrated."""
+    from repro.asrank import ASRank
+    from repro.core.cone import ConeDefinition
+    from repro.scenarios import get_scenario
+    from repro.serve.loadgen import calibration_workload
+    from repro.serve.snapshot import Snapshot
+
+    with open(GRAPH_BASELINE_FILE) as handle:
+        baseline = json.load(handle)
+    committed = baseline["build_warm_seconds"]
+    committed_cal = baseline["calibration"]
+
+    _graph, _corpus, paths, result = get_scenario("medium").run()
+    facade = ASRank(paths)
+    facade._result = result
+    for definition in ConeDefinition:
+        facade.cones(definition)
+    facade.rank()
+
+    measured = float("inf")
+    for _ in range(GRAPH_ROUNDS):
+        start = time.perf_counter()
+        Snapshot.build(facade)
+        measured = min(measured, time.perf_counter() - start)
+
+    factor = (
+        calibration_workload() / committed_cal if committed_cal else 1.0
+    )
+    allowed = committed * factor * (1.0 + TOLERANCE)
+
+    print(
+        f"snapshot build (warm, medium): measured {measured:.4f}s, "
+        f"committed {committed:.4f}s, machine factor {factor:.2f}, "
+        f"allowed {allowed:.4f}s"
+    )
+    if measured > allowed:
+        print(
+            f"REGRESSION: {measured:.4f}s exceeds the committed baseline "
+            f"by more than {TOLERANCE:.0%} (machine-adjusted) — the "
+            f"zero-copy build path has regressed"
+        )
+        return 1
+    print("ok: snapshot build within the regression budget")
+    return 0
+
+
 def main() -> int:
     with open(BASELINE_FILE) as handle:
         baseline = json.load(handle)
@@ -155,6 +210,9 @@ def main() -> int:
         )
         return 1
     print("ok: propagate+collect within the regression budget")
+    status = check_graph()
+    if status:
+        return status
     return check_serve()
 
 

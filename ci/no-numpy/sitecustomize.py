@@ -1,0 +1,35 @@
+"""Mask numpy for the no-numpy CI leg.
+
+Placed first on ``PYTHONPATH``, this is imported automatically by the
+interpreter's ``site`` machinery and installs a meta-path finder that
+makes ``import numpy`` fail even though the wheel is installed.  The
+tier-1 suite then exercises every pure-Python fallback: the graph
+core's list-backed CSR (:mod:`repro.graph.csr`), the inference
+engine's non-vectorized corpus indexing, and route propagation's
+reference sweeps.
+
+Usage (mirrors .github/workflows/ci.yml):
+
+    PYTHONPATH=ci/no-numpy:src python -m pytest -x -q
+"""
+
+import sys
+
+
+class _NumpyBlocker:
+    """Meta-path finder that refuses to find numpy."""
+
+    _BLOCKED = ("numpy",)
+
+    def find_spec(self, fullname, path=None, target=None):
+        root = fullname.split(".", 1)[0]
+        if root in self._BLOCKED:
+            raise ImportError(
+                f"{fullname} is masked by ci/no-numpy/sitecustomize.py "
+                "(no-numpy CI leg)"
+            )
+        return None
+
+
+# run ahead of every other finder so cached/real specs never resolve
+sys.meta_path.insert(0, _NumpyBlocker())

@@ -136,24 +136,41 @@ class ASRank:
     def result(self) -> InferenceResult:
         """The inference result (computed on first access).
 
-        Stage timings land under ``asrank`` in the active
+        Stage timings land under ``asrank/infer`` in the active
         :mod:`repro.perf` recorder."""
         if self._result is None:
             with perf.stage("asrank"):
-                self._result = infer_relationships(self.paths, self.config)
+                with perf.stage("infer"):
+                    self._result = infer_relationships(
+                        self.paths, self.config
+                    )
         return self._result
+
+    def rel_graph(self) -> "RelGraph":
+        """The one :class:`~repro.graph.relgraph.RelGraph` compiled from
+        this facade's inference result — shared by cones, the snapshot
+        builder, and any other columnar consumer (cached on the result,
+        so repeated calls return the identical object)."""
+        from repro.graph.relgraph import RelGraph
+
+        return RelGraph.of(self.result)
 
     def cones(
         self,
         definition: ConeDefinition = ConeDefinition.PROVIDER_PEER_OBSERVED,
     ) -> CustomerCones:
-        """Customer cones under ``definition`` (cached per definition)."""
+        """Customer cones under ``definition`` (cached per definition).
+
+        Stage timings land under ``asrank/cones``."""
         if definition not in self._cones:
-            result = self.result  # outside the stage: may trigger inference
+            graph = self.rel_graph()  # outside: may trigger inference
             with perf.stage("asrank"):
-                self._cones[definition] = CustomerCones.compute(
-                    result, definition, prefixes_by_asn=self.prefixes_by_asn
-                )
+                with perf.stage("cones"):
+                    self._cones[definition] = CustomerCones.compute(
+                        graph,
+                        definition,
+                        prefixes_by_asn=self.prefixes_by_asn,
+                    )
         return self._cones[definition]
 
     # ------------------------------------------------------------------

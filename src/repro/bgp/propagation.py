@@ -48,8 +48,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.graph.csr import Csr
+from repro.graph.relgraph import RelGraph
 from repro.relationships import RelClass
-from repro.topology.model import ASGraph, ASType
+from repro.topology.model import ASGraph
 
 try:  # numpy backs the batched engine; the pure-Python sweeps are the fallback
     import numpy as _np
@@ -85,84 +87,39 @@ class PropagationConfig:
     batch_size: int = 128
 
 
-class _Csr:
-    """CSR (indptr/indices) adjacency over the dense index — everything
-    the batched sweeps touch.
-
-    Because :class:`GraphIndex` assigns dense indexes in ascending ASN
-    order, *lowest ASN* tie-breaks are exactly *lowest node index*
-    tie-breaks, so the sweeps never need the ASN values themselves.
-    """
-
-    __slots__ = ("providers", "customers", "peers")
-
-    def __init__(self, index: "GraphIndex"):
-        self.providers = _csr_of(index.providers)
-        self.customers = _csr_of(index.customers)
-        self.peers = _csr_of(index.peers)
-
-
-def _csr_of(adjacency: List[List[int]]) -> Tuple["_np.ndarray", "_np.ndarray"]:
-    indptr = _np.zeros(len(adjacency) + 1, dtype=_np.int64)
-    _np.cumsum([len(row) for row in adjacency], out=indptr[1:])
-    indices = _np.fromiter(
-        (neighbor for row in adjacency for neighbor in row),
-        dtype=_np.int32,
-        count=int(indptr[-1]),
-    )
-    return indptr, indices
-
-
 class GraphIndex:
     """Dense-integer view of an :class:`ASGraph` for fast propagation.
 
-    ASNs are mapped to indexes ``0..n-1``; adjacency is stored as lists
-    of index lists.  Sibling links are treated as peering links for
-    propagation purposes (the generator defaults to zero siblings).
-    IXP route-server ASes do not participate in routing at all — they
-    are data-plane artifacts injected later by the noise model.
+    A thin wrapper over a :class:`~repro.graph.relgraph.RelGraph`
+    compiled by :meth:`RelGraph.from_as_graph`: ASNs map to indexes
+    ``0..n-1`` in ascending ASN order (so *lowest ASN* tie-breaks are
+    exactly *lowest node index* tie-breaks), adjacency is the graph's
+    per-id sorted index lists, and :meth:`csr` exposes its shared CSR
+    arrays.  Sibling links are treated as peering links for propagation
+    purposes (the generator defaults to zero siblings).  IXP
+    route-server ASes do not participate in routing at all — they are
+    data-plane artifacts injected later by the noise model.
     """
 
     def __init__(self, graph: ASGraph, restrict: Optional[Set[int]] = None):
         """``restrict`` limits routing to a subset of ASNs — used for the
         IPv6 plane, where only v6-enabled networks participate."""
         self.graph = graph
-        routing_asns = sorted(
-            asys.asn
-            for asys in graph.ases()
-            if asys.type is not ASType.IXP_RS
-            and (restrict is None or asys.asn in restrict)
-        )
-        self.asns: List[int] = routing_asns
-        self.index: Dict[int, int] = {asn: i for i, asn in enumerate(routing_asns)}
-        n = len(routing_asns)
-        self.providers: List[List[int]] = [[] for _ in range(n)]
-        self.customers: List[List[int]] = [[] for _ in range(n)]
-        self.peers: List[List[int]] = [[] for _ in range(n)]
-        for asn in routing_asns:
-            i = self.index[asn]
-            self.providers[i] = sorted(
-                self.index[p] for p in graph.providers[asn] if p in self.index
-            )
-            self.customers[i] = sorted(
-                self.index[c] for c in graph.customers[asn] if c in self.index
-            )
-            peerish = graph.peers[asn] | graph.siblings[asn]
-            self.peers[i] = sorted(
-                self.index[p] for p in peerish if p in self.index
-            )
-        self._csr: Optional[_Csr] = None
+        self.rel = RelGraph.from_as_graph(graph, restrict=restrict)
+        self.asns: List[int] = self.rel.index.asns
+        self.index: Dict[int, int] = self.rel.index.ids
+        self.providers: List[List[int]] = self.rel.providers
+        self.customers: List[List[int]] = self.rel.customers
+        self.peers: List[List[int]] = self.rel.peers
 
     def __len__(self) -> int:
         return len(self.asns)
 
-    def csr(self) -> Optional[_Csr]:
+    def csr(self) -> Optional[Csr]:
         """The flat-array adjacency view (built once, ``None`` sans numpy)."""
         if _np is None:
             return None
-        if self._csr is None:
-            self._csr = _Csr(self)
-        return self._csr
+        return self.rel.csr()
 
 
 @dataclass
@@ -396,7 +353,7 @@ def _claim(
 
 
 def _batch_sweep_up(
-    csr: _Csr,
+    csr: Csr,
     geom: _Geometry,
     frontier: "_np.ndarray",
     cls: "_np.ndarray",
@@ -418,7 +375,7 @@ def _batch_sweep_up(
 
 
 def _batch_sweep_peers(
-    csr: _Csr,
+    csr: Csr,
     geom: _Geometry,
     cls: "_np.ndarray",
     nexthop: "_np.ndarray",
@@ -460,7 +417,7 @@ def _batch_sweep_peers(
 
 
 def _batch_sweep_down(
-    csr: _Csr,
+    csr: Csr,
     geom: _Geometry,
     cls: "_np.ndarray",
     nexthop: "_np.ndarray",

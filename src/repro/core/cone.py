@@ -18,16 +18,25 @@ paper contrasts three ways of computing it:
 
 All cones include the AS itself, matching CAIDA's convention.  Cones
 can be sized in ASes, announced prefixes, or IPv4 addresses.
+
+Fast-path cones are bitsets over the shared columnar core
+(:mod:`repro.graph`): :meth:`CustomerCones.compute` takes a
+:class:`~repro.graph.relgraph.RelGraph` (or an
+:class:`~repro.core.inference.InferenceResult`, which compiles to its
+cached RelGraph) and keeps the per-dense-id bitsets; ASN-set views
+materialize lazily at the API boundary, so the snapshot store can
+adopt the bitsets without ever expanding them.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro import perf
 from repro.core.inference import InferenceResult
+from repro.graph.bitset import decode_bits
+from repro.graph.relgraph import RelGraph
 from repro.net.prefix import Prefix, summarize_address_space
 from repro.relationships import Relationship
 
@@ -39,61 +48,17 @@ class ConeDefinition(enum.Enum):
 
 
 # ---------------------------------------------------------------------------
-# fast paths: cone membership as Python-int bitsets over the dense
-# ASN->id index built by the inference engine; converted back to sets
-# only at the API boundary, so every caller sees identical results
+# fast paths: cone membership as Python-int bitsets over the shared
+# dense index (repro.graph); converted back to sets only at the API
+# boundary, so every caller sees identical results
 # ---------------------------------------------------------------------------
 
 
-def _bits_to_set(bits: int, id_asns: List[int]) -> Set[int]:
-    out: Set[int] = set()
-    while bits:
-        low = bits & -bits
-        out.add(id_asns[low.bit_length() - 1])
-        bits ^= low
-    return out
-
-
-def _recursive_cones_bits(result: InferenceResult) -> Dict[int, Set[int]]:
-    ids, id_asns = result._ids, result._id_asns
-    customers = result.customers
-    asns = result.paths.asns()
-    cone_bits: Dict[int, int] = {}
-    # iterative post-order over the DAG (the engine refuses cycles)
-    WHITE, GRAY, BLACK = 0, 1, 2
-    color: Dict[int, int] = {}
-    for root in asns:
-        if color.get(root, WHITE) is not WHITE:
-            continue
-        stack: List[Tuple[int, bool]] = [(root, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                cone = 1 << ids[node]
-                for child in customers.get(node, ()):
-                    cone |= cone_bits[child]
-                cone_bits[node] = cone
-                color[node] = BLACK
-                continue
-            if color.get(node, WHITE) is not WHITE:
-                continue
-            color[node] = GRAY
-            stack.append((node, True))
-            for child in customers.get(node, ()):
-                if color.get(child, WHITE) is WHITE:
-                    stack.append((child, False))
-    cones = {asn: _bits_to_set(bits, id_asns) for asn, bits in cone_bits.items()}
-    for asn in asns:
-        cones.setdefault(asn, {asn})
-    return cones
-
-
-def _bgp_observed_cones_bits(result: InferenceResult) -> Dict[int, Set[int]]:
-    id_asns = result._id_asns
+def _bgp_observed_bits(result: InferenceResult) -> List[int]:
     lstate = result._lstate
     assert lstate is not None
     path_lids, path_pids = result._path_lids, result._path_pids
-    cone_bits: List[int] = [1 << i for i in range(len(id_asns))]
+    cone_bits: List[int] = [1 << i for i in range(len(result.index))]
     for pi, nodes in enumerate(result._path_nodes):
         lids = path_lids[pi]
         pids = path_pids[pi]
@@ -106,18 +71,14 @@ def _bgp_observed_cones_bits(result: InferenceResult) -> Dict[int, Set[int]]:
                 cone_bits[pids[j]] |= suffix
             else:
                 suffix = 0
-    return {
-        id_asns[i]: _bits_to_set(bits, id_asns)
-        for i, bits in enumerate(cone_bits)
-    }
+    return cone_bits
 
 
-def _ppdc_cones_bits(result: InferenceResult) -> Dict[int, Set[int]]:
-    id_asns = result._id_asns
+def _ppdc_bits(result: InferenceResult) -> List[int]:
     lstate = result._lstate
     assert lstate is not None
     path_lids, path_pids = result._path_lids, result._path_pids
-    cone_bits: List[int] = [1 << i for i in range(len(id_asns))]
+    cone_bits: List[int] = [1 << i for i in range(len(result.index))]
     for pi, nodes in enumerate(result._path_nodes):
         lids = path_lids[pi]
         pids = path_pids[pi]
@@ -129,9 +90,32 @@ def _ppdc_cones_bits(result: InferenceResult) -> Dict[int, Set[int]]:
                 # entered from a peer or a provider: the whole observed
                 # suffix is a customer chain
                 cone_bits[pids[i]] |= suffix
+    return cone_bits
+
+
+def _fast_bits(
+    result: InferenceResult, definition: ConeDefinition
+) -> Optional[List[int]]:
+    """Per-dense-id cone bitsets when the fast path applies, else None.
+
+    The fast path needs the engine-built corpus index (``_lstate``);
+    hand-assembled results and ``InferenceConfig(fast=False)`` runs
+    fall back to the set-based reference implementations.
+    """
+    if not (result.config.fast and result._lstate is not None):
+        return None
+    if definition is ConeDefinition.RECURSIVE:
+        # the one transitive closure of the system, cached on the graph
+        return RelGraph.of(result).closure()
+    if definition is ConeDefinition.BGP_OBSERVED:
+        return _bgp_observed_bits(result)
+    return _ppdc_bits(result)
+
+
+def _bits_to_cones(bits: List[int], id_asns: List[int]) -> Dict[int, Set[int]]:
     return {
-        id_asns[i]: _bits_to_set(bits, id_asns)
-        for i, bits in enumerate(cone_bits)
+        id_asns[i]: decode_bits(mask, id_asns)
+        for i, mask in enumerate(bits)
     }
 
 
@@ -166,9 +150,19 @@ def _ppdc_cones(result: InferenceResult) -> Dict[int, Set[int]]:
     return reference_ppdc_cones(result)
 
 
+def _fallback_cones(
+    result: InferenceResult, definition: ConeDefinition
+) -> Dict[int, Set[int]]:
+    if definition is ConeDefinition.RECURSIVE:
+        return _recursive_cones(result)
+    if definition is ConeDefinition.BGP_OBSERVED:
+        return _bgp_observed_cones(result)
+    return _ppdc_cones(result)
+
+
 # ---------------------------------------------------------------------------
 # reference implementations (the seed code, verbatim): the equivalence
-# tests check every fast/fallback path against these
+# tests check every fast/fallback path against these oracles
 # ---------------------------------------------------------------------------
 
 
@@ -254,56 +248,130 @@ def compute_cones(
     """Customer cone (including self) for every AS, under ``definition``."""
     if not isinstance(definition, ConeDefinition):
         raise ValueError(f"unknown cone definition {definition!r}")
-    fast = result.config.fast and result._lstate is not None
     with perf.stage("cones"):
         with perf.stage(definition.value):
-            if definition is ConeDefinition.RECURSIVE:
-                if fast:
-                    return _recursive_cones_bits(result)
-                return _recursive_cones(result)
-            if definition is ConeDefinition.BGP_OBSERVED:
-                if fast:
-                    return _bgp_observed_cones_bits(result)
-                return _bgp_observed_cones(result)
-            if definition is ConeDefinition.PROVIDER_PEER_OBSERVED:
-                if fast:
-                    return _ppdc_cones_bits(result)
-                return _ppdc_cones(result)
-            raise ValueError(f"unknown cone definition {definition!r}")
+            bits = _fast_bits(result, definition)
+            if bits is not None:
+                return _bits_to_cones(bits, result.index.asns)
+            return _fallback_cones(result, definition)
 
 
-@dataclass
 class CustomerCones:
-    """Cones under one definition, sizable in ASes/prefixes/addresses."""
+    """Cones under one definition, sizable in ASes/prefixes/addresses.
 
-    definition: ConeDefinition
-    cones: Dict[int, Set[int]]
-    prefixes_by_asn: Optional[Mapping[int, Sequence[Prefix]]] = None
+    Backed either by per-dense-id bitsets over a shared
+    :class:`~repro.graph.relgraph.RelGraph` (the fast path — what the
+    snapshot store adopts zero-copy) or by plain ASN-set mappings (the
+    fallback and the hand-construction path used in tests).  Whichever
+    representation is absent materializes lazily from the other, so
+    both views answer identically.
+    """
+
+    def __init__(
+        self,
+        definition: ConeDefinition,
+        cones: Optional[Dict[int, Set[int]]] = None,
+        prefixes_by_asn: Optional[Mapping[int, Sequence[Prefix]]] = None,
+        graph: Optional[RelGraph] = None,
+        bits: Optional[List[int]] = None,
+    ):
+        if cones is None and (bits is None or graph is None):
+            raise ValueError(
+                "CustomerCones needs either a cone mapping or "
+                "graph-indexed bitsets"
+            )
+        self.definition = definition
+        self.prefixes_by_asn = prefixes_by_asn
+        self.graph = graph
+        self._cones = cones
+        self._bits = bits
 
     @classmethod
     def compute(
         cls,
-        result: InferenceResult,
+        source,
         definition: ConeDefinition = ConeDefinition.PROVIDER_PEER_OBSERVED,
         prefixes_by_asn: Optional[Mapping[int, Sequence[Prefix]]] = None,
     ) -> "CustomerCones":
+        """Compute cones over a :class:`RelGraph` (or an
+        :class:`InferenceResult`, which compiles to its cached graph)."""
+        if not isinstance(definition, ConeDefinition):
+            raise ValueError(f"unknown cone definition {definition!r}")
+        graph = RelGraph.of(source)
+        result = graph.result
+        if result is None:
+            raise ValueError(
+                "this RelGraph carries no inference result; cones need "
+                "the path corpus"
+            )
+        with perf.stage("cones"):
+            with perf.stage(definition.value):
+                bits = _fast_bits(result, definition)
+                cones = (
+                    _fallback_cones(result, definition)
+                    if bits is None
+                    else None
+                )
         return cls(
-            definition=definition,
-            cones=compute_cones(result, definition),
+            definition,
+            cones=cones,
             prefixes_by_asn=prefixes_by_asn,
+            graph=graph,
+            bits=bits,
         )
 
+    # ------------------------------------------------------------------
+    # representations
+    # ------------------------------------------------------------------
+
+    @property
+    def bits(self) -> Optional[List[int]]:
+        """Per-dense-id cone bitsets over ``graph.index`` (None when no
+        graph is attached to convert against)."""
+        if self._bits is None and self.graph is not None:
+            assert self._cones is not None
+            encode = self.graph.family.encode
+            self._bits = [
+                encode(self._cones.get(asn, (asn,)))
+                for asn in self.graph.index.asns
+            ]
+        return self._bits
+
+    @property
+    def cones(self) -> Dict[int, Set[int]]:
+        """ASN -> cone member set (materialized lazily from bitsets)."""
+        if self._cones is None:
+            assert self._bits is not None and self.graph is not None
+            self._cones = _bits_to_cones(self._bits, self.graph.index.asns)
+        return self._cones
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
     def cone(self, asn: int) -> Set[int]:
-        return set(self.cones.get(asn, {asn}))
+        if self._cones is None:
+            assert self._bits is not None and self.graph is not None
+            dense_id = self.graph.index.get(asn)
+            if dense_id is None:
+                return {asn}
+            return self.graph.family.decode(self._bits[dense_id])
+        return set(self._cones.get(asn, {asn}))
 
     def size_ases(self, asn: int) -> int:
-        return len(self.cones.get(asn, {asn}))
+        if self._cones is None:
+            assert self._bits is not None and self.graph is not None
+            dense_id = self.graph.index.get(asn)
+            if dense_id is None:
+                return 1
+            return self._bits[dense_id].bit_count()
+        return len(self._cones.get(asn, {asn}))
 
     def _cone_prefixes(self, asn: int) -> List[Prefix]:
         if self.prefixes_by_asn is None:
             raise ValueError("prefix data not attached to these cones")
         prefixes: List[Prefix] = []
-        for member in self.cones.get(asn, {asn}):
+        for member in self.cone(asn):
             prefixes.extend(self.prefixes_by_asn.get(member, ()))
         return prefixes
 
@@ -315,7 +383,14 @@ class CustomerCones:
 
     def sizes(self) -> Dict[int, int]:
         """AS-count cone size for every AS."""
-        return {asn: len(cone) for asn, cone in self.cones.items()}
+        if self._cones is None:
+            assert self._bits is not None and self.graph is not None
+            id_asns = self.graph.index.asns
+            return {
+                id_asns[i]: mask.bit_count()
+                for i, mask in enumerate(self._bits)
+            }
+        return {asn: len(cone) for asn, cone in self._cones.items()}
 
     def top(self, k: int = 15) -> List[Tuple[int, int]]:
         """The ``k`` largest cones as ``(asn, size_in_ases)`` rows."""

@@ -50,6 +50,8 @@ except ImportError:  # pragma: no cover - numpy is in the standard image
 from repro import perf
 from repro.core.clique import CliqueResult, infer_clique
 from repro.core.paths import PathSet
+from repro.graph.bitset import ClosureBitsets
+from repro.graph.index import DenseIndex
 from repro.relationships import Relationship, canonical_pair
 
 
@@ -154,15 +156,12 @@ class InferenceResult:
         self.peers: Dict[int, Set[int]] = {}
         self.siblings: Dict[int, Set[int]] = {}
         # --- fast-path state ---------------------------------------------
-        # dense ASN -> int index shared by the cycle bitsets, the fold
-        # link-state array, and the cone bitsets; grown on demand so
-        # hand-built results (no _init_fast) still work
-        self._ids: Dict[int, int] = {}
-        self._id_asns: List[int] = []
-        # transitive closure of the p2c DAG as bitsets over dense ids:
-        # strict ancestors (providers-of-providers) and descendants
-        self._anc: List[int] = []
-        self._desc: List[int] = []
+        # the shared dense ASN index (repro.graph) used by the cycle
+        # bitsets, the fold link-state array, and the cone bitsets;
+        # grown on demand so hand-built results (no _init_fast) work
+        self.index = DenseIndex()
+        # incremental transitive closure of the p2c DAG (cycle refusal)
+        self._closure = ClosureBitsets()
         # corpus link index: canonical (a<<32|b) key -> link id, link
         # state per id (0 unknown, -1 peer, -2 sibling, >0 provider ASN),
         # and which paths each link appears on (built by _init_fast)
@@ -187,13 +186,8 @@ class InferenceResult:
 
     def _asn_id(self, asn: int) -> int:
         """Dense id for ``asn``, assigning one on first sight."""
-        idx = self._ids.get(asn)
-        if idx is None:
-            idx = len(self._id_asns)
-            self._ids[asn] = idx
-            self._id_asns.append(asn)
-            self._anc.append(0)
-            self._desc.append(0)
+        idx = self.index.intern(asn)
+        self._closure.ensure(len(self.index))
         return idx
 
     def _init_fast(self, paths: PathSet) -> None:
@@ -207,9 +201,9 @@ class InferenceResult:
         view = paths.numpy_view()
         if view is not None and self._init_fast_np(paths, view):
             return
-        for asn in sorted(paths.asns()):
-            self._asn_id(asn)
-        if 0 in self._ids:
+        self.index = DenseIndex(paths.asns())
+        self._closure.ensure(len(self.index))
+        if 0 in self.index:
             # ASN 0 would collide with the "unknown" link-state encoding;
             # it never survives sanitization, so just skip the link index
             # (the reference fold/cone paths handle the corpus instead)
@@ -221,7 +215,7 @@ class InferenceResult:
         path_nodes: List[Tuple[int, ...]] = []
         path_lids: List[List[int]] = []
         path_pids: List[List[int]] = []
-        ids_item = self._ids.__getitem__
+        ids_item = self.index.ids.__getitem__
         for pi, path in enumerate(paths):
             keys = [
                 (a << 32) | b if a <= b else (b << 32) | a
@@ -262,11 +256,8 @@ class InferenceResult:
         if lo_asn < 0 or hi_asn >= 1 << 32:
             return False
         uasn, pid_flat = _np.unique(flat, return_inverse=True)
-        self._id_asns = uasn.tolist()
-        self._ids = {asn: i for i, asn in enumerate(self._id_asns)}
-        n_asns = len(uasn)
-        self._anc = [0] * n_asns
-        self._desc = [0] * n_asns
+        self.index = DenseIndex.from_sorted(uasn.tolist())
+        self._closure.ensure(len(self.index))
         if lo_asn == 0:
             # ASN 0 would collide with the "unknown" link-state encoding;
             # it never survives sanitization, so just skip the link index
@@ -336,19 +327,7 @@ class InferenceResult:
         """Maintain the transitive-closure bitsets on an accepted edge."""
         pid = self._asn_id(provider)
         cid = self._asn_id(customer)
-        anc, desc = self._anc, self._desc
-        above = anc[pid] | (1 << pid)  # provider and everything over it
-        below = desc[cid] | (1 << cid)  # customer and its whole subtree
-        bits = above
-        while bits:
-            low = bits & -bits
-            desc[low.bit_length() - 1] |= below
-            bits ^= low
-        bits = below
-        while bits:
-            low = bits & -bits
-            anc[low.bit_length() - 1] |= above
-            bits ^= low
+        self._closure.add_edge(pid, cid)
 
     # ------------------------------------------------------------------
     # mutation (used by the engine)
@@ -361,7 +340,7 @@ class InferenceResult:
         if self.config.fast:
             pid = self._asn_id(provider)
             cid = self._asn_id(customer)
-            return bool((self._desc[cid] >> pid) & 1)
+            return self._closure.descends(cid, pid)
         return self._would_cycle_bfs(provider, customer)
 
     def _would_cycle_bfs(self, provider: int, customer: int) -> bool:
@@ -575,7 +554,8 @@ class _Engine:
                 result._init_fast(paths)
 
         with perf.stage("rank"):
-            rank = {asn: i for i, asn in enumerate(paths.ranked_asns())}
+            # position in transit-degree order, not a graph id space
+            rank = DenseIndex.from_ordered(paths.ranked_asns()).ids
         perf.counter("paths", len(paths))
 
         if config.known_siblings:
@@ -760,8 +740,8 @@ def _step_topdown(
         # segmented minimum yields both the peak rank and its first
         # index per path (first minimum wins, like the reference scan)
         flat, plen, off = paths.numpy_view()
-        rank_arr = _np.full(len(result._id_asns), big, dtype=_np.int64)
-        for asn, idx in result._ids.items():
+        rank_arr = _np.full(len(result.index), big, dtype=_np.int64)
+        for asn, idx in result.index.ids.items():
             rank_arr[idx] = rank.get(asn, big)
         pos = _np.arange(len(flat), dtype=_np.int64)
         pos -= _np.repeat(off[:-1], plen)
@@ -780,8 +760,8 @@ def _step_topdown(
         if lstate is not None:
             # dense-id rank array: the peak scan runs in C via
             # map/min/index (first minimum wins, like the reference)
-            rank_arr_list = [big] * len(result._id_asns)
-            for asn, idx in result._ids.items():
+            rank_arr_list = [big] * len(result.index)
+            for asn, idx in result.index.ids.items():
                 rank_arr_list[idx] = rank.get(asn, big)
             rank_item = rank_arr_list.__getitem__
             for pi, path in enumerate(paths):

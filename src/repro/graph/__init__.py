@@ -1,0 +1,41 @@
+"""repro.graph — the shared columnar graph core.
+
+One canonical home for the dense representations every layer of the
+reproduction used to hand-roll separately:
+
+* :class:`~repro.graph.index.DenseIndex` — the ASN ↔ dense-id mapping
+  (sorted, deterministic, grow-on-demand until frozen);
+* :class:`~repro.graph.bitset.BitsetFamily` /
+  :class:`~repro.graph.bitset.ClosureBitsets` /
+  :func:`~repro.graph.bitset.closure_bits` — Python-int bitsets over
+  dense ids and the system's only transitive-closure implementations;
+* :class:`~repro.graph.csr.Csr` — relationship-typed CSR adjacency
+  (numpy-backed with a pure-Python fallback);
+* :class:`~repro.graph.relgraph.RelGraph` — the frozen graph object
+  built once per world and consumed by inference, cones, propagation
+  and the snapshot store.
+
+See docs/ARCHITECTURE.md for which layer owns what.
+"""
+
+from repro.graph.bitset import (
+    BitsetFamily,
+    ClosureBitsets,
+    closure_bits,
+    decode_bits,
+)
+from repro.graph.csr import HAS_NUMPY, Csr, csr_arrays
+from repro.graph.index import DenseIndex
+from repro.graph.relgraph import RelGraph
+
+__all__ = [
+    "BitsetFamily",
+    "ClosureBitsets",
+    "Csr",
+    "DenseIndex",
+    "HAS_NUMPY",
+    "RelGraph",
+    "closure_bits",
+    "csr_arrays",
+    "decode_bits",
+]

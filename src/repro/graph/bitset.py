@@ -1,0 +1,155 @@
+"""Bitsets over dense ids: the system's one set-of-ASes encoding.
+
+A *bitset* here is a plain Python int whose bit ``i`` means "the AS
+with dense id ``i`` is a member".  Arbitrary-precision ints make
+union/intersection single C-level ops and membership a shift-and-mask,
+which is why cones, snapshots and the inference cycle check all speak
+this encoding.  :class:`BitsetFamily` binds the encoding to one
+:class:`~repro.graph.index.DenseIndex` so conversions to and from ASN
+sets stay consistent; the two closure helpers below are the *only*
+transitive-closure implementations in the repository:
+
+* :func:`closure_bits` — the batch form: full closure of a DAG given
+  per-id children lists (recursive cones, file-built snapshots);
+* :class:`ClosureBitsets` — the incremental form: ancestor/descendant
+  bitsets maintained edge by edge (the inference engine's O(1) cycle
+  refusal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.graph.index import DenseIndex
+
+
+def decode_bits(bits: int, asns: Sequence[int]) -> Set[int]:
+    """Expand a bitset into the ASN set it encodes (``asns[i]`` per bit)."""
+    out: Set[int] = set()
+    while bits:
+        low = bits & -bits
+        out.add(asns[low.bit_length() - 1])
+        bits ^= low
+    return out
+
+
+class BitsetFamily:
+    """Bitset codec bound to one :class:`DenseIndex`.
+
+    All bitsets produced by one family share an id space, so set
+    algebra between them is meaningful; mixing families is a bug the
+    caller owns (bitsets are plain ints and carry no tag).
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: DenseIndex):
+        self.index = index
+
+    def singleton(self, asn: int) -> int:
+        return 1 << self.index.id_of(asn)
+
+    def encode(self, asns: Iterable[int]) -> int:
+        ids = self.index.ids
+        bits = 0
+        for asn in asns:
+            bits |= 1 << ids[asn]
+        return bits
+
+    def decode(self, bits: int) -> Set[int]:
+        return decode_bits(bits, self.index.asns)
+
+    def contains(self, bits: int, asn: int) -> bool:
+        dense_id = self.index.get(asn)
+        return dense_id is not None and bool(bits >> dense_id & 1)
+
+    def union(self, bitsets: Iterable[int]) -> int:
+        bits = 0
+        for mask in bitsets:
+            bits |= mask
+        return bits
+
+
+def closure_bits(n: int, children: Dict[int, Iterable[int]]) -> List[int]:
+    """Transitive closure of a DAG as bitsets, one per dense id.
+
+    ``children`` maps a dense id to the ids reachable in one step
+    (p2c: provider -> customers).  The result's entry ``i`` has bit
+    ``i`` set (every node reaches itself) plus every transitively
+    reachable id.  Iterative post-order, so deep hierarchies don't
+    recurse; the engine refuses cycles upstream, making the DAG
+    assumption safe.
+    """
+    bits: List[int] = [1 << i for i in range(n)]
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = [WHITE] * n
+    for root in range(n):
+        if color[root] != WHITE:
+            continue
+        stack = [(root, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                mask = 1 << node
+                for child in children.get(node, ()):
+                    mask |= bits[child]
+                bits[node] = mask
+                color[node] = BLACK
+                continue
+            if color[node] != WHITE:
+                continue
+            color[node] = GRAY
+            stack.append((node, True))
+            for child in children.get(node, ()):
+                if color[child] == WHITE:
+                    stack.append((child, False))
+    return bits
+
+
+class ClosureBitsets:
+    """Incremental transitive closure of a growing p2c DAG.
+
+    Maintains, per dense id, the strict-ancestor and strict-descendant
+    bitsets; :meth:`add_edge` updates both sides in O(affected nodes),
+    and :meth:`descends` answers the inference engine's would-this-
+    edge-close-a-cycle question with one shift.  Grows with the id
+    space via :meth:`ensure`.
+    """
+
+    __slots__ = ("anc", "desc")
+
+    def __init__(self) -> None:
+        self.anc: List[int] = []
+        self.desc: List[int] = []
+
+    def ensure(self, n: int) -> None:
+        """Extend the per-id arrays to cover ids ``< n``."""
+        grow = n - len(self.anc)
+        if grow > 0:
+            self.anc.extend([0] * grow)
+            self.desc.extend([0] * grow)
+
+    def add_edge(self, parent_id: int, child_id: int) -> None:
+        """Record ``parent -> child``; both ids must be :meth:`ensure`-d.
+
+        Every node at or above the parent gains the child's whole
+        subtree as descendants, and every node at or below the child
+        gains the parent's whole ancestry.
+        """
+        anc, desc = self.anc, self.desc
+        above = anc[parent_id] | (1 << parent_id)
+        below = desc[child_id] | (1 << child_id)
+        bits = above
+        while bits:
+            low = bits & -bits
+            desc[low.bit_length() - 1] |= below
+            bits ^= low
+        bits = below
+        while bits:
+            low = bits & -bits
+            anc[low.bit_length() - 1] |= above
+            bits ^= low
+
+    def descends(self, ancestor_id: int, node_id: int) -> bool:
+        """Is ``node_id`` a strict descendant of ``ancestor_id``?"""
+        return bool(self.desc[ancestor_id] >> node_id & 1)

@@ -1,0 +1,66 @@
+"""Relationship-typed CSR adjacency over dense ids.
+
+The flat ``(indptr, indices)`` form every vectorized sweep wants: row
+``i``'s neighbors are ``indices[indptr[i]:indptr[i+1]]``.  One
+:class:`Csr` bundles the three relationship-typed views (providers,
+customers, peers) that route propagation and any future traversal
+consume.  Arrays are numpy when available; otherwise plain Python
+lists with the same slicing contract, so pure-Python consumers (and
+the no-numpy CI leg) keep working — only the numpy-vectorized engines
+need to check :data:`HAS_NUMPY` before fancy-indexing.
+
+Determinism: building from the same adjacency lists always yields
+byte-identical arrays — ``indptr`` is a running sum and ``indices``
+a concatenation, with no hashing or ordering freedom anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+try:  # optional: list-backed fallback below
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the standard image
+    _np = None
+
+HAS_NUMPY = _np is not None
+
+
+def csr_arrays(adjacency: Sequence[Sequence[int]]) -> Tuple[object, object]:
+    """``(indptr, indices)`` for one adjacency; numpy or list-backed."""
+    if _np is not None:
+        indptr = _np.zeros(len(adjacency) + 1, dtype=_np.int64)
+        _np.cumsum([len(row) for row in adjacency], out=indptr[1:])
+        indices = _np.fromiter(
+            (neighbor for row in adjacency for neighbor in row),
+            dtype=_np.int32,
+            count=int(indptr[-1]),
+        )
+        return indptr, indices
+    indptr: List[int] = [0]
+    indices: List[int] = []
+    for row in adjacency:
+        indices.extend(row)
+        indptr.append(len(indices))
+    return indptr, indices
+
+
+class Csr:
+    """The three relationship-typed CSR views of one graph."""
+
+    __slots__ = ("providers", "customers", "peers")
+
+    def __init__(
+        self,
+        providers: Sequence[Sequence[int]],
+        customers: Sequence[Sequence[int]],
+        peers: Sequence[Sequence[int]],
+    ):
+        self.providers = csr_arrays(providers)
+        self.customers = csr_arrays(customers)
+        self.peers = csr_arrays(peers)
+
+    def neighbors(self, view: Tuple[object, object], i: int):
+        """Row ``i`` of a view — works on numpy and list backing alike."""
+        indptr, indices = view
+        return indices[indptr[i]:indptr[i + 1]]

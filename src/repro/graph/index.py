@@ -1,0 +1,125 @@
+"""The one ASN ↔ dense-id index of the system.
+
+Every columnar structure in this repo — inference's cycle bitsets and
+fold arrays, cone bitsets, propagation's CSR adjacency, the snapshot's
+packed sections — addresses ASes by a small dense integer instead of
+the sparse 32-bit ASN.  :class:`DenseIndex` is the single home of that
+mapping; no other module may build an ``asn -> dense id`` dict.
+
+The canonical construction is *sorted*: ids are assigned in ascending
+ASN order, which makes "lowest ASN" tie-breaks equal to "lowest id"
+tie-breaks and lets independently built indexes over the same AS set
+agree bit for bit (the property tests assert exactly this across the
+inference, cone, propagation and snapshot layers).
+
+Indexes grow on demand through :meth:`intern` until frozen; a frozen
+index refuses growth, which is how downstream columnar views (CSR
+arrays, bitsets) guarantee their id space can no longer shift under
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class DenseIndex:
+    """A deterministic ASN ↔ dense-id mapping.
+
+    ``DenseIndex(asns)`` sorts and dedupes; :meth:`from_sorted` adopts
+    an already-sorted unique list without copying or checking (for the
+    hot paths that got it from ``numpy.unique``); :meth:`from_ordered`
+    preserves the caller's explicit order for table-shaped uses (e.g.
+    the MRT writer's peer table) where position, not sortedness, is the
+    contract.
+    """
+
+    __slots__ = ("ids", "asns", "_frozen", "_sorted")
+
+    def __init__(self, asns: Iterable[int] = ()):
+        self.asns: List[int] = sorted(set(asns))
+        self.ids: Dict[int, int] = {
+            asn: i for i, asn in enumerate(self.asns)
+        }
+        self._frozen = False
+        self._sorted = True
+
+    @classmethod
+    def from_sorted(cls, asns: List[int]) -> "DenseIndex":
+        """Adopt ``asns`` verbatim as ids 0..n-1 (caller guarantees the
+        list is sorted and duplicate-free)."""
+        index = cls()
+        index.asns = asns
+        index.ids = {asn: i for i, asn in enumerate(asns)}
+        return index
+
+    @classmethod
+    def from_ordered(cls, asns: Iterable[int]) -> "DenseIndex":
+        """Assign ids in first-seen order (duplicates collapse)."""
+        index = cls()
+        index._sorted = False
+        for asn in asns:
+            index.intern(asn)
+        return index
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def id_of(self, asn: int) -> int:
+        """Dense id of ``asn``; raises ``KeyError`` when absent."""
+        return self.ids[asn]
+
+    def get(self, asn: int) -> Optional[int]:
+        return self.ids.get(asn)
+
+    def asn_of(self, dense_id: int) -> int:
+        return self.asns[dense_id]
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.ids
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.asns)
+
+    @property
+    def is_sorted(self) -> bool:
+        """True while ids are in ascending ASN order (grow-on-demand
+        interning of an out-of-order ASN clears it)."""
+        return self._sorted
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+
+    def intern(self, asn: int) -> int:
+        """Dense id for ``asn``, assigning the next id on first sight.
+
+        Refused on a frozen index: columnar structures built over the
+        id space rely on it never shifting afterwards.
+        """
+        idx = self.ids.get(asn)
+        if idx is None:
+            if self._frozen:
+                raise ValueError(
+                    f"cannot intern AS{asn}: index is frozen at "
+                    f"{len(self.asns)} ASes"
+                )
+            idx = len(self.asns)
+            if self._sorted and self.asns and asn < self.asns[-1]:
+                self._sorted = False
+            self.ids[asn] = idx
+            self.asns.append(asn)
+        return idx
+
+    def freeze(self) -> "DenseIndex":
+        """Refuse further growth; returns self for chaining."""
+        self._frozen = True
+        return self

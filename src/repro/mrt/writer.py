@@ -11,6 +11,7 @@ from __future__ import annotations
 import struct
 from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple
 
+from repro.graph.index import DenseIndex
 from repro.mrt import constants as c
 from repro.net.prefix import Prefix
 from repro.net.prefix6 import Prefix6
@@ -106,7 +107,9 @@ class MrtWriter:
         view_name: str = "repro",
     ) -> None:
         """Emit the PEER_INDEX_TABLE; must precede any RIB records."""
-        self._peer_index = {asn: i for i, asn in enumerate(peer_asns)}
+        # table position is the contract here, so the index preserves
+        # the caller's peer order rather than sorting
+        self._peer_index = DenseIndex.from_ordered(peer_asns).ids
         name = view_name.encode("ascii")
         body = [struct.pack("!I", collector_id), struct.pack("!H", len(name)), name]
         body.append(struct.pack("!H", len(peer_asns)))

@@ -20,7 +20,12 @@ Stages nest: entering ``stage("fold")`` inside ``stage("infer")``
 accumulates time under ``infer/fold``.  Re-entering a stage name at the
 same nesting level accumulates into the same node (``calls`` counts the
 re-entries), which is how the four fold passes of one inference run
-show up as a single ``fold`` row.
+show up as a single ``fold`` row.  Re-entering the *currently open*
+stage by the same name is a passthrough (no duplicate child, no
+double-counted time) — that is how the :class:`repro.asrank.ASRank`
+facade attributes work to ``asrank/infer`` and ``asrank/cones`` while
+the engines underneath keep their own ``infer``/``cones`` top stages
+for direct callers.
 
 A module-level default recorder collects everything when the caller
 does not install one; ``use_recorder`` swaps it for a scoped recorder
@@ -109,8 +114,17 @@ class PerfRecorder:
 
     @contextmanager
     def stage(self, name: str) -> Iterator[StageStats]:
-        """Time a named stage; nests under the innermost open stage."""
+        """Time a named stage; nests under the innermost open stage.
+
+        Re-entering the *innermost open* stage by the same name is a
+        passthrough: a facade that opens ``asrank``/``infer`` around an
+        engine that opens ``infer`` itself records one node, not an
+        ``infer/infer`` duplicate with double-counted seconds.
+        """
         stack = self._stack
+        if len(stack) > 1 and stack[-1].name == name:
+            yield stack[-1]
+            return
         with self._lock:
             node = stack[-1].child(name)
             node.calls += 1

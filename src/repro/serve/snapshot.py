@@ -38,6 +38,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 from repro.core.cone import ConeDefinition
 from repro.core.rank import ASRankEntry
 from repro.datasets.serialization import DatasetFormatError
+from repro.graph import DenseIndex, closure_bits, decode_bits
 from repro.relationships import Relationship
 
 
@@ -81,16 +82,23 @@ class Snapshot:
 
     def __init__(
         self,
-        asns: List[int],
-        meta: Dict[str, object],
-        stats: Dict[str, object],
+        asns: Optional[List[int]] = None,
+        meta: Dict[str, object] = None,
+        stats: Dict[str, object] = None,
         version: str = "",
+        index: Optional[DenseIndex] = None,
     ):
-        self.asns = asns
-        self.meta = meta
-        self.stats = stats
+        """Either ``asns`` (a sorted ASN list, indexed here) or ``index``
+        (an existing :class:`DenseIndex`, adopted without re-indexing —
+        the zero-copy path :meth:`build` uses)."""
+        if index is None:
+            index = DenseIndex.from_sorted(asns if asns is not None else [])
+        self.index = index.freeze()
+        self.asns = index.asns
+        self.meta = meta if meta is not None else {}
+        self.stats = stats if stats is not None else {}
         self.version = version
-        self._ids: Dict[int, int] = {asn: i for i, asn in enumerate(asns)}
+        self._ids: Dict[int, int] = index.ids
         # links
         self._link_rows: Optional[List[Tuple[int, int, int, int]]] = None
         self._link_index: Dict[int, int] = {}
@@ -112,11 +120,13 @@ class Snapshot:
 
         Forces every lazy stage (inference, all three cone definitions,
         the full rank table), so the snapshot answers are bit-identical
-        to the facade's by construction.
+        to the facade's by construction.  The facade's shared
+        :class:`~repro.graph.relgraph.RelGraph` supplies the dense index
+        and the cone bitsets directly — no re-indexing, no re-encoding.
         """
         result = asrank.result
-        asns = sorted(result.paths.asns())
-        ids = {asn: i for i, asn in enumerate(asns)}
+        graph = asrank.rel_graph()
+        ids = graph.index.ids
 
         link_rows: List[Tuple[int, int, int, int]] = []
         for rel in result:
@@ -131,7 +141,7 @@ class Snapshot:
         link_rows.sort()
 
         snapshot = cls(
-            asns=asns,
+            index=graph.index,
             meta={
                 "source": source,
                 "clique": list(asrank.clique),
@@ -145,12 +155,15 @@ class Snapshot:
 
         for definition in ConeDefinition:
             cones = asrank.cones(definition)
-            bits: List[int] = []
-            for asn in asns:
-                mask = 0
-                for member in cones.cones.get(asn, {asn}):
-                    mask |= 1 << ids[member]
-                bits.append(mask)
+            if cones.graph is graph and cones.bits is not None:
+                # same id space: adopt the bitsets without expanding
+                bits = cones.bits
+            else:
+                encode = graph.family.encode
+                bits = [
+                    encode(cones.cones.get(asn, (asn,)))
+                    for asn in graph.index.asns
+                ]
             snapshot._cones[definition.value] = bits
 
         snapshot._attach_ranks(
@@ -186,8 +199,9 @@ class Snapshot:
             for asn, members in ppdc.items():
                 asn_set.add(asn)
                 asn_set.update(members)
-        asns = sorted(asn_set)
-        ids = {asn: i for i, asn in enumerate(asns)}
+        index = DenseIndex(asn_set)
+        asns = index.asns
+        ids = index.ids
 
         link_rows: List[Tuple[int, int, int, int]] = []
         customers: Dict[int, List[int]] = {}
@@ -206,7 +220,7 @@ class Snapshot:
             definitions.append(ConeDefinition.PROVIDER_PEER_OBSERVED.value)
 
         snapshot = cls(
-            asns=asns,
+            index=index,
             meta={
                 "source": f"files:{as_rel_path}",
                 "clique": [],
@@ -215,8 +229,13 @@ class Snapshot:
             stats={},
         )
         snapshot._attach_links(link_rows)
-        snapshot._cones[ConeDefinition.RECURSIVE.value] = _closure_bits(
-            asns, ids, customers
+        # the shared closure over the p2c rows, keyed by dense id
+        snapshot._cones[ConeDefinition.RECURSIVE.value] = closure_bits(
+            len(asns),
+            {
+                ids[provider]: [ids[customer] for customer in custs]
+                for provider, custs in customers.items()
+            },
         )
         if ppdc is not None:
             bits = []
@@ -379,13 +398,7 @@ class Snapshot:
         asn_id = self._ids.get(asn)
         if asn_id is None:
             return {asn}
-        bits = self._cone_bits(definition)[asn_id]
-        out: Set[int] = set()
-        while bits:
-            low = bits & -bits
-            out.add(self.asns[low.bit_length() - 1])
-            bits ^= low
-        return out
+        return decode_bits(self._cone_bits(definition)[asn_id], self.asns)
 
     def in_cone(
         self,
@@ -588,33 +601,3 @@ def _row_to_rank_entry(row: Tuple[int, ...]) -> ASRankEntry:
         num_peers=row[8],
         num_providers=row[9],
     )
-
-
-def _closure_bits(
-    asns: List[int], ids: Dict[int, int], customers: Dict[int, List[int]]
-) -> List[int]:
-    """Transitive closure of the p2c DAG as bitsets (file-built path)."""
-    bits: List[int] = [1 << i for i in range(len(asns))]
-    WHITE, GRAY, BLACK = 0, 1, 2
-    color: Dict[int, int] = {}
-    for root in asns:
-        if color.get(root, WHITE) != WHITE:
-            continue
-        stack: List[Tuple[int, bool]] = [(root, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                mask = 1 << ids[node]
-                for child in customers.get(node, ()):
-                    mask |= bits[ids[child]]
-                bits[ids[node]] = mask
-                color[node] = BLACK
-                continue
-            if color.get(node, WHITE) != WHITE:
-                continue
-            color[node] = GRAY
-            stack.append((node, True))
-            for child in customers.get(node, ()):
-                if color.get(child, WHITE) == WHITE:
-                    stack.append((child, False))
-    return bits

@@ -61,6 +61,32 @@ class TestStageTree:
         snap = rec.snapshot()
         assert snap["a"]["children"]["b"]["counters"] == {"n": 1}
 
+    def test_reentering_open_stage_is_passthrough(self):
+        rec = perf.PerfRecorder()
+        with rec.stage("asrank"):
+            with rec.stage("infer"):
+                with rec.stage("infer"):  # engine re-opens the facade's stage
+                    time.sleep(0.01)
+        snap = rec.snapshot()
+        node = snap["asrank"]["children"]["infer"]
+        assert "children" not in node  # no infer/infer duplicate
+        assert node["calls"] == 1  # passthrough does not double-count
+        assert node["seconds"] >= 0.009
+
+    def test_facade_attributes_infer_and_cones_distinctly(self):
+        from repro.asrank import ASRank
+
+        rec = perf.PerfRecorder()
+        with perf.use_recorder(rec):
+            facade = ASRank.from_paths([(10, 1, 2, 20), (20, 2, 1, 10)])
+            facade.result
+            facade.cones()
+        flat = rec.flat()
+        assert "asrank/infer" in flat
+        assert "asrank/cones" in flat
+        assert "asrank/infer/infer" not in flat
+        assert "asrank/cones/cones" not in flat
+
     def test_report_lines_indent_children(self):
         rec = perf.PerfRecorder()
         with rec.stage("outer"):

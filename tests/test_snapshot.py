@@ -205,6 +205,59 @@ class TestFromFiles:
         assert snapshot.meta["definitions"] == ["recursive"]
 
 
+class TestFromFilesRegression:
+    """Pin ``Snapshot.from_files`` output on committed CAIDA fixtures.
+
+    The section hashes were captured before the file-built path moved
+    onto the shared graph core (its private closure implementation was
+    deleted in favor of :func:`repro.graph.closure_bits`); any drift
+    here means a file-built snapshot no longer matches what earlier
+    releases served.  The ``meta`` section is excluded because it
+    embeds the input path.
+    """
+
+    AS_REL = os.path.join(
+        os.path.dirname(__file__), "data", "tiny-world.as-rel.txt"
+    )
+    PPDC = os.path.join(
+        os.path.dirname(__file__), "data", "tiny-world.ppdc-ases.txt"
+    )
+
+    WITH_PPDC = {
+        "asns": "8eb52ea6b33eecd0",
+        "cones:provider/peer-observed": "cd770efdfa685508",
+        "cones:recursive": "36dfd9b0da1bfba7",
+        "links": "e224944f70ef33e8",
+        "ranks": "fa419745a863dfe7",
+        "stats": "a33cc642c9c75d2d",
+    }
+    AS_REL_ONLY = {
+        "asns": "8eb52ea6b33eecd0",
+        "cones:recursive": "36dfd9b0da1bfba7",
+        "links": "e224944f70ef33e8",
+        "ranks": "1e7b118f0c3ab0bb",
+        "stats": "df4895ea9b3308ca",
+    }
+
+    @staticmethod
+    def _section_hashes(snapshot):
+        import hashlib
+
+        return {
+            name: hashlib.sha256(blob).hexdigest()[:16]
+            for name, blob in snapshot.encode_sections().items()
+            if name != "meta"
+        }
+
+    def test_with_ppdc_sections_unchanged(self):
+        snapshot = Snapshot.from_files(self.AS_REL, self.PPDC)
+        assert self._section_hashes(snapshot) == self.WITH_PPDC
+
+    def test_as_rel_only_sections_unchanged(self):
+        snapshot = Snapshot.from_files(self.AS_REL)
+        assert self._section_hashes(snapshot) == self.AS_REL_ONLY
+
+
 class TestDefinitionAliases:
     def test_aliases_resolve(self):
         assert resolve_definition("ppdc") is (
