@@ -11,6 +11,7 @@ instrumented end to end), and lands in two artifacts:
   machine-trackable across PRs.
 """
 
+import random
 import time
 
 from conftest import write_json_report, write_report
@@ -22,9 +23,46 @@ from repro.core.cone import ConeDefinition, compute_cones
 from repro.core.inference import infer_relationships
 from repro.core.paths import PathSet
 from repro.scenarios import get_scenario
-from repro.topology.generator import GeneratorConfig, generate_topology
+from repro.topology.generator import (
+    GeneratorConfig,
+    InternetScaleConfig,
+    generate_internet_topology,
+    generate_topology,
+)
 
 SIZES = (300, 800, 1500)
+
+# The internet-scale point: a 100k-AS power-law world with a sampled
+# origin set (collecting all 100k origins is a capacity run, not a
+# benchmark).  The sample is seeded, so the workload is identical
+# across report regenerations.
+INTERNET_ASES = 100_000
+INTERNET_ORIGINS = 400
+
+# A downscaled replica of the internet workload, cheap enough for
+# check_regression.py to replay min-of-3 on every run.  Committing its
+# collect time here gives the regression leg an exact-workload
+# baseline instead of extrapolating from the 100k point.
+INTERNET_SMOKE_ASES = 10_000
+INTERNET_SMOKE_ORIGINS = 150
+
+
+def internet_smoke_workload():
+    """The (graph, config, origins) triple the regression leg replays."""
+    graph = generate_internet_topology(
+        InternetScaleConfig(n_ases=INTERNET_SMOKE_ASES, seed=42)
+    )
+    config = CollectorConfig(
+        n_vps=20,
+        seed=1,
+        propagation=PropagationConfig(array_state=True, batch_size=64),
+    )
+    origins = sorted(
+        random.Random(7).sample(
+            sorted(a.asn for a in graph.ases()), INTERNET_SMOKE_ORIGINS
+        )
+    )
+    return graph, config, origins
 
 # The committed E00 numbers of the seed implementation (BFS cycle
 # checks, set-based cones, serial collection) on this workload, frozen
@@ -93,6 +131,48 @@ def _profile(n_ases: int, measure_reference: bool = False):
     return timings, substages, len(paths), len(result), reference_collect
 
 
+def _profile_internet():
+    """The 100k-AS pipeline, profiled stage by stage.
+
+    Uses the internet-scale configuration end to end: the linear-time
+    power-law generator, ``array_state`` RouteState rows (int32 slices
+    instead of 120M-element Python lists), and 64-origin propagation
+    blocks (the measured sweet spot at stride 2**17).
+    """
+    recorder = perf.PerfRecorder()
+    with perf.use_recorder(recorder):
+        with perf.stage("generate"):
+            graph = generate_internet_topology(
+                InternetScaleConfig(n_ases=INTERNET_ASES, seed=42)
+            )
+        config = CollectorConfig(
+            n_vps=40,
+            seed=1,
+            propagation=PropagationConfig(array_state=True, batch_size=64),
+        )
+        origins = sorted(
+            random.Random(7).sample(
+                sorted(a.asn for a in graph.ases()), INTERNET_ORIGINS
+            )
+        )
+        corpus = Collector(graph, config).run(origins=origins)
+        with perf.stage("sanitize"):
+            paths = PathSet.sanitize(corpus.paths, ixp_asns=graph.ixp_asns())
+        result = infer_relationships(paths)
+        compute_cones(result, ConeDefinition.PROVIDER_PEER_OBSERVED)
+
+    flat = recorder.flat()
+    timings = {
+        "generate": flat["generate"],
+        "propagate+collect": flat["collect"],
+        "sanitize": flat["sanitize"],
+        "infer": flat["infer"],
+        "cones": flat["cones"],
+    }
+    substages = {key: sec for key, sec in flat.items() if "/" in key}
+    return timings, substages, len(paths), len(result)
+
+
 def test_e00_scaling(benchmark):
     scenario = get_scenario("small")
     benchmark.pedantic(scenario.run, rounds=2, iterations=1)
@@ -123,6 +203,23 @@ def test_e00_scaling(benchmark):
             f"{timings['sanitize']:>10.3f}{timings['infer']:>8.3f}"
             f"{timings['cones']:>8.3f}"
         )
+    inet_timings, inet_substages, inet_paths, inet_links = _profile_internet()
+    smoke_graph, smoke_config, smoke_origins = internet_smoke_workload()
+    smoke_collect = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        Collector(smoke_graph, smoke_config).run(origins=smoke_origins)
+        smoke_collect = min(smoke_collect, time.perf_counter() - start)
+    smoke_collect = round(smoke_collect, 4)
+    lines.append(
+        f"{INTERNET_ASES:>6}{inet_paths:>8}{inet_links:>7}"
+        f"{inet_timings['generate']:>10.3f}"
+        f"{inet_timings['propagate+collect']:>9.3f}"
+        f"{inet_timings['sanitize']:>10.3f}{inet_timings['infer']:>8.3f}"
+        f"{inet_timings['cones']:>8.3f}"
+        f"  ({INTERNET_ORIGINS} sampled origins)"
+    )
+
     batched_1500 = rows[-1][1]["propagate+collect"]
     reference_1500 = reference_collect[1500]
     lines.append("-" * 70)
@@ -161,6 +258,25 @@ def test_e00_scaling(benchmark):
         "speedup_collect_vs_reference_1500": round(
             reference_1500 / batched_1500, 2
         ),
+        # the internet-scale point: 100k-AS power-law world, sampled
+        # origins, array_state collection.  check_regression.py's
+        # internet leg tracks this workload at a downscaled size.
+        "internet": {
+            "n_ases": INTERNET_ASES,
+            "origins_sampled": INTERNET_ORIGINS,
+            "paths": inet_paths,
+            "links": inet_links,
+            "stages": {k: round(v, 4) for k, v in inet_timings.items()},
+            "substages": {
+                k: round(v, 4) for k, v in inet_substages.items()
+            },
+            "total": round(sum(inet_timings.values()), 4),
+        },
+        "internet_smoke": {
+            "n_ases": INTERNET_SMOKE_ASES,
+            "origins_sampled": INTERNET_SMOKE_ORIGINS,
+            "collect": smoke_collect,
+        },
     })
 
     # collection and inference dominate the cost profile, and the full
@@ -170,3 +286,6 @@ def test_e00_scaling(benchmark):
         assert heavy >= 0.5 * sum(timings.values())
     total_large = sum(rows[-1][1].values())
     assert total_large < 120.0
+    # the 100k world must stay interactive — single-digit seconds warm,
+    # with wide headroom for machine variance (this box swings ~2x)
+    assert sum(inet_timings.values()) < 60.0

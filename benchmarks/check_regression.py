@@ -6,6 +6,11 @@ regression against the committed report:
 * the E00 300-AS scale point's `propagate+collect` time vs
   ``reports/BENCH_e00.json`` (the cheapest point, a few hundred
   milliseconds);
+* the internet-scale smoke: collection over a 10k-AS power-law world
+  (a downscaled replica of the 100k point) vs the ``internet_smoke``
+  time committed in ``reports/BENCH_e00.json`` — guards the
+  internet-scale hot paths (``array_state`` rows, 64-origin blocks,
+  the linear-time generator);
 * the query service's sustained throughput on a ``small``-scenario
   snapshot vs the ``medium``-snapshot throughput committed in
   ``reports/BENCH_serve.json``;
@@ -66,6 +71,52 @@ def _collect_seconds(graph, config) -> float:
         Collector(graph, config).run()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def check_internet(factor: float) -> int:
+    """Internet-smoke leg: 10k power-law world, calibrated.
+
+    Replays the exact ``internet_smoke`` workload the committed report
+    measured (same seeds, same sampled origins) and reuses the machine
+    factor the 300-AS leg already computed — the reference engine's
+    cost ratio calibrates any workload on the same pair of machines.
+    The tolerance is doubled: origin-sampled internet worlds are
+    noisier than the dense 300-AS point.
+    """
+    from bench_e00_scale import internet_smoke_workload
+
+    with open(BASELINE_FILE) as handle:
+        baseline = json.load(handle)
+    smoke = baseline.get("internet_smoke")
+    if not smoke:
+        print("skip: no internet_smoke baseline committed yet")
+        return 0
+    committed = smoke["collect"]
+
+    graph, config, origins = internet_smoke_workload()
+    measured = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        Collector(graph, config).run(origins=origins)
+        measured = min(measured, time.perf_counter() - start)
+
+    tolerance = 2 * TOLERANCE
+    allowed = committed * factor * (1.0 + tolerance)
+    print(
+        f"internet collect @ {smoke['n_ases']} ASes, "
+        f"{len(origins)} origins: measured {measured:.4f}s, "
+        f"committed {committed:.4f}s, machine factor {factor:.2f}, "
+        f"allowed {allowed:.4f}s"
+    )
+    if measured > allowed:
+        print(
+            f"REGRESSION: {measured:.4f}s exceeds the committed baseline "
+            f"by more than {tolerance:.0%} (machine-adjusted) — an "
+            f"internet-scale hot path has regressed"
+        )
+        return 1
+    print("ok: internet-scale collection within the regression budget")
+    return 0
 
 
 def check_serve() -> int:
@@ -210,6 +261,9 @@ def main() -> int:
         )
         return 1
     print("ok: propagate+collect within the regression budget")
+    status = check_internet(factor)
+    if status:
+        return status
     status = check_graph()
     if status:
         return status

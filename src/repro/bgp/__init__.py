@@ -24,6 +24,7 @@ from repro.bgp.collector import (
     RibEntry,
     VantagePoint,
     collect,
+    shutdown_pool,
     shutdown_worker_pool,
 )
 from repro.bgp.noise import NoiseConfig
@@ -40,6 +41,7 @@ __all__ = [
     "RibEntry",
     "VantagePoint",
     "collect",
+    "shutdown_pool",
     "shutdown_worker_pool",
     "NoiseConfig",
 ]

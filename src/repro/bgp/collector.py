@@ -11,6 +11,18 @@ Collection runs one propagation per origin AS and materializes, per
 vantage point, the observed AS path (with measurement noise applied)
 and per-prefix RIB entries carrying relationship-encoding BGP
 communities for the ASes that tag (the validation substrate).
+
+The per-origin work all lives in :class:`CollectionKernel`, which is
+deliberately detached from the topology object: it needs only a dense
+graph index (real or shared-memory-attached), the VP/tagger/leaker
+choices, the clique and the IXP link map.  Serial runs drive one
+kernel over the collector's own :class:`GraphIndex`; parallel runs
+ship a small :class:`_ChunkSpec` to pool workers which rebuild the
+kernel over a :class:`~repro.graph.shm.SharedGraphIndex` mapped
+zero-copy from a :class:`~repro.graph.shm.SharedRelGraph` segment
+(falling back to pickling the whole collector when shared memory or
+numpy is unavailable).  Kernel code is identical on every path, so
+worker count and transport never change a single emitted path.
 """
 
 from __future__ import annotations
@@ -19,6 +31,7 @@ import atexit
 import multiprocessing
 import random
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -35,6 +48,7 @@ from repro.bgp.propagation import (
     propagate_batch,
     propagate_origin,
 )
+from repro.graph import shm
 from repro.net.prefix import Prefix
 from repro.relationships import RelClass
 from repro.topology.model import ASGraph, ASType
@@ -155,8 +169,254 @@ class CollectorConfig:
     # i.e. serial) yields the same corpus bit for bit.  Workers come
     # from a process-wide persistent pool reused across runs.
     workers: int = 0
+    # how the graph reaches those workers: None (auto) maps the frozen
+    # graph into a shared-memory segment when numpy and
+    # multiprocessing.shared_memory are available, pickling only a
+    # small spec per chunk; False forces the legacy
+    # pickle-the-collector transport; True requests shared memory and
+    # degrades to the pickle transport when unavailable.  The kernel
+    # code is shared, so the transport never changes the corpus.
+    shared_memory: Optional[bool] = None
     # which propagation engine computes per-origin route state
     propagation: PropagationConfig = field(default_factory=PropagationConfig)
+
+
+class CollectionKernel:
+    """Per-origin collection over a dense graph index.
+
+    Holds exactly what materializing one origin's observation needs —
+    the config, a :class:`GraphIndex`-shaped adjacency (real or
+    attached from shared memory), the VP set, tagger/sibling node ids,
+    the leaker list, the clique, and the IXP link map — plus the
+    process-local noise caches.  Every execution path (serial, pickle
+    workers, shared-memory workers) runs this same code, which is what
+    makes the corpus transport-invariant.
+    """
+
+    def __init__(
+        self,
+        config: CollectorConfig,
+        index,
+        vps: Sequence[VantagePoint],
+        tagger_nodes: Set[int],
+        sibling_nodes: Dict[int, Set[int]],
+        leakers: Sequence[int],
+        clique: Sequence[int],
+        via_ixp: Dict[Tuple[int, int], int],
+    ):
+        self.config = config
+        self.index = index
+        self.vps = list(vps)
+        self.tagger_nodes = tagger_nodes
+        self.sibling_nodes = sibling_nodes
+        self.leakers = list(leakers)
+        self.clique = clique
+        self.via_ixp = via_ixp
+        # shared across per-origin noisers: all deterministic in
+        # (graph, noise seed), so sharing never changes an emitted path
+        self._noise_prepends: Dict[Tuple[int, int], int] = {}
+        self._noise_edges: Dict[Tuple[int, int], List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # per-origin machinery
+    # ------------------------------------------------------------------
+
+    def _leakers_for_origin(self, origin_asn: int) -> Set[int]:
+        """Which leakers mis-export this origin's routes (deterministic)."""
+        if not self.leakers:
+            return set()
+        active = set()
+        for leaker in self.leakers:
+            draw = random.Random(
+                (self.config.seed << 20) ^ (origin_asn << 8) ^ leaker
+            ).random()
+            if draw < self.config.leak_origin_fraction:
+                active.add(leaker)
+        return active
+
+    def _origin_noiser(self, origin_asn: int) -> PathNoiser:
+        """A per-origin noiser: reproducible regardless of worker split."""
+        cfg = self.config.noise
+        return PathNoiser(
+            None,
+            cfg,
+            rng_seed=(cfg.seed << 20) ^ origin_asn,
+            prepend_cache=self._noise_prepends,
+            clique=self.clique,
+            edge_cache=self._noise_edges,
+            via_ixp=self.via_ixp,
+        )
+
+    def collect_block(
+        self,
+        origin_list: Sequence[int],
+        by_origin: Dict[int, List[Prefix]],
+    ) -> List[Tuple[List[Tuple[int, ...]], List[RibEntry]]]:
+        """Collect ``origin_list`` in engine-sized blocks, in order.
+
+        One batched propagation per block, then per-origin
+        materialization in three phases (path walk, noise, RIB) whose
+        time lands on the ``collect/propagate|paths|noise|rib``
+        substages.  Phase order per origin matches the reference
+        per-VP loop, so the per-origin noise RNG is consumed in the
+        same sequence and the corpus is bit-identical.
+        """
+        pcfg = self.config.propagation
+        build_rib = self.config.build_rib
+        clock = time.perf_counter
+        results: List[Tuple[List[Tuple[int, ...]], List[RibEntry]]] = []
+        block_size = max(1, pcfg.batch_size)
+        for start in range(0, len(origin_list), block_size):
+            block = list(origin_list[start: start + block_size])
+            t0 = clock()
+            leakers = {
+                asn: active
+                for asn in block
+                if (active := self._leakers_for_origin(asn))
+            }
+            states = propagate_batch(self.index, block, leakers, pcfg)
+            perf.add_seconds("propagate", clock() - t0)
+            t_paths = t_noise = t_rib = 0.0
+            for origin_asn, state in zip(block, states):
+                noiser = self._origin_noiser(origin_asn)
+                t0 = clock()
+                exported = self._exported_paths(state)
+                t_paths += clock() - t0
+                t0 = clock()
+                observed = [
+                    (vp_asn, vp_idx, noiser.apply(path))
+                    for vp_asn, vp_idx, path in exported
+                ]
+                t_noise += clock() - t0
+                rib_rows: List[RibEntry] = []
+                if build_rib:
+                    t0 = clock()
+                    rib_rows = self._rib_rows(
+                        state, observed, by_origin[origin_asn]
+                    )
+                    t_rib += clock() - t0
+                results.append(
+                    ([path for _, _, path in observed], rib_rows)
+                )
+            perf.add_seconds("paths", t_paths)
+            perf.add_seconds("noise", t_noise)
+            perf.add_seconds("rib", t_rib)
+        return results
+
+    def collect_origin(
+        self,
+        origin_asn: int,
+        prefixes: List[Prefix],
+        noiser: PathNoiser,
+    ) -> Tuple[List[Tuple[int, ...]], List[RibEntry]]:
+        """Propagate one origin and materialize what every VP exports.
+
+        The one-origin composition of the phase helpers — the reference
+        path the batched :meth:`collect_block` is checked against.
+        """
+        state = propagate_origin(
+            self.index, origin_asn,
+            leakers=self._leakers_for_origin(origin_asn),
+        )
+        observed = [
+            (vp_asn, vp_idx, noiser.apply(path))
+            for vp_asn, vp_idx, path in self._exported_paths(state)
+        ]
+        rib_rows: List[RibEntry] = []
+        if self.config.build_rib:
+            rib_rows = self._rib_rows(state, observed, prefixes)
+        return [path for _, _, path in observed], rib_rows
+
+    def _exported_paths(
+        self, state: RouteState
+    ) -> List[Tuple[int, int, Tuple[int, ...]]]:
+        """``(vp_asn, vp_index, true_path)`` per VP exporting this route."""
+        out: List[Tuple[int, int, Tuple[int, ...]]] = []
+        index_of = self.index.index
+        cls = state.cls
+        for vp in self.vps:
+            vp_idx = index_of.get(vp.asn)
+            if vp_idx is None:
+                continue
+            route_cls = cls[vp_idx]
+            if route_cls == 0:
+                continue  # no route at this VP
+            if not vp.full_feed and route_cls not in (
+                CLS_ORIGIN, CLS_CUSTOMER
+            ):
+                continue  # partial feeds export only customer/originated
+            true_path = state.path_from(self.index, vp_idx)
+            assert true_path is not None
+            out.append((vp.asn, vp_idx, true_path))
+        return out
+
+    def _rib_rows(
+        self,
+        state: RouteState,
+        observed: List[Tuple[int, int, Tuple[int, ...]]],
+        prefixes: List[Prefix],
+    ) -> List[RibEntry]:
+        """Per-prefix RIB entries for every exported (noised) path."""
+        rib_rows: List[RibEntry] = []
+        for vp_asn, vp_idx, path in observed:
+            communities = self._communities_for(state, vp_idx)
+            for prefix in prefixes:
+                rib_rows.append(
+                    RibEntry(
+                        vp=vp_asn,
+                        prefix=prefix,
+                        path=path,
+                        communities=communities,
+                    )
+                )
+        return rib_rows
+
+    def _communities_for(
+        self, state: RouteState, vp_idx: int
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Relationship communities accumulated along the selected path.
+
+        Each tagging AS on the path marks the class of the session the
+        route entered on — exactly the convention community-based
+        validation mines.
+        """
+        tags: List[Tuple[int, int]] = []
+        node = vp_idx
+        origin = state.origin
+        cls = state.cls
+        nexthop = state.nexthop
+        tagger_nodes = self.tagger_nodes
+        asns = self.index.asns
+        while node != -1 and node != origin:
+            nh = nexthop[node]
+            if node in tagger_nodes:
+                code = _CLS_CODE.get(cls[node])
+                # internal (sibling) sessions carry no external
+                # relationship communities
+                if code is not None and (
+                    nh == -1 or nh not in self.sibling_nodes[node]
+                ):
+                    tags.append((asns[node], code))
+            node = nh
+        return tuple(tags)
+
+
+@dataclass(frozen=True)
+class _ChunkSpec:
+    """What a shared-memory worker needs besides the mapped segment.
+
+    Everything here is small — the graph itself travels as the segment
+    name.  Workers rebuild a :class:`CollectionKernel` from this spec
+    plus the cached attachment.
+    """
+
+    segment: str
+    config: CollectorConfig
+    vps: Tuple[VantagePoint, ...]
+    tagger_nodes: FrozenSet[int]
+    sibling_nodes: Dict[int, Set[int]]
+    leakers: Tuple[int, ...]
+    clique: Tuple[int, ...]
 
 
 class Collector:
@@ -196,24 +456,33 @@ class Collector:
         )
         self.taggers = self._choose_taggers()
         self.leakers = self._choose_leakers()
-        # shared across per-origin noisers: all deterministic in
-        # (graph, noise seed), so sharing never changes an emitted path
-        self._noise_prepends: Dict[Tuple[int, int], int] = {}
-        self._noise_edges: Dict[Tuple[int, int], List[int]] = {}
-        self._noise_clique: Optional[Sequence[int]] = None
-        self._tagger_nodes = {
+        tagger_nodes = {
             self.index.index[asn]
             for asn in self.taggers
             if asn in self.index.index
         }
-        self._sibling_nodes: Dict[int, Set[int]] = {
+        sibling_nodes: Dict[int, Set[int]] = {
             node: {
                 self.index.index[s]
                 for s in graph.siblings[self.index.asns[node]]
                 if s in self.index.index
             }
-            for node in self._tagger_nodes
+            for node in tagger_nodes
         }
+        self.kernel = CollectionKernel(
+            config=self.config,
+            index=self.index,
+            vps=self.vps,
+            tagger_nodes=tagger_nodes,
+            sibling_nodes=sibling_nodes,
+            leakers=self.leakers,
+            clique=graph.clique_asns(),
+            via_ixp=getattr(graph, "via_ixp", {}),
+        )
+        # lazily packed shared-memory segment, unlinked when this
+        # collector is collected (plus the module atexit backstop)
+        self._shared_segment: Optional[str] = None
+        self._segment_finalizer: Optional[weakref.finalize] = None
 
     # ------------------------------------------------------------------
     # setup
@@ -274,19 +543,6 @@ class Collector:
         count = min(self.config.n_route_leakers, len(candidates))
         return sorted(self._rng.sample(candidates, count))
 
-    def _leakers_for_origin(self, origin_asn: int) -> Set[int]:
-        """Which leakers mis-export this origin's routes (deterministic)."""
-        if not self.leakers:
-            return set()
-        active = set()
-        for leaker in self.leakers:
-            draw = random.Random(
-                (self.config.seed << 20) ^ (origin_asn << 8) ^ leaker
-            ).random()
-            if draw < self.config.leak_origin_fraction:
-                active.add(leaker)
-        return active
-
     # ------------------------------------------------------------------
     # collection
     # ------------------------------------------------------------------
@@ -325,13 +581,43 @@ class Collector:
                     workers, origin_list, by_origin
                 )
             else:
-                per_origin = self._collect_block(origin_list, by_origin)
+                per_origin = self.kernel.collect_block(
+                    origin_list, by_origin
+                )
             for observed_paths, rib_rows in per_origin:
                 for path in observed_paths:
                     corpus.add_path(path)
                 corpus.rib.extend(rib_rows)
             perf.counter("paths", len(corpus))
             return corpus
+
+    def _use_shared_memory(self) -> bool:
+        """Auto/forced/disabled transport choice, with graceful fallback."""
+        if self.config.shared_memory is False:
+            return False
+        # auto and forced alike degrade to the pickle transport when
+        # the codec cannot run (no numpy, no shared_memory module)
+        return shm.HAS_SHARED_MEMORY
+
+    def _chunk_spec(self) -> _ChunkSpec:
+        """The worker spec, packing the graph segment on first use."""
+        if self._shared_segment is None:
+            packed = shm.SharedRelGraph.pack(
+                self.index.rel, via_ixp=self.kernel.via_ixp
+            )
+            self._shared_segment = packed.name
+            self._segment_finalizer = weakref.finalize(
+                self, shm.release, packed.name
+            )
+        return _ChunkSpec(
+            segment=self._shared_segment,
+            config=self.config,
+            vps=tuple(self.vps),
+            tagger_nodes=frozenset(self.kernel.tagger_nodes),
+            sibling_nodes=self.kernel.sibling_nodes,
+            leakers=tuple(self.leakers),
+            clique=tuple(self.kernel.clique),
+        )
 
     def _run_parallel(
         self,
@@ -346,14 +632,26 @@ class Collector:
         worker is left holding a heavy tail.  The chunks come back in
         worker order and are re-interleaved the same way, which is
         exactly origin order.
+
+        With the shared-memory transport, the graph crosses the
+        process boundary once as a named segment; each task pickles
+        only a :class:`_ChunkSpec` and its origin slice.
         """
         workers = min(workers, len(origin_list))
         pool = _worker_pool(workers)
-        payloads = [
-            (self, [(o, by_origin[o]) for o in origin_list[w::workers]])
-            for w in range(workers)
-        ]
-        chunk_results = pool.map(_pool_collect_chunk, payloads)
+        if self._use_shared_memory():
+            spec = self._chunk_spec()
+            payloads = [
+                (spec, [(o, by_origin[o]) for o in origin_list[w::workers]])
+                for w in range(workers)
+            ]
+            chunk_results = pool.map(_pool_collect_shared, payloads)
+        else:
+            payloads = [
+                (self, [(o, by_origin[o]) for o in origin_list[w::workers]])
+                for w in range(workers)
+            ]
+            chunk_results = pool.map(_pool_collect_chunk, payloads)
         results: List[Tuple[List[Tuple[int, ...]], List[RibEntry]]] = (
             [None] * len(origin_list)  # type: ignore[list-item]
         )
@@ -361,181 +659,21 @@ class Collector:
             results[w:: workers] = chunk
         return results
 
-    def _origin_noiser(self, origin_asn: int) -> PathNoiser:
-        """A per-origin noiser: reproducible regardless of worker split."""
-        cfg = self.config.noise
-        if self._noise_clique is None:
-            self._noise_clique = self.graph.clique_asns()
-        return PathNoiser(
-            self.graph,
-            cfg,
-            rng_seed=(cfg.seed << 20) ^ origin_asn,
-            prepend_cache=self._noise_prepends,
-            clique=self._noise_clique,
-            edge_cache=self._noise_edges,
-        )
-
-    def _collect_block(
-        self,
-        origin_list: Sequence[int],
-        by_origin: Dict[int, List[Prefix]],
-    ) -> List[Tuple[List[Tuple[int, ...]], List[RibEntry]]]:
-        """Collect ``origin_list`` in engine-sized blocks, in order.
-
-        One batched propagation per block, then per-origin
-        materialization in three phases (path walk, noise, RIB) whose
-        time lands on the ``collect/propagate|paths|noise|rib``
-        substages.  Phase order per origin matches the reference
-        per-VP loop, so the per-origin noise RNG is consumed in the
-        same sequence and the corpus is bit-identical.
-        """
-        pcfg = self.config.propagation
-        build_rib = self.config.build_rib
-        clock = time.perf_counter
-        results: List[Tuple[List[Tuple[int, ...]], List[RibEntry]]] = []
-        block_size = max(1, pcfg.batch_size)
-        for start in range(0, len(origin_list), block_size):
-            block = list(origin_list[start: start + block_size])
-            t0 = clock()
-            leakers = {
-                asn: active
-                for asn in block
-                if (active := self._leakers_for_origin(asn))
-            }
-            states = propagate_batch(self.index, block, leakers, pcfg)
-            perf.add_seconds("propagate", clock() - t0)
-            t_paths = t_noise = t_rib = 0.0
-            for origin_asn, state in zip(block, states):
-                noiser = self._origin_noiser(origin_asn)
-                t0 = clock()
-                exported = self._exported_paths(state)
-                t_paths += clock() - t0
-                t0 = clock()
-                observed = [
-                    (vp_asn, vp_idx, noiser.apply(path))
-                    for vp_asn, vp_idx, path in exported
-                ]
-                t_noise += clock() - t0
-                rib_rows: List[RibEntry] = []
-                if build_rib:
-                    t0 = clock()
-                    rib_rows = self._rib_rows(
-                        state, observed, by_origin[origin_asn]
-                    )
-                    t_rib += clock() - t0
-                results.append(
-                    ([path for _, _, path in observed], rib_rows)
-                )
-            perf.add_seconds("paths", t_paths)
-            perf.add_seconds("noise", t_noise)
-            perf.add_seconds("rib", t_rib)
-        return results
-
-    def _exported_paths(
-        self, state: RouteState
-    ) -> List[Tuple[int, int, Tuple[int, ...]]]:
-        """``(vp_asn, vp_index, true_path)`` per VP exporting this route."""
-        out: List[Tuple[int, int, Tuple[int, ...]]] = []
-        index_of = self.index.index
-        cls = state.cls
-        for vp in self.vps:
-            vp_idx = index_of.get(vp.asn)
-            if vp_idx is None:
-                continue
-            route_cls = cls[vp_idx]
-            if route_cls == 0:
-                continue  # no route at this VP
-            if not vp.full_feed and route_cls not in (
-                CLS_ORIGIN, CLS_CUSTOMER
-            ):
-                continue  # partial feeds export only customer/originated
-            true_path = state.path_from(self.index, vp_idx)
-            assert true_path is not None
-            out.append((vp.asn, vp_idx, true_path))
-        return out
-
-    def _rib_rows(
-        self,
-        state: RouteState,
-        observed: List[Tuple[int, int, Tuple[int, ...]]],
-        prefixes: List[Prefix],
-    ) -> List[RibEntry]:
-        """Per-prefix RIB entries for every exported (noised) path."""
-        rib_rows: List[RibEntry] = []
-        for vp_asn, vp_idx, path in observed:
-            communities = self._communities_for(state, vp_idx)
-            for prefix in prefixes:
-                rib_rows.append(
-                    RibEntry(
-                        vp=vp_asn,
-                        prefix=prefix,
-                        path=path,
-                        communities=communities,
-                    )
-                )
-        return rib_rows
-
-    def _collect_origin(
-        self,
-        origin_asn: int,
-        prefixes: List[Prefix],
-        noiser: PathNoiser,
-    ) -> Tuple[List[Tuple[int, ...]], List[RibEntry]]:
-        """Propagate one origin and materialize what every VP exports.
-
-        The one-origin composition of the phase helpers — the reference
-        path the batched :meth:`_collect_block` is checked against.
-        """
-        state = propagate_origin(
-            self.index, origin_asn,
-            leakers=self._leakers_for_origin(origin_asn),
-        )
-        observed = [
-            (vp_asn, vp_idx, noiser.apply(path))
-            for vp_asn, vp_idx, path in self._exported_paths(state)
-        ]
-        rib_rows: List[RibEntry] = []
-        if self.config.build_rib:
-            rib_rows = self._rib_rows(state, observed, prefixes)
-        return [path for _, _, path in observed], rib_rows
-
-    def _communities_for(
-        self, state: RouteState, vp_idx: int
-    ) -> Tuple[Tuple[int, int], ...]:
-        """Relationship communities accumulated along the selected path.
-
-        Each tagging AS on the path marks the class of the session the
-        route entered on — exactly the convention community-based
-        validation mines.
-        """
-        tags: List[Tuple[int, int]] = []
-        node = vp_idx
-        origin = state.origin
-        cls = state.cls
-        nexthop = state.nexthop
-        tagger_nodes = self._tagger_nodes
-        asns = self.index.asns
-        while node != -1 and node != origin:
-            nh = nexthop[node]
-            if node in tagger_nodes:
-                code = _CLS_CODE.get(cls[node])
-                # internal (sibling) sessions carry no external
-                # relationship communities
-                if code is not None and (
-                    nh == -1 or nh not in self._sibling_nodes[node]
-                ):
-                    tags.append((asns[node], code))
-            node = nh
-        return tuple(tags)
+    def release_shared(self) -> None:
+        """Unlink this collector's graph segment now (idempotent)."""
+        if self._segment_finalizer is not None:
+            self._segment_finalizer()
+            self._segment_finalizer = None
+        self._shared_segment = None
 
 
 # ---------------------------------------------------------------------------
 # multiprocessing plumbing: one persistent worker pool per process,
 # reused across every Collector.run() (each era of a timeseries, each
 # plane of a congruence run) instead of forking a fresh pool per call.
-# The collector rides along in each task payload — pickled once per
-# worker per run, exactly what the old pool initializer cost, minus the
-# fork/teardown.
+# With the shared-memory transport each task ships a small spec and the
+# workers map the one packed graph segment; the legacy transport rides
+# the collector along in each payload instead.
 # ---------------------------------------------------------------------------
 
 _WORKER_POOL: Optional[multiprocessing.pool.Pool] = None
@@ -568,22 +706,55 @@ def shutdown_worker_pool() -> None:
         _WORKER_POOL_SIZE = 0
 
 
+def shutdown_pool() -> None:
+    """Public teardown hook: the pool *and* any graph segments this
+    process still owns — leaves no semaphores or ``/dev/shm`` entries
+    behind (also registered via ``atexit``)."""
+    shutdown_worker_pool()
+    shm.unlink_all()
+
+
 atexit.register(shutdown_worker_pool)
+
+
+def _pool_collect_shared(
+    payload: Tuple[_ChunkSpec, List[Tuple[int, List[Prefix]]]],
+) -> List[Tuple[List[Tuple[int, ...]], List[RibEntry]]]:
+    """Collect one strided chunk over the mapped graph segment.
+
+    The attachment is cached per worker process per segment name, so a
+    longitudinal run attaches each era's graph once no matter how many
+    ``run()`` calls fan out over it.
+    """
+    spec, items = payload
+    index = shm.attach_index(spec.segment)
+    kernel = CollectionKernel(
+        config=spec.config,
+        index=index,
+        vps=spec.vps,
+        tagger_nodes=spec.tagger_nodes,
+        sibling_nodes=spec.sibling_nodes,
+        leakers=spec.leakers,
+        clique=spec.clique,
+        via_ixp=index.via_ixp,
+    )
+    by_origin = dict(items)
+    return kernel.collect_block([o for o, _ in items], by_origin)
 
 
 def _pool_collect_chunk(
     payload: Tuple[Collector, List[Tuple[int, List[Prefix]]]],
 ) -> List[Tuple[List[Tuple[int, ...]], List[RibEntry]]]:
-    """Collect one strided chunk of origins inside a worker process.
+    """Legacy transport: the whole collector rides in the payload.
 
-    Runs the same batched block path as a serial collector, so worker
-    count changes neither the engine nor any emitted path; the
-    substage timers land on the worker's process-local recorder by
-    design (the parent's profile shows fan-out wall clock).
+    Runs the same kernel as every other path, so transport changes
+    neither the engine nor any emitted path; the substage timers land
+    on the worker's process-local recorder by design (the parent's
+    profile shows fan-out wall clock).
     """
     collector, items = payload
     by_origin = dict(items)
-    return collector._collect_block([o for o, _ in items], by_origin)
+    return collector.kernel.collect_block([o for o, _ in items], by_origin)
 
 
 def collect(

@@ -63,12 +63,13 @@ class PathNoiser:
 
     def __init__(
         self,
-        graph: ASGraph,
+        graph: Optional[ASGraph],
         config: NoiseConfig,
         rng_seed: Optional[int] = None,
         prepend_cache: Optional[Dict[Tuple[int, int], int]] = None,
         clique: Optional[Sequence[int]] = None,
         edge_cache: Optional[Dict[Tuple[int, int], List[int]]] = None,
+        via_ixp: Optional[Dict[Tuple[int, int], int]] = None,
     ):
         """``rng_seed`` overrides the seed of the per-path artifact RNG
         only (parallel collection derives one per origin); the
@@ -83,15 +84,24 @@ class PathNoiser:
         deterministic functions of the graph and ``config.seed``, never
         of the per-origin RNG, so sharing cannot change any emitted
         path.
+
+        ``via_ixp`` supplies the IXP link map directly; with both it
+        and ``clique`` given, ``graph`` may be ``None`` — how
+        shared-memory collection workers noise paths without ever
+        holding a topology object.
         """
         self._config = config
         self._rng = random.Random(
             config.seed if rng_seed is None else rng_seed
         )
+        if via_ixp is None:
+            via_ixp = getattr(graph, "via_ixp", {}) if graph is not None else {}
         self._via_ixp: Dict[Tuple[int, int], int] = (
-            getattr(graph, "via_ixp", {}) if config.ixp_insertion else {}
+            via_ixp if config.ixp_insertion else {}
         )
-        self._clique = graph.clique_asns() if clique is None else clique
+        if clique is None:
+            clique = graph.clique_asns() if graph is not None else []
+        self._clique = clique
         self._prepend_cache: Dict[Tuple[int, int], int] = (
             {} if prepend_cache is None else prepend_cache
         )

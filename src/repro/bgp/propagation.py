@@ -48,7 +48,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.graph.csr import Csr
+from repro.graph.csr import MAX_INT32, Csr, CsrOverflowError
 from repro.graph.relgraph import RelGraph
 from repro.relationships import RelClass
 from repro.topology.model import ASGraph
@@ -81,10 +81,25 @@ class PropagationConfig:
     ``batch_size`` through the numpy engine; ``batched=False`` keeps
     the reference one-origin-at-a-time sweeps.  Both produce identical
     route state, so the flag only trades speed for simplicity.
+
+    ``max_block_cells`` caps the cell-array footprint of one block
+    (``origins × stride``): at internet scale a full ``batch_size``
+    block would allocate gigabytes, so the engine shrinks the block
+    instead — block size never changes results, only memory.
+
+    ``array_state=True`` returns :class:`RouteState` rows as int32
+    numpy slices instead of Python lists — the internet-scale path,
+    where materializing millions of Python ints per block dominates
+    the profile.  Both row forms hold identical values.
     """
 
     batched: bool = True
     batch_size: int = 128
+    # 2^23 cells ≈ 32 MB of int32 state per array: big enough that a
+    # 100k-AS stride still gets 64-origin blocks (the measured sweet
+    # spot there), small enough to stay cache-friendly at every scale
+    max_block_cells: int = 1 << 23
+    array_state: bool = False
 
 
 class GraphIndex:
@@ -215,10 +230,19 @@ def propagate_batch(
             for asn in origin_asns
         ]
 
+    # cap the per-block cell footprint: a 100k-AS world at the default
+    # batch size would allocate origins × stride ≈ 1.7e7 cells per
+    # array; shrinking the block trades nothing but wall-clock shape
+    stride = 1 << max(1, (len(index) - 1).bit_length())
+    step = max(1, min(config.batch_size, config.max_block_cells // stride))
     states: List[RouteState] = []
-    for start in range(0, len(origin_asns), config.batch_size):
-        block = origin_asns[start: start + config.batch_size]
-        states.extend(_propagate_block(index, block, leakers_by_origin))
+    for start in range(0, len(origin_asns), step):
+        block = origin_asns[start: start + step]
+        states.extend(
+            _propagate_block(
+                index, block, leakers_by_origin, config.array_state
+            )
+        )
     return states
 
 
@@ -226,15 +250,21 @@ def _propagate_block(
     index: GraphIndex,
     origin_asns: Sequence[int],
     leakers_by_origin: Mapping[int, Set[int]],
+    array_state: bool = False,
 ) -> List[RouteState]:
     """One block of the batched engine: K origins over flat cell arrays.
 
     A cell ``(k, node)`` lives at key ``k * stride + node`` where
     ``stride`` is n rounded up to a power of two, so splitting a cell
     key into batch row and node is a shift/mask instead of a div/mod.
-    Cell keys and the ``(cell, source)`` composites the sweeps sort fit
-    int32 for any realistically sized block, halving memory traffic;
-    int64 is selected automatically when they would not.
+
+    Dtypes narrow independently: the class/next-hop/length state is
+    always int32 (node indexes are bounded by :data:`MAX_INT32`), cell
+    keys span ``K * stride``, and the ``(cell, source)`` sort
+    composites additionally shift by ``shift`` — each widens to int64
+    only when its own range demands it, so internet-scale blocks keep
+    the state and cell traffic at 4 bytes while only the transient
+    sort keys pay for 8.
     """
     csr = index.csr()
     assert csr is not None
@@ -242,18 +272,24 @@ def _propagate_block(
     K = len(origin_asns)
     stride = 1 << max(1, (n - 1).bit_length())
     shift = stride.bit_length() - 1
-    # composites reach (K * stride) << shift; pick the narrowest dtype
-    dtype = _np.int32 if (K * stride) << shift < 2**31 else _np.int64
+    cells = K * stride
+    if (cells << shift) >= 2**63:
+        raise CsrOverflowError(
+            f"batch of {K} origins over stride {stride} overflows the "
+            f"64-bit composite key space; lower batch_size"
+        )
+    cell_dtype = _np.int32 if cells <= MAX_INT32 else _np.int64
+    comp_dtype = _np.int32 if (cells << shift) <= MAX_INT32 else _np.int64
     origins = _np.asarray(
-        [index.index[asn] for asn in origin_asns], dtype=dtype
+        [index.index[asn] for asn in origin_asns], dtype=cell_dtype
     )
-    cls = _np.zeros(K * stride, dtype=dtype)
-    nexthop = _np.full(K * stride, -1, dtype=dtype)
-    pathlen = _np.zeros(K * stride, dtype=dtype)
+    cls = _np.zeros(cells, dtype=_np.int32)
+    nexthop = _np.full(cells, -1, dtype=_np.int32)
+    pathlen = _np.zeros(cells, dtype=_np.int32)
 
-    origin_cells = _np.arange(K, dtype=dtype) * stride + origins
+    origin_cells = _np.arange(K, dtype=cell_dtype) * stride + origins
     cls[origin_cells] = CLS_ORIGIN
-    geom = _Geometry(stride, shift, stride - 1)
+    geom = _Geometry(stride, shift, stride - 1, cell_dtype, comp_dtype)
     _batch_sweep_up(csr, geom, origin_cells, cls, nexthop, pathlen)
     _batch_sweep_peers(csr, geom, cls, nexthop, pathlen)
     _batch_sweep_down(csr, geom, cls, nexthop, pathlen)
@@ -263,14 +299,24 @@ def _propagate_block(
     nexthop2 = nexthop.reshape(K, stride)
     pathlen2 = pathlen.reshape(K, stride)
     for k, asn in enumerate(origin_asns):
-        # plain-list rows: identical types to the reference state, and
-        # the lazy path walks run at list speed
-        state = RouteState(
-            origin=int(origins[k]),
-            cls=cls2[k, :n].tolist(),
-            nexthop=nexthop2[k, :n].tolist(),
-            pathlen=pathlen2[k, :n].tolist(),
-        )
+        if array_state:
+            # detached int32 rows: same values, no per-cell Python-int
+            # materialization (the internet-scale hot path)
+            state = RouteState(
+                origin=int(origins[k]),
+                cls=cls2[k, :n].copy(),
+                nexthop=nexthop2[k, :n].copy(),
+                pathlen=pathlen2[k, :n].copy(),
+            )
+        else:
+            # plain-list rows: identical types to the reference state,
+            # and the lazy path walks run at list speed
+            state = RouteState(
+                origin=int(origins[k]),
+                cls=cls2[k, :n].tolist(),
+                nexthop=nexthop2[k, :n].tolist(),
+                pathlen=pathlen2[k, :n].tolist(),
+            )
         leakers = leakers_by_origin.get(asn)
         if leakers:
             leak_indexes = {
@@ -285,11 +331,25 @@ def _propagate_block(
 
 @dataclass(frozen=True)
 class _Geometry:
-    """Cell-key layout of one batch block: ``cell = row * stride + node``."""
+    """Cell-key layout of one batch block: ``cell = row * stride + node``.
+
+    ``cell_dtype`` covers plain cell keys, ``comp_dtype`` the shifted
+    ``(cell << shift) | source`` sort composites; they differ exactly
+    when the composite range outgrows int32 but the cell range has not.
+    """
 
     stride: int
     shift: int
     mask: int
+    cell_dtype: object = None
+    comp_dtype: object = None
+
+    def compose(self, cell: "_np.ndarray", src_node: "_np.ndarray"):
+        """``(cell << shift) | src_node`` in the composite dtype —
+        widening *before* the shift, where int32 cells would wrap."""
+        if cell.dtype != self.comp_dtype and self.comp_dtype is not None:
+            cell = cell.astype(self.comp_dtype)
+        return (cell << self.shift) | src_node
 
 
 def _expand(
@@ -310,7 +370,7 @@ def _expand(
     if total == 0:
         empty = _np.empty(0, dtype=frontier.dtype)
         return empty, empty
-    ends = _np.cumsum(counts)
+    ends = _np.cumsum(counts, dtype=_np.int64)
     offsets = _np.arange(total, dtype=_np.int64) - _np.repeat(
         ends - counts, counts
     )
@@ -368,7 +428,7 @@ def _batch_sweep_up(
         if targets.size == 0:
             return
         src_node = src & geom.mask
-        comp = ((src - src_node + targets) << geom.shift) | src_node
+        comp = geom.compose(src - src_node + targets, src_node)
         frontier = _claim(
             comp, geom, cls, nexthop, pathlen, CLS_CUSTOMER, depth
         )
@@ -394,9 +454,15 @@ def _batch_sweep_peers(
     if targets.size == 0:
         return
     src_node = src & geom.mask
-    key = src - src_node + targets
+    # this one sweep runs once per block, so its composites are plain
+    # int64 regardless of the block geometry
+    key = (src - src_node + targets).astype(_np.int64)
     offer_len = pathlen[src].astype(_np.int64) + 1
     lbits = int(offer_len.max()).bit_length()
+    if (int(key.max()) << (lbits + geom.shift)) >= 2**62:
+        raise CsrOverflowError(
+            "peer-sweep composite would overflow 64 bits; lower batch_size"
+        )
     comp = (((key << lbits) | offer_len) << geom.shift) | src_node
     comp.sort()
     cell = comp >> (geom.shift + lbits)
@@ -424,27 +490,28 @@ def _batch_sweep_down(
     pathlen: "_np.ndarray",
 ) -> None:
     """Phase 3, batched: routed cells descend customer edges by depth."""
-    routed = _np.nonzero(cls != NO_ROUTE)[0].astype(cls.dtype)
+    cell_dtype = geom.cell_dtype or cls.dtype
+    routed = _np.nonzero(cls != NO_ROUTE)[0].astype(cell_dtype)
     order = _np.argsort(pathlen[routed])
     routed = routed[order]
     depths = pathlen[routed]
     max_initial = int(depths[-1]) if depths.size else -1
 
     depth = 0
-    carry = _np.empty(0, dtype=cls.dtype)
+    carry = _np.empty(0, dtype=cell_dtype)
     while depth <= max_initial or carry.size:
         lo = _np.searchsorted(depths, depth, side="left")
         hi = _np.searchsorted(depths, depth, side="right")
         frontier = _np.concatenate((routed[lo:hi], carry))
         depth += 1
-        carry = _np.empty(0, dtype=cls.dtype)
+        carry = _np.empty(0, dtype=cell_dtype)
         if frontier.size == 0:
             continue
         src, targets = _expand(csr.customers, frontier, geom)
         if targets.size == 0:
             continue
         src_node = src & geom.mask
-        comp = ((src - src_node + targets) << geom.shift) | src_node
+        comp = geom.compose(src - src_node + targets, src_node)
         carry = _claim(
             comp, geom, cls, nexthop, pathlen, CLS_PROVIDER, depth
         )

@@ -66,8 +66,24 @@ def bron_kerbosch(
     return cliques
 
 
+def _index_triples(
+    triples: Iterable[Tuple[int, int, int]],
+) -> Dict[int, List[Tuple[int, int, int]]]:
+    """Index path triples by their middle AS.
+
+    Every evidence query below filters on ``mid in clique``, so a scan
+    of the full triple multiset — quadratic once the rank walk repeats
+    it per candidate, and brutal on internet-scale corpora — collapses
+    to a lookup of the handful of clique members' own triples.
+    """
+    by_mid: Dict[int, List[Tuple[int, int, int]]] = {}
+    for triple in triples:
+        by_mid.setdefault(triple[1], []).append(triple)
+    return by_mid
+
+
 def _customer_evidence(
-    triples: Sequence[Tuple[int, int, int]], clique: Set[int]
+    by_mid: Dict[int, List[Tuple[int, int, int]]], clique: Set[int]
 ) -> Dict[int, int]:
     """Count, per AS, path evidence that it is a *customer* of a clique
     member rather than a peer.
@@ -77,27 +93,30 @@ def _customer_evidence(
     ``x`` — only customer routes are exported to peers, so cand buys
     transit from ``y``.  A true clique member can never appear in this
     pattern: it would require a route to cross two peer links in a row.
+
+    ``by_mid`` is the :func:`_index_triples` index; counts are sums
+    over an order-independent filter, so indexed iteration returns
+    exactly what a full scan would.
     """
     evidence: Dict[int, int] = {}
-    for left, mid, right in triples:
-        if mid not in clique:
-            continue
-        if left in clique and right not in clique:
-            evidence[right] = evidence.get(right, 0) + 1
-        elif right in clique and left not in clique:
-            evidence[left] = evidence.get(left, 0) + 1
+    for mid in clique:
+        for left, _, right in by_mid.get(mid, ()):
+            if left in clique and right not in clique:
+                evidence[right] = evidence.get(right, 0) + 1
+            elif right in clique and left not in clique:
+                evidence[left] = evidence.get(left, 0) + 1
     return evidence
 
 
 def _prune_customers(
-    clique: Set[int], triples: Sequence[Tuple[int, int, int]]
+    clique: Set[int], by_mid: Dict[int, List[Tuple[int, int, int]]]
 ) -> Set[int]:
     """Iteratively drop clique members that the path data shows buying
     transit from other members (multihomed-to-the-whole-clique transit
     networks survive Bron–Kerbosch but fail this test)."""
     clique = set(clique)
     while len(clique) > 2:
-        evidence = _customer_evidence(triples, clique)
+        evidence = _customer_evidence(by_mid, clique)
         guilty = {m: n for m, n in evidence.items() if m in clique}
         if not guilty:
             break
@@ -133,9 +152,9 @@ def infer_clique(
             tuple(sorted(members)),
         )
 
-    triples = list(paths.triples())
+    by_mid = _index_triples(paths.triples())
     best = max(cliques, key=clique_weight)
-    clique: Set[int] = _prune_customers(set(best), triples)
+    clique: Set[int] = _prune_customers(set(best), by_mid)
 
     added: List[int] = []
     failures = 0
@@ -147,7 +166,7 @@ def infer_clique(
         if (
             clique <= adjacency.get(asn, set())
             and paths.transit_degree(asn) > 0  # a tier-1 transits, always
-            and _customer_evidence(triples, clique | {asn}).get(asn, 0) == 0
+            and _customer_evidence(by_mid, clique | {asn}).get(asn, 0) == 0
         ):
             clique.add(asn)
             added.append(asn)

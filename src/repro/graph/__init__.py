@@ -13,7 +13,10 @@ reproduction used to hand-roll separately:
   (numpy-backed with a pure-Python fallback);
 * :class:`~repro.graph.relgraph.RelGraph` — the frozen graph object
   built once per world and consumed by inference, cones, propagation
-  and the snapshot store.
+  and the snapshot store;
+* :class:`~repro.graph.shm.SharedRelGraph` — the zero-copy
+  shared-memory codec that packs a frozen graph into one named segment
+  for worker processes to map read-only.
 
 See docs/ARCHITECTURE.md for which layer owns what.
 """
@@ -24,17 +27,30 @@ from repro.graph.bitset import (
     closure_bits,
     decode_bits,
 )
-from repro.graph.csr import HAS_NUMPY, Csr, csr_arrays
-from repro.graph.index import DenseIndex
+from repro.graph.csr import HAS_NUMPY, MAX_INT32, Csr, CsrOverflowError, csr_arrays
+from repro.graph.index import MAX_ASN, DenseIndex
 from repro.graph.relgraph import RelGraph
+from repro.graph.shm import (
+    HAS_SHARED_MEMORY,
+    SharedGraphIndex,
+    SharedMemoryUnavailable,
+    SharedRelGraph,
+)
 
 __all__ = [
     "BitsetFamily",
     "ClosureBitsets",
     "Csr",
+    "CsrOverflowError",
     "DenseIndex",
     "HAS_NUMPY",
+    "HAS_SHARED_MEMORY",
+    "MAX_ASN",
+    "MAX_INT32",
     "RelGraph",
+    "SharedGraphIndex",
+    "SharedMemoryUnavailable",
+    "SharedRelGraph",
     "closure_bits",
     "csr_arrays",
     "decode_bits",

@@ -9,6 +9,12 @@ lists with the same slicing contract, so pure-Python consumers (and
 the no-numpy CI leg) keep working — only the numpy-vectorized engines
 need to check :data:`HAS_NUMPY` before fancy-indexing.
 
+Dtype policy: ``indices`` is always int32 (dense ids are bounded by
+the row count, which :data:`MAX_INT32` caps); ``indptr`` is int32
+while the entry count fits and falls back to int64 beyond that.  A
+graph that cannot be addressed in 32 bits at all (≥ 2^31 rows) raises
+:class:`CsrOverflowError` instead of silently wrapping.
+
 Determinism: building from the same adjacency lists always yields
 byte-identical arrays — ``indptr`` is a running sum and ``indices``
 a concatenation, with no hashing or ordering freedom anywhere.
@@ -25,16 +31,36 @@ except ImportError:  # pragma: no cover - numpy is in the standard image
 
 HAS_NUMPY = _np is not None
 
+#: largest value an int32 cell can hold; the row-count ceiling for any
+#: columnar structure addressed by dense int32 ids
+MAX_INT32 = 2**31 - 1
+
+
+class CsrOverflowError(OverflowError):
+    """A CSR build would overflow its 32-bit id space."""
+
 
 def csr_arrays(adjacency: Sequence[Sequence[int]]) -> Tuple[object, object]:
-    """``(indptr, indices)`` for one adjacency; numpy or list-backed."""
+    """``(indptr, indices)`` for one adjacency; numpy or list-backed.
+
+    ``indices`` is int32 — dense ids, bounded by the row count, which
+    must itself fit int32 (:class:`CsrOverflowError` otherwise).
+    ``indptr`` is int32 while the total entry count fits, int64 beyond.
+    """
+    if len(adjacency) > MAX_INT32:
+        raise CsrOverflowError(
+            f"{len(adjacency)} rows cannot be addressed by int32 dense ids"
+        )
     if _np is not None:
-        indptr = _np.zeros(len(adjacency) + 1, dtype=_np.int64)
-        _np.cumsum([len(row) for row in adjacency], out=indptr[1:])
+        counts = [len(row) for row in adjacency]
+        total = sum(counts)
+        ptr_dtype = _np.int32 if total <= MAX_INT32 else _np.int64
+        indptr = _np.zeros(len(adjacency) + 1, dtype=ptr_dtype)
+        _np.cumsum(counts, out=indptr[1:])
         indices = _np.fromiter(
             (neighbor for row in adjacency for neighbor in row),
             dtype=_np.int32,
-            count=int(indptr[-1]),
+            count=total,
         )
         return indptr, indices
     indptr: List[int] = [0]
@@ -59,6 +85,25 @@ class Csr:
         self.providers = csr_arrays(providers)
         self.customers = csr_arrays(customers)
         self.peers = csr_arrays(peers)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        providers: Tuple[object, object],
+        customers: Tuple[object, object],
+        peers: Tuple[object, object],
+    ) -> "Csr":
+        """Adopt prebuilt ``(indptr, indices)`` pairs without copying.
+
+        The zero-copy constructor the shared-memory codec uses: the
+        views may be backed by a mapped segment, so consumers must not
+        mutate them.
+        """
+        csr = cls.__new__(cls)
+        csr.providers = providers
+        csr.customers = customers
+        csr.peers = peers
+        return csr
 
     def neighbors(self, view: Tuple[object, object], i: int):
         """Row ``i`` of a view — works on numpy and list backing alike."""

@@ -22,6 +22,19 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional
 
+#: ASNs are 32-bit identifiers; anything beyond this cannot come from
+#: the wire and would silently wrap in packed columnar sections
+MAX_ASN = 2**32 - 1
+
+
+def _check_asn_range(lo: int, hi: int) -> None:
+    """Reject ASNs a packed 32-bit column could not represent."""
+    if lo < 0 or hi > MAX_ASN:
+        bad = lo if lo < 0 else hi
+        raise ValueError(
+            f"ASN {bad} outside the 32-bit ASN space [0, {MAX_ASN}]"
+        )
+
 
 class DenseIndex:
     """A deterministic ASN ↔ dense-id mapping.
@@ -38,6 +51,8 @@ class DenseIndex:
 
     def __init__(self, asns: Iterable[int] = ()):
         self.asns: List[int] = sorted(set(asns))
+        if self.asns:
+            _check_asn_range(self.asns[0], self.asns[-1])
         self.ids: Dict[int, int] = {
             asn: i for i, asn in enumerate(self.asns)
         }
@@ -49,6 +64,8 @@ class DenseIndex:
         """Adopt ``asns`` verbatim as ids 0..n-1 (caller guarantees the
         list is sorted and duplicate-free)."""
         index = cls()
+        if asns:
+            _check_asn_range(asns[0], asns[-1])
         index.asns = asns
         index.ids = {asn: i for i, asn in enumerate(asns)}
         return index
@@ -112,6 +129,8 @@ class DenseIndex:
                     f"cannot intern AS{asn}: index is frozen at "
                     f"{len(self.asns)} ASes"
                 )
+            if asn < 0 or asn > MAX_ASN:
+                _check_asn_range(asn, asn)
             idx = len(self.asns)
             if self._sorted and self.asns and asn < self.asns[-1]:
                 self._sorted = False

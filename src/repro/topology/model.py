@@ -136,12 +136,46 @@ class ASGraph:
         self.customers[provider].add(customer)
         self.providers[customer].add(provider)
 
+    def add_p2c_unchecked(self, provider: int, customer: int) -> None:
+        """Add a provider→customer link without the per-link cycle scan.
+
+        The BFS in :meth:`add_p2c` is what makes bulk wiring quadratic:
+        at internet scale it revisits most of the graph for every link.
+        Callers that wire strictly tier-by-tier (providers always drawn
+        from tiers created earlier) produce a DAG by construction, so
+        they may skip the scan and rely on the global cycle check in
+        :meth:`validate_invariants` instead.  Duplicate/self/unknown
+        links are still refused.
+        """
+        self._check_new_link(provider, customer)
+        key = canonical_pair(provider, customer)
+        self._links[key] = Relationship.P2C
+        self._link_provider[key] = provider
+        self.customers[provider].add(customer)
+        self.providers[customer].add(provider)
+
     def add_p2p(self, a: int, b: int) -> None:
         """Add a settlement-free peering link."""
         self._check_new_link(a, b)
         self._links[canonical_pair(a, b)] = Relationship.P2P
         self.peers[a].add(b)
         self.peers[b].add(a)
+
+    def add_p2p_if_absent(self, a: int, b: int) -> bool:
+        """One-lookup peering insert for bulk wiring.
+
+        Returns ``False`` (instead of raising) when the pair is already
+        linked, folding the caller's would-be ``relationship()`` probe
+        and the insert into a single dict lookup.  The caller vouches
+        that both ASes exist and ``a != b``.
+        """
+        key = (a, b) if a < b else (b, a)  # canonical_pair, sans the call
+        if key in self._links:
+            return False
+        self._links[key] = Relationship.P2P
+        self.peers[a].add(b)
+        self.peers[b].add(a)
+        return True
 
     def add_s2s(self, a: int, b: int) -> None:
         """Add a sibling link (common ownership)."""
