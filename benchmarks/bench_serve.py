@@ -1,9 +1,11 @@
 """Serving benchmark: snapshot build/load costs and sustained QPS.
 
 Builds the ``medium``-scenario snapshot, measures the compile /
-serialize / load legs, then drives the asyncio server with the
-closed-loop load generator and records sustained throughput and
-latency percentiles into ``reports/BENCH_serve.json``.
+serialize / load legs, drives the asyncio server with the closed-loop
+load generator, then measures the path-prediction endpoints (cold
+per-origin propagation vs route-table-cached queries, against a plain
+``/asns/{asn}`` yardstick) and records everything into
+``reports/BENCH_serve.json``.
 
 The committed JSON is the regression baseline for
 ``check_regression.py``: alongside the throughput it stores a
@@ -41,6 +43,79 @@ CONNECTIONS = 8
 REPORT_FILE = os.path.join(
     os.path.dirname(__file__), "reports", "BENCH_serve.json"
 )
+PATH_DSTS = 24
+PATH_SRCS_PER_DST = 8
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def paths_leg(store):
+    """Cold vs route-table-cached path latency, plus an /asns yardstick.
+
+    Runs against a fresh server (empty response cache and route-table
+    LRU) so every sample is a first request for its URL: ``cold``
+    queries pay one ``propagate_batch`` per new origin, ``warm``
+    queries (same destination, different source) hit the cached route
+    table, and the ``asn`` yardstick is the plain per-AS lookup the
+    committed throughput baselines are built from.  Sequential on one
+    connection — these are service times, not queue times.
+    """
+    import http.client
+
+    asns = store.current.asns
+    step = max(1, len(asns) // PATH_DSTS)
+    dsts = asns[::step][:PATH_DSTS]
+    srcs = asns[1::step][:PATH_SRCS_PER_DST] or asns[:1]
+
+    thread = ServerThread(store)
+    host, port = thread.start()
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    errors = 0
+
+    def timed(target):
+        nonlocal errors
+        start = time.perf_counter()
+        conn.request("GET", target)
+        response = conn.getresponse()
+        response.read()
+        if response.status != 200:
+            errors += 1
+        return (time.perf_counter() - start) * 1000.0
+
+    cold, warm, asn_ms = [], [], []
+    try:
+        # spin up the connection and the compute-pool threads before
+        # timing anything; the sacrificial origin is not in the sample
+        spinup = next(a for a in reversed(asns) if a not in dsts)
+        for _ in range(20):
+            timed(f"/paths/{srcs[0]}/{spinup}")
+            timed(f"/asns/{srcs[0]}")
+        errors = 0
+        for dst in dsts:
+            cold.append(timed(f"/paths/{srcs[0]}/{dst}"))
+            for src in srcs[1:]:
+                if src != dst:
+                    warm.append(timed(f"/paths/{src}/{dst}"))
+        for asn in asns[: len(warm)]:
+            asn_ms.append(timed(f"/asns/{asn}"))
+    finally:
+        conn.close()
+        thread.stop()
+
+    return {
+        "errors": errors,
+        "cold_samples": len(cold),
+        "warm_samples": len(warm),
+        "cold_p50_ms": round(_percentile(cold, 0.50), 3),
+        "cold_p99_ms": round(_percentile(cold, 0.99), 3),
+        "warm_p50_ms": round(_percentile(warm, 0.50), 3),
+        "warm_p99_ms": round(_percentile(warm, 0.99), 3),
+        "asn_p50_ms": round(_percentile(asn_ms, 0.50), 3),
+        "asn_p99_ms": round(_percentile(asn_ms, 0.99), 3),
+    }
 
 
 def main() -> int:
@@ -84,6 +159,8 @@ def main() -> int:
     finally:
         thread.stop()
 
+    paths_report = paths_leg(store)
+
     calibration = calibration_workload()
 
     payload = {
@@ -108,6 +185,7 @@ def main() -> int:
             "p99_ms": round(report.percentile(0.99), 3),
             "cache_hit_rate": metrics["cache"]["hit_rate"],
         },
+        "paths": paths_report,
         "calibration": round(calibration, 4),
     }
 
@@ -129,11 +207,21 @@ def main() -> int:
         f"{report.percentile(0.99):.2f}ms, {report.errors} errors, "
         f"cache hit rate {metrics['cache']['hit_rate']:.0%}"
     )
+    print(
+        f"paths: cold p50 {paths_report['cold_p50_ms']:.2f}ms / "
+        f"p99 {paths_report['cold_p99_ms']:.2f}ms, "
+        f"warm p50 {paths_report['warm_p50_ms']:.2f}ms / "
+        f"p99 {paths_report['warm_p99_ms']:.2f}ms, "
+        f"asn yardstick p99 {paths_report['asn_p99_ms']:.2f}ms"
+    )
     print(f"calibration workload: {calibration:.4f}s")
     print(f"wrote {REPORT_FILE}")
 
     if report.errors:
         print(f"FAIL: {report.errors} transport/5xx errors during the run")
+        return 1
+    if paths_report["errors"]:
+        print(f"FAIL: {paths_report['errors']} non-200s in the paths leg")
         return 1
     return 0
 

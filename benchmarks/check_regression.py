@@ -14,6 +14,10 @@ regression against the committed report:
 * the query service's sustained throughput on a ``small``-scenario
   snapshot vs the ``medium``-snapshot throughput committed in
   ``reports/BENCH_serve.json``;
+* the path-prediction endpoints: committed warm (route-table-cached)
+  path p99 must sit within 2x of the ``/asns/{asn}`` yardstick, and a
+  live re-measure must show cached tables beating cold per-origin
+  propagation;
 * the warm ``Snapshot.build`` time on the ``medium`` scenario vs
   ``reports/BENCH_graph.json`` — guards the graph core's zero-copy
   build path (the snapshot adopts the facade's ``RelGraph`` index and
@@ -179,6 +183,72 @@ def check_serve() -> int:
     return 0
 
 
+def check_paths() -> int:
+    """Path-latency leg: the route-table cache must keep warm queries
+    near the plain per-AS lookup cost.
+
+    Two gates.  The committed ``medium`` numbers must show warm path
+    p99 within 2x of the ``/asns/{asn}`` yardstick p99 — that is the
+    criterion the route-table cache exists to meet.  Then the same leg
+    is re-measured live on a ``small`` snapshot: warm queries must
+    stay under 3x the live yardstick (the looser bound absorbs runner
+    noise on sub-millisecond samples; a broken table cache puts warm
+    at cold's level, an order of magnitude out) and the warm median
+    must actually beat the cold median.
+    """
+    from bench_serve import paths_leg
+
+    from repro.asrank import ASRank
+    from repro.scenarios import get_scenario
+    from repro.serve.store import SnapshotStore
+
+    with open(SERVE_BASELINE_FILE) as handle:
+        baseline = json.load(handle)
+    committed = baseline.get("paths")
+    if not committed:
+        print("skip: no paths baseline committed yet")
+        return 0
+    if committed["warm_p99_ms"] > 2 * committed["asn_p99_ms"]:
+        print(
+            f"REGRESSION: committed warm path p99 "
+            f"{committed['warm_p99_ms']}ms exceeds 2x the committed "
+            f"/asns yardstick p99 {committed['asn_p99_ms']}ms — "
+            f"re-run bench_serve.py on a healthy engine"
+        )
+        return 1
+
+    _graph, _corpus, paths, result = get_scenario("small").run()
+    facade = ASRank(paths)
+    facade._result = result
+    measured = paths_leg(SnapshotStore(snapshot=facade.snapshot()))
+
+    print(
+        f"paths (small snapshot): cold p50 {measured['cold_p50_ms']}ms, "
+        f"warm p50 {measured['warm_p50_ms']}ms / "
+        f"p99 {measured['warm_p99_ms']}ms, "
+        f"asn yardstick p99 {measured['asn_p99_ms']}ms "
+        f"(committed medium: warm p99 {committed['warm_p99_ms']}ms / "
+        f"yardstick {committed['asn_p99_ms']}ms)"
+    )
+    if measured["errors"]:
+        print(f"REGRESSION: {measured['errors']} non-200s in the paths leg")
+        return 1
+    if measured["warm_p99_ms"] > 3 * measured["asn_p99_ms"]:
+        print(
+            "REGRESSION: warm path p99 is more than 3x the /asns "
+            "yardstick — route-table caching is not being hit"
+        )
+        return 1
+    if measured["warm_p50_ms"] >= measured["cold_p50_ms"]:
+        print(
+            "REGRESSION: warm path median is no faster than cold — "
+            "cached route tables are not cheaper than a fresh propagation"
+        )
+        return 1
+    print("ok: warm path queries ride the route-table cache")
+    return 0
+
+
 def check_graph() -> int:
     """Snapshot-build leg: warm medium-world build, calibrated."""
     from repro.asrank import ASRank
@@ -265,6 +335,9 @@ def main() -> int:
     if status:
         return status
     status = check_graph()
+    if status:
+        return status
+    status = check_paths()
     if status:
         return status
     return check_serve()

@@ -2,9 +2,11 @@
 
 Builds a ``small``-scenario snapshot, starts the server on an
 ephemeral port, drives a short closed-loop load run (must finish with
-zero transport/5xx errors and a sane p99), then exercises an atomic
-hot reload via ``POST /admin/reload`` while load is in flight and
-checks the served version flipped with no failed requests.
+zero transport/5xx errors and a sane p99), repeats it with path and
+what-if traffic mixed in (the compute-pool routes must also finish
+error-free), then exercises an atomic hot reload via ``POST
+/admin/reload`` while that mixed load is in flight and checks the
+served version flipped with no failed requests.
 
 Exit code 0 on success, 1 with a one-line reason on any failure.
 
@@ -71,6 +73,26 @@ def main() -> int:
         if p99 > P99_BOUND_MS:
             return _fail(f"p99 {p99:.1f}ms exceeds {P99_BOUND_MS}ms bound")
 
+        # --- mixed load with path + what-if traffic -------------------
+        mixed = run_loadgen(
+            LoadGenConfig(host=host, port=port, requests=2_000,
+                          connections=CONNECTIONS, seed=7,
+                          paths_weight=15, what_if_weight=8)
+        )
+        print(
+            f"mixed load (+paths/what-if): {mixed.requests} requests -> "
+            f"{mixed.throughput:,.0f} req/s, "
+            f"p99 {mixed.percentile(0.99):.2f}ms, {mixed.errors} errors, "
+            f"routes {mixed.by_route.get('paths', 0)} paths / "
+            f"{mixed.by_route.get('whatif', 0)} what-if"
+        )
+        if mixed.errors:
+            return _fail(f"{mixed.errors} errors during the mixed run")
+        if not mixed.by_route.get("paths") or not mixed.by_route.get(
+            "whatif"
+        ):
+            return _fail("mixed run never reached the path/what-if routes")
+
         # --- hot reload under concurrent load -------------------------
         old_version = store.current.version
         tiny = get_scenario("tiny").run()
@@ -85,8 +107,11 @@ def main() -> int:
             target=lambda: failures.extend(
                 ["loadgen"]
                 * run_loadgen(
+                    # path/what-if traffic stays in the mix while the
+                    # snapshot flips underneath it
                     LoadGenConfig(host=host, port=port, requests=2_000,
-                                  connections=CONNECTIONS, seed=3)
+                                  connections=CONNECTIONS, seed=3,
+                                  paths_weight=15, what_if_weight=8)
                 ).errors
             )
         )

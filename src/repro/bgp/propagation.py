@@ -116,11 +116,26 @@ class GraphIndex:
     data-plane artifacts injected later by the noise model.
     """
 
-    def __init__(self, graph: ASGraph, restrict: Optional[Set[int]] = None):
+    def __init__(
+        self,
+        graph: Optional[ASGraph] = None,
+        restrict: Optional[Set[int]] = None,
+        *,
+        rel: Optional[RelGraph] = None,
+    ):
         """``restrict`` limits routing to a subset of ASNs — used for the
-        IPv6 plane, where only v6-enabled networks participate."""
+        IPv6 plane, where only v6-enabled networks participate.
+
+        ``rel`` adopts an already-compiled :class:`RelGraph` without
+        re-indexing — the path the snapshot query service and the
+        prediction engine use, where the columnar graph already exists
+        and rebuilding an :class:`ASGraph` would only copy it."""
+        if rel is None:
+            if graph is None:
+                raise TypeError("GraphIndex needs an ASGraph or a RelGraph")
+            rel = RelGraph.from_as_graph(graph, restrict=restrict)
         self.graph = graph
-        self.rel = RelGraph.from_as_graph(graph, restrict=restrict)
+        self.rel = rel
         self.asns: List[int] = self.rel.index.asns
         self.index: Dict[int, int] = self.rel.index.ids
         self.providers: List[List[int]] = self.rel.providers

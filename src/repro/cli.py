@@ -258,12 +258,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         allow_admin=not args.no_admin,
         install_sighup=True,
+        compute_workers=args.compute_workers,
     )
     try:
         asyncio.run(server.run())
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_paths(args: argparse.Namespace) -> int:
+    """One path / anycast / what-if query against a snapshot, as JSON."""
+    import json
+
+    from repro.serve.handlers import Api
+    from repro.serve.store import SnapshotStore, load_snapshot
+
+    if args.snapshot:
+        snapshot = load_snapshot(args.snapshot, lazy=True)
+        store = SnapshotStore(snapshot=snapshot, path=args.snapshot)
+    else:
+        store = SnapshotStore(snapshot=_build_snapshot(args))
+    api = Api(store, allow_admin=False)
+
+    if args.what_if:
+        with open(args.what_if) as handle:
+            ops = json.load(handle)
+        body: dict = {"dst": args.dst, "ops": ops}
+        if args.sample:
+            body["sample"] = args.sample
+        status, payload, _route, _cacheable = api.handle(
+            "POST", "/what-if", {}, json.dumps(body).encode()
+        )
+    else:
+        query = {}
+        if args.origins:
+            query["origins"] = args.origins
+        status, payload, _route, _cacheable = api.handle(
+            "GET", f"/paths/{args.src}/{args.dst}", query
+        )
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if status == 200 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -347,7 +382,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="load snapshot sections on demand")
     serve.add_argument("--no-admin", action="store_true",
                        help="disable POST /admin/reload")
+    serve.add_argument("--compute-workers", type=int, default=2,
+                       help="path/what-if compute pool size; 0 runs "
+                            "them inline on the event loop (default: 2)")
     serve.set_defaults(func=_cmd_serve)
+
+    paths_cmd = sub.add_parser(
+        "paths",
+        help="predict a policy path / anycast winner / what-if diff "
+             "from a snapshot",
+    )
+    _add_scenario_arg(paths_cmd)
+    paths_cmd.add_argument("src", type=int, help="source ASN")
+    paths_cmd.add_argument(
+        "dst", type=int,
+        help="destination ASN (the what-if origin in --what-if mode)",
+    )
+    paths_cmd.add_argument("--snapshot", help="snapshot file to query")
+    paths_cmd.add_argument("--paths", help="build from a path file")
+    paths_cmd.add_argument("--as-rel", help="build from an as-rel file")
+    paths_cmd.add_argument("--ppdc", help="ppdc-ases file (with --as-rel)")
+    paths_cmd.add_argument(
+        "--origins",
+        help="comma-separated anycast origin set announced with dst",
+    )
+    paths_cmd.add_argument(
+        "--what-if", metavar="OPS_JSON",
+        help="JSON file with a scenario op list; prints the diff "
+             "against the baseline instead of a single path",
+    )
+    paths_cmd.add_argument(
+        "--sample", type=int,
+        help="diff over an evenly-spaced sample of sources (what-if)",
+    )
+    paths_cmd.set_defaults(func=_cmd_paths)
 
     qa = sub.add_parser(
         "qa",

@@ -6,17 +6,29 @@ re-run policy routing, and compare the predicted AS paths against the
 observed ones.  Good relationships predict real paths; wrong labels
 send predicted routes through links BGP would never use.
 
-The predictor reuses the Gao–Rexford propagation engine over a graph
-assembled from any inference result (ASRank or a baseline), so the
-comparison is apples-to-apples.
+The predictor compiles any inference result (ASRank or a baseline)
+straight into the shared columnar :class:`~repro.graph.relgraph.RelGraph`
+(:func:`rel_graph_from_inference`) and re-derives every observed
+(vantage point, origin) pair through the batched Gao–Rexford engine —
+all origins of one report propagate in :func:`propagate_batch` blocks
+over flat arrays instead of one serial sweep per origin.  The batched
+engine is bit-identical to the reference sweeps, so reports are
+unchanged from the serial implementation; only the wall clock moves.
+
+:func:`graph_from_inference` (the original :class:`ASGraph`
+materializer) is kept for callers that want a mutable topology-model
+view of an inference; the predictor itself no longer builds one.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.bgp.propagation import GraphIndex, propagate_origin
+from repro.bgp.propagation import GraphIndex, propagate_batch
+from repro.graph.index import DenseIndex
+from repro.graph.relgraph import RelGraph
 from repro.relationships import Relationship
 from repro.topology.model import AS, ASGraph, ASType, TopologyError
 
@@ -51,6 +63,64 @@ def graph_from_inference(inference) -> ASGraph:
         else:
             graph.add_p2p(a, b)
     return graph
+
+
+def rel_graph_from_inference(inference) -> RelGraph:
+    """Compile inferred relationships straight into a :class:`RelGraph`.
+
+    Same semantics as routing over :func:`graph_from_inference` — the
+    id space is exactly the link endpoints, links are applied in sorted
+    order, a p2c edge that would close a provider cycle is demoted to
+    p2p, and sibling links merge into the peer adjacency (siblings
+    route as peers) — without materializing per-AS objects or a
+    mutable graph in between.
+    """
+    asns: Set[int] = set()
+    for a, b in inference.links():
+        asns.add(a)
+        asns.add(b)
+    index = DenseIndex(asns)
+    ids = index.ids
+    n = len(index)
+    providers: List[List[int]] = [[] for _ in range(n)]
+    customers: List[List[int]] = [[] for _ in range(n)]
+    peers: List[List[int]] = [[] for _ in range(n)]
+
+    def closes_cycle(provider_id: int, customer_id: int) -> bool:
+        # same check as ASGraph.add_p2c: the edge closes a provider
+        # cycle iff the provider is already reachable from the customer
+        # over the customer edges added so far
+        queue = deque([customer_id])
+        seen = {customer_id}
+        while queue:
+            node = queue.popleft()
+            if node == provider_id:
+                return True
+            for nxt in customers[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return False
+
+    for a, b in sorted(inference.links()):
+        rel = inference.relationship(a, b)
+        if rel is Relationship.P2C:
+            provider = inference.provider_of(a, b)
+            customer = b if provider == a else a
+            prov_id, cust_id = ids[provider], ids[customer]
+            if closes_cycle(prov_id, cust_id):
+                peers[ids[a]].append(ids[b])
+                peers[ids[b]].append(ids[a])
+            else:
+                customers[prov_id].append(cust_id)
+                providers[cust_id].append(prov_id)
+        else:  # p2p and s2s both route as peering links
+            peers[ids[a]].append(ids[b])
+            peers[ids[b]].append(ids[a])
+    for rows in (providers, customers, peers):
+        for row in rows:
+            row.sort()
+    return RelGraph(index, providers, customers, peers)
 
 
 @dataclass
@@ -88,10 +158,10 @@ def predict_paths(
     for each (VP, origin) pair, policy routing runs over the inferred
     graph and the predicted path is compared with the observed one.
     Each (VP, origin) pair is judged once (the first observation wins),
-    and ``max_origins`` bounds the propagation work.
+    and ``max_origins`` bounds the propagation work.  All origins
+    propagate through the batched engine in one pass.
     """
-    graph = graph_from_inference(inference)
-    index = GraphIndex(graph)
+    index = GraphIndex(rel=rel_graph_from_inference(inference))
 
     by_origin: Dict[int, Dict[int, Tuple[int, ...]]] = {}
     for path in observations:
@@ -106,8 +176,7 @@ def predict_paths(
     origins = sorted(by_origin)
     if max_origins is not None:
         origins = origins[:max_origins]
-    for origin in origins:
-        state = propagate_origin(index, origin)
+    for origin, state in zip(origins, propagate_batch(index, origins)):
         for vp, observed in sorted(by_origin[origin].items()):
             predicted = state.path_from(index, index.index[vp])
             report.compared += 1

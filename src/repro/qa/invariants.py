@@ -1,4 +1,4 @@
-"""The seven invariant families the QA sweep asserts per world.
+"""The eight invariant families the QA sweep asserts per world.
 
 Every checker returns a list of :class:`Violation` (empty = clean)
 instead of raising, so one sweep reports everything it finds and the
@@ -670,6 +670,212 @@ def check_serving(
                     "serving/handler-cone",
                     world,
                     f"/asns/{asn}/cone JSON disagrees with the facade",
+                )
+            )
+            break
+    return violations
+
+
+def check_path_serving(
+    result: InferenceResult, world: str
+) -> List[Violation]:
+    """Family 8: the path/what-if service equals the routing engine.
+
+    Compiles the inference into a snapshot, drives the handler layer
+    in-process, and independently recomputes every answer:
+
+    * sampled ``GET /paths/{src}/{dst}`` responses must be bit-identical
+      to :func:`propagate_batch` over the snapshot's own RelGraph;
+    * an anycast query's winner and catchment must match an independent
+      best-origin selection over those same tables;
+    * a what-if diff (link drop + new peering + route leak) must be
+      bit-identical to a from-scratch recompute: the mutated link rows
+      rebuilt into a fresh RelGraph and propagated with the *reference*
+      single-origin engine.
+    """
+    from repro.asrank import ASRank
+    from repro.bgp.propagation import (
+        GraphIndex,
+        propagate_batch,
+        propagate_origin,
+    )
+    from repro.graph.relgraph import RelGraph
+    from repro.serve.handlers import Api
+    from repro.serve.prediction import best_origin
+    from repro.serve.snapshot import Snapshot
+    from repro.serve.store import SnapshotStore
+    import json
+
+    violations: List[Violation] = []
+    facade = ASRank(result.paths, config=result.config)
+    facade._result = result
+    snapshot = Snapshot.build(facade)
+    api = Api(SnapshotStore(snapshot=snapshot))
+    asns = snapshot.asns
+    n = len(asns)
+    if n < 3 or not snapshot._links():
+        return violations
+
+    # deterministic sample spread over the id space
+    dsts = sorted({asns[0], asns[n // 3], asns[(2 * n) // 3], asns[-1]})
+    srcs = sorted({asns[i] for i in range(0, n, max(1, n // 7))})
+
+    gindex = GraphIndex(rel=snapshot.rel_graph())
+    tables = dict(zip(dsts, propagate_batch(gindex, dsts)))
+
+    # single-path answers, bit for bit
+    for dst in dsts:
+        for src in srcs:
+            status, payload, _route, _c = api.handle(
+                "GET", f"/paths/{src}/{dst}", {}
+            )
+            expected = tables[dst].path_from(gindex, gindex.index[src])
+            served = (
+                None if payload["path"] is None else tuple(payload["path"])
+            )
+            if status != 200 or served != expected:
+                violations.append(
+                    Violation(
+                        "path-serving/path",
+                        world,
+                        f"GET /paths/{src}/{dst} served {served}, "
+                        f"engine computes {expected}",
+                    )
+                )
+                return violations
+
+    # anycast: winner + catchment against an independent selection
+    origins = dsts
+    states = [tables[origin] for origin in origins]
+    catchment = {str(origin): 0 for origin in origins}
+    unreachable = 0
+    for i in range(n):
+        won = best_origin(origins, states, i)
+        if won is None:
+            unreachable += 1
+        else:
+            catchment[str(won)] += 1
+    for src in srcs:
+        status, payload, _route, _c = api.handle(
+            "GET",
+            f"/paths/{src}/{origins[0]}",
+            {"origins": ",".join(str(o) for o in origins[1:])},
+        )
+        expected_winner = best_origin(origins, states, gindex.index[src])
+        if (
+            status != 200
+            or payload["winner"] != expected_winner
+            or payload["catchment"] != catchment
+            or payload["unreachable"] != unreachable
+        ):
+            violations.append(
+                Violation(
+                    "path-serving/anycast",
+                    world,
+                    f"anycast from {src}: served winner "
+                    f"{payload.get('winner')} != engine "
+                    f"{expected_winner} (or catchment differs)",
+                )
+            )
+            return violations
+
+    # what-if: drop a real link, add a new peering, leak — served diff
+    # must equal a from-scratch recompute on the mutated graph
+    links = []
+    for a_id, b_id, code, _flag in snapshot._links():
+        a, b = asns[a_id], asns[b_id]
+        links.append((a, b, Relationship(code), snapshot.provider_of(a, b)))
+    drop_a, drop_b = links[len(links) // 2][0], links[len(links) // 2][1]
+    new_pair = None
+    for a in srcs:
+        for b in reversed(srcs):
+            if a != b and snapshot.relationship(a, b) is None:
+                new_pair = (a, b)
+                break
+        if new_pair:
+            break
+    leaker = srcs[len(srcs) // 2]
+    dst = dsts[-1]
+    ops = [{"op": "drop_link", "a": drop_a, "b": drop_b},
+           {"op": "leak", "asn": leaker}]
+    if new_pair:
+        ops.append(
+            {"op": "add_peering", "a": new_pair[0], "b": new_pair[1]}
+        )
+    status, payload, _route, _c = api.handle(
+        "POST", "/what-if", {},
+        json.dumps({"dst": dst, "ops": ops}).encode(),
+    )
+    if status != 200:
+        violations.append(
+            Violation(
+                "path-serving/what-if",
+                world,
+                f"what-if returned {status}: {payload}",
+            )
+        )
+        return violations
+
+    p2c = []
+    p2p = []
+    for a, b, rel, provider in links:
+        if {a, b} == {drop_a, drop_b}:
+            continue
+        if rel is Relationship.P2C:
+            p2c.append((provider, b if provider == a else a))
+        else:  # p2p and s2s both route as peering
+            p2p.append((a, b))
+    if new_pair:
+        p2p.append(new_pair)
+    ref_gindex = GraphIndex(rel=RelGraph.from_links(asns, p2c, p2p))
+    ref_state = propagate_origin(ref_gindex, dst, leakers={leaker})
+
+    baseline = tables[dst]
+    changed = unchanged = newly_unreachable = newly_reachable = 0
+    expected_paths = {}
+    for asn in asns:
+        i = gindex.index[asn]
+        ref_i = ref_gindex.index[asn]
+        before = baseline.path_from(gindex, i)
+        after = ref_state.path_from(ref_gindex, ref_i)
+        expected_paths[asn] = (before, after)
+        # the served diff also counts route-class-only changes
+        if before == after and int(baseline.cls[i]) == int(ref_state.cls[ref_i]):
+            unchanged += 1
+            continue
+        changed += 1
+        if after is None:
+            newly_unreachable += 1
+        elif before is None:
+            newly_reachable += 1
+    served_counts = (
+        payload["changed"], payload["unchanged"],
+        payload["newly_unreachable"], payload["newly_reachable"],
+    )
+    if served_counts != (
+        changed, unchanged, newly_unreachable, newly_reachable
+    ):
+        violations.append(
+            Violation(
+                "path-serving/what-if",
+                world,
+                f"what-if diff counts {served_counts} != recompute "
+                f"{(changed, unchanged, newly_unreachable, newly_reachable)}",
+            )
+        )
+        return violations
+    for example in payload["examples"]:
+        before, after = expected_paths[example["src"]]
+        if (
+            example["before"] != (None if before is None else list(before))
+            or example["after"] != (None if after is None else list(after))
+        ):
+            violations.append(
+                Violation(
+                    "path-serving/what-if",
+                    world,
+                    f"what-if example for AS{example['src']} disagrees "
+                    f"with the from-scratch recompute",
                 )
             )
             break

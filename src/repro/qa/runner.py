@@ -1,7 +1,7 @@
 """The QA sweep driver: worlds → invariants → shrink → repro files.
 
 ``run_qa`` is what ``repro-asrank qa --seeds N`` executes.  Every world
-runs all seven invariant families; the corpus-level families (1–3) are
+runs all eight invariant families; the corpus-level families (1–3) are
 shrunk on failure and the minimal corpus is written under
 ``benchmarks/repros/`` together with a one-line replay command, so a
 red sweep is immediately actionable.
@@ -24,6 +24,7 @@ from repro.qa.invariants import (
     check_cones,
     check_differential,
     check_hierarchy,
+    check_path_serving,
     check_propagation,
     check_round_trips,
     check_serving,
@@ -174,7 +175,7 @@ def run_qa(
                     if repro:
                         report.repros.append(repro)
                 else:
-                    # families 4–7 ride on a healthy inference result
+                    # families 4–8 ride on a healthy inference result
                     result = infer_relationships(world.paths)
                     with perf.stage("qa-round-trips"):
                         world_violations.extend(
@@ -193,6 +194,11 @@ def run_qa(
                                 os.path.join(scratch, f"world{seed}"),
                                 label,
                             )
+                        )
+                    report.checks += 1
+                    with perf.stage("qa-path-serving"):
+                        world_violations.extend(
+                            check_path_serving(result, label)
                         )
                     report.checks += 1
                     if (

@@ -6,11 +6,19 @@ artifact shape — a service.  ``Snapshot`` compiles a facade result (or
 CAIDA-format files) into an immutable, versioned, query-optimized
 blob; ``SnapshotStore`` persists it to a single checksummed file and
 hot-swaps versions atomically; ``SnapshotServer`` serves it over a
-dependency-free asyncio HTTP/JSON API; ``loadgen`` measures it.
+dependency-free asyncio HTTP/JSON API; ``PathEngine`` answers path
+prediction and what-if scenario queries from cached batched-engine
+route tables; ``loadgen`` measures it all.
 """
 
 from repro.serve.snapshot import Snapshot, SnapshotFormatError
 from repro.serve.store import SnapshotStore, load_snapshot, save_snapshot
+from repro.serve.prediction import (
+    PathEngine,
+    Scenario,
+    ScenarioError,
+    apply_scenario,
+)
 from repro.serve.server import SnapshotServer, ServerThread
 from repro.serve.loadgen import LoadGenConfig, LoadReport, run_loadgen
 
@@ -20,6 +28,10 @@ __all__ = [
     "SnapshotStore",
     "load_snapshot",
     "save_snapshot",
+    "PathEngine",
+    "Scenario",
+    "ScenarioError",
+    "apply_scenario",
     "SnapshotServer",
     "ServerThread",
     "LoadGenConfig",

@@ -12,6 +12,8 @@ Routes (all JSON)::
     GET  /asns/{asn}/cone?definition=    cone membership (paginated)
     GET  /links/{a}/{b}                  relationship + provider
     GET  /ranks?page=&per_page=          the rank table, paginated
+    GET  /paths/{src}/{dst}              policy path (``?origins=`` anycast)
+    POST /what-if                        scenario query diffed vs baseline
     GET  /snapshot                       version + metadata + stats
     GET  /healthz                        liveness
     GET  /metrics                        perf counters, latencies, cache
@@ -24,6 +26,13 @@ import json
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import perf
+from repro.serve.prediction import (
+    CLASS_NAMES,
+    PathEngine,
+    Scenario,
+    ScenarioError,
+    best_origin,
+)
 from repro.serve.snapshot import (
     Snapshot,
     SnapshotFormatError,
@@ -36,6 +45,16 @@ HandlerResult = Tuple[int, object, str, bool]
 
 MAX_PER_PAGE = 1000
 DEFAULT_PER_PAGE = 50
+#: cap on one anycast origin set — bounds the propagation work and the
+#: catchment scan a single GET can demand
+MAX_ORIGINS = 16
+#: per-bucket example paths included in a what-if diff payload
+MAX_EXAMPLES = 10
+
+#: first path segments owned by GET — a POST here is 405, not 404
+_GET_ROUTE_HEADS = frozenset(
+    ("asns", "links", "ranks", "paths", "snapshot", "healthz", "metrics")
+)
 
 
 class Api:
@@ -46,10 +65,12 @@ class Api:
         store: SnapshotStore,
         metrics_view: Optional[Callable[[], Dict[str, object]]] = None,
         allow_admin: bool = True,
+        engine: Optional[PathEngine] = None,
     ):
         self.store = store
         self._metrics_view = metrics_view
         self.allow_admin = allow_admin
+        self.engine = engine if engine is not None else PathEngine()
 
     # ------------------------------------------------------------------
     # dispatch
@@ -94,14 +115,23 @@ class Api:
                     return self._cone(snapshot, parts[1], query)
                 if len(parts) == 3 and parts[0] == "links":
                     return self._link(snapshot, parts[1], parts[2])
+                if len(parts) == 3 and parts[0] == "paths":
+                    return self._paths(
+                        snapshot, parts[1], parts[2], query
+                    )
             elif method == "POST":
                 if parts == ["admin", "reload"]:
                     return self._reload(body)
-                if parts[:1] in (["asns"], ["links"], ["ranks"]):
+                if parts == ["what-if"]:
+                    return self._what_if(snapshot, body)
+                if parts and parts[0] in _GET_ROUTE_HEADS:
+                    # an existing GET-only route: wrong method, not 404
                     return 405, _error("method not allowed"), "error", False
             else:
                 return 405, _error("method not allowed"), "error", False
         except _BadRequest as exc:
+            return 400, _error(str(exc)), "error", False
+        except ScenarioError as exc:
             return 400, _error(str(exc)), "error", False
         return 404, _error(f"no route for {path}"), "error", False
 
@@ -188,6 +218,190 @@ class Api:
         }
         return 200, payload, "link", True
 
+    def _paths(
+        self,
+        snapshot: Snapshot,
+        raw_src: str,
+        raw_dst: str,
+        query: Dict[str, str],
+    ) -> HandlerResult:
+        src, dst = _parse_asn(raw_src), _parse_asn(raw_dst)
+        for asn in (src, dst):
+            if asn not in snapshot:
+                return (
+                    404, _error(f"AS{asn} not in snapshot"), "paths", True
+                )
+        origins_raw = query.get("origins")
+        if origins_raw is not None:
+            return self._anycast(snapshot, src, dst, origins_raw)
+        gindex, state = self.engine.table(snapshot, dst)
+        payload = _path_payload(gindex, state, src)
+        payload.update(
+            {"src": src, "dst": dst, "snapshot": snapshot.version}
+        )
+        return 200, payload, "paths", True
+
+    def _anycast(
+        self, snapshot: Snapshot, src: int, dst: int, origins_raw: str
+    ) -> HandlerResult:
+        extra = [
+            _parse_asn(token)
+            for token in origins_raw.split(",")
+            if token.strip()
+        ]
+        if not extra:
+            raise _BadRequest("origins must be comma-separated ASNs")
+        origins = sorted({dst, *extra})
+        if len(origins) > MAX_ORIGINS:
+            raise _BadRequest(
+                f"anycast sets are capped at {MAX_ORIGINS} origins"
+            )
+        for asn in origins:
+            if asn not in snapshot:
+                return (
+                    404, _error(f"AS{asn} not in snapshot"), "paths", True
+                )
+        gindex, states = self.engine.tables(snapshot, origins)
+        winner = best_origin(origins, states, gindex.index[src])
+        payload: Dict[str, object] = {
+            "src": src,
+            "dst": dst,
+            "origins": origins,
+            "winner": winner,
+            "snapshot": snapshot.version,
+        }
+        if winner is None:
+            payload.update(
+                {
+                    "reachable": False, "path": None,
+                    "length": None, "route_class": None,
+                }
+            )
+        else:
+            payload.update(
+                _path_payload(
+                    gindex, states[origins.index(winner)], src
+                )
+            )
+        # the catchment: how the whole snapshot splits across origins
+        catchment = {str(asn): 0 for asn in origins}
+        unreachable = 0
+        for i in range(len(gindex)):
+            won = best_origin(origins, states, i)
+            if won is None:
+                unreachable += 1
+            else:
+                catchment[str(won)] += 1
+        payload["catchment"] = catchment
+        payload["unreachable"] = unreachable
+        return 200, payload, "paths", True
+
+    def _what_if(self, snapshot: Snapshot, body: bytes) -> HandlerResult:
+        try:
+            parsed = json.loads(body) if body else None
+        except ValueError:
+            raise _BadRequest("what-if body must be JSON") from None
+        if not isinstance(parsed, dict):
+            raise _BadRequest("what-if body must be a JSON object")
+        unknown = set(parsed) - {"dst", "ops", "srcs", "sample"}
+        if unknown:
+            raise _BadRequest(
+                f"unknown what-if fields: {sorted(unknown)}"
+            )
+        dst = parsed.get("dst")
+        if isinstance(dst, bool) or not isinstance(dst, int):
+            raise _BadRequest("what-if 'dst' must be an integer ASN")
+        scenario = Scenario.parse(parsed.get("ops", []))
+        if not scenario:
+            raise _BadRequest("what-if needs at least one op")
+        if dst not in snapshot:
+            return 404, _error(f"AS{dst} not in snapshot"), "whatif", False
+        src_asns = self._what_if_sources(snapshot, parsed)
+        if isinstance(src_asns, tuple):  # an early HandlerResult
+            return src_asns
+        base_gindex, base = self.engine.table(snapshot, dst)
+        scen_gindex, scen = self.engine.table(snapshot, dst, scenario)
+        # both graphs share the snapshot's frozen index, so one id space
+        ids = base_gindex.index
+        changed = unchanged = newly_unreachable = newly_reachable = 0
+        examples: List[Dict[str, object]] = []
+        for asn in src_asns:
+            i = ids[asn]
+            before = base.path_from(base_gindex, i)
+            after = scen.path_from(scen_gindex, i)
+            before_cls = int(base.cls[i])
+            after_cls = int(scen.cls[i])
+            # a relationship flip can keep the path but change what the
+            # source pays for it, so the route class is part of the diff
+            if before == after and before_cls == after_cls:
+                unchanged += 1
+                continue
+            changed += 1
+            if after is None:
+                newly_unreachable += 1
+            elif before is None:
+                newly_reachable += 1
+            if len(examples) < MAX_EXAMPLES:
+                examples.append(
+                    {
+                        "src": asn,
+                        "before": None if before is None else list(before),
+                        "after": None if after is None else list(after),
+                        "before_class": CLASS_NAMES.get(before_cls),
+                        "after_class": CLASS_NAMES.get(after_cls),
+                    }
+                )
+        payload = {
+            "dst": dst,
+            "scenario": scenario.key,
+            "ops": [dict(op) for op in scenario.ops],
+            "sources": len(src_asns),
+            "changed": changed,
+            "unchanged": unchanged,
+            "newly_unreachable": newly_unreachable,
+            "newly_reachable": newly_reachable,
+            "examples": examples,
+            "snapshot": snapshot.version,
+        }
+        return 200, payload, "whatif", False
+
+    def _what_if_sources(self, snapshot: Snapshot, parsed: Dict[str, object]):
+        """The source ASes a what-if diffs over.
+
+        Explicit ``srcs`` win; otherwise every AS, optionally thinned
+        to a deterministic evenly-spaced ``sample``.  Returns a list of
+        ASNs, or a full :data:`HandlerResult` tuple for a 404.
+        """
+        srcs = parsed.get("srcs")
+        if srcs is not None:
+            if not isinstance(srcs, list) or not srcs or not all(
+                isinstance(s, int) and not isinstance(s, bool)
+                for s in srcs
+            ):
+                raise _BadRequest(
+                    "what-if 'srcs' must be a non-empty list of ASNs"
+                )
+            for asn in srcs:
+                if asn not in snapshot:
+                    return (
+                        404,
+                        _error(f"AS{asn} not in snapshot"),
+                        "whatif",
+                        False,
+                    )
+            return sorted(set(srcs))
+        src_asns = snapshot.asns
+        sample = parsed.get("sample")
+        if sample is None:
+            return src_asns
+        if isinstance(sample, bool) or not isinstance(sample, int) \
+                or sample < 1:
+            raise _BadRequest("what-if 'sample' must be a positive integer")
+        if sample >= len(src_asns):
+            return src_asns
+        step = len(src_asns) / sample
+        return [src_asns[int(k * step)] for k in range(sample)]
+
     def _ranks(
         self, snapshot: Snapshot, query: Dict[str, str]
     ) -> HandlerResult:
@@ -236,6 +450,7 @@ class Api:
         out: Dict[str, object] = {
             "reloads": self.store.reloads,
             "perf": perf.snapshot(),
+            "paths": self.engine.stats(),
         }
         if self._metrics_view is not None:
             out.update(self._metrics_view())
@@ -253,6 +468,8 @@ class Api:
             if not isinstance(parsed, dict):
                 raise _BadRequest("reload body must be a JSON object")
             path = parsed.get("path")
+            if path is not None and not isinstance(path, str):
+                raise _BadRequest("reload 'path' must be a string")
         try:
             fresh = self.store.reload(path)
         except (SnapshotFormatError, OSError) as exc:
@@ -279,6 +496,25 @@ def _error(message: str) -> Dict[str, str]:
     return {"error": message}
 
 
+def _path_payload(gindex, state, src: int) -> Dict[str, object]:
+    """The path fields of a ``/paths`` response for one source AS."""
+    i = gindex.index[src]
+    path = state.path_from(gindex, i)
+    if path is None:
+        return {
+            "reachable": False,
+            "path": None,
+            "length": None,
+            "route_class": None,
+        }
+    return {
+        "reachable": True,
+        "path": [int(asn) for asn in path],
+        "length": len(path) - 1,
+        "route_class": CLASS_NAMES[int(state.cls[i])],
+    }
+
+
 def _parse_asn(raw: str) -> int:
     try:
         asn = int(raw)
@@ -294,7 +530,13 @@ def _pagination(
 ) -> Tuple[int, Optional[int]]:
     page_raw = query.get("page")
     per_raw = query.get("per_page")
-    if page_raw is None and per_raw is None and default_per_page is None:
+    if per_raw is None and default_per_page is None:
+        if page_raw is not None:
+            # unpaginated by default: a bare ?page= would silently
+            # truncate to DEFAULT_PER_PAGE — make the caller say how big
+            raise _BadRequest(
+                "page requires per_page on this endpoint"
+            )
         return 1, None
     try:
         page = int(page_raw) if page_raw is not None else 1

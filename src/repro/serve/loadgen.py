@@ -23,7 +23,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-#: (route label, weight); targets are formatted per draw
+#: (route label, weight); targets are formatted per draw.  This default
+#: mix is part of the committed throughput baselines — path/what-if
+#: traffic joins only via the opt-in weights on :class:`LoadGenConfig`,
+#: so the seeded default schedule never changes under them
 _MIX: Tuple[Tuple[str, int], ...] = (
     ("asn", 35),
     ("cone", 25),
@@ -54,6 +57,10 @@ class LoadGenConfig:
     timeout: float = 10.0
     #: cap on ASNs sampled from /ranks to build the target population
     population: int = 500
+    #: extra mix weight for GET /paths queries (0 = off, the default)
+    paths_weight: int = 0
+    #: extra mix weight for POST /what-if queries (0 = off, the default)
+    what_if_weight: int = 0
 
 
 @dataclass
@@ -114,12 +121,17 @@ async def _request(
     target: str,
     host: str,
     timeout: float,
+    method: str = "GET",
+    body: bytes = b"",
 ) -> Tuple[int, bytes]:
-    """One GET on a persistent connection; returns (status, body)."""
-    writer.write(
-        f"GET {target} HTTP/1.1\r\nHost: {host}\r\n"
-        f"Connection: keep-alive\r\n\r\n".encode()
+    """One request on a persistent connection; returns (status, body)."""
+    head = (
+        f"{method} {target} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Connection: keep-alive\r\n"
     )
+    if body:
+        head += f"Content-Length: {len(body)}\r\n"
+    writer.write(head.encode() + b"\r\n" + body)
     await writer.drain()
     head = await asyncio.wait_for(
         reader.readuntil(b"\r\n\r\n"), timeout=timeout
@@ -139,22 +151,43 @@ async def _request(
     return status, body
 
 
+#: one schedule entry: (route label, method, target, request body)
+_Planned = Tuple[str, str, str, bytes]
+
+
+def _mix_for(config: "LoadGenConfig") -> Tuple[Tuple[str, int], ...]:
+    """The request mix, extended by the opt-in path/what-if weights."""
+    mix = list(_MIX)
+    if config.paths_weight > 0:
+        mix.append(("paths", config.paths_weight))
+    if config.what_if_weight > 0:
+        mix.append(("whatif", config.what_if_weight))
+    return tuple(mix)
+
+
 def _build_targets(
-    rng: random.Random, asns: Sequence[int], count: int
-) -> List[Tuple[str, str]]:
-    """Pre-draw the whole request schedule as (route, target) pairs."""
-    routes = [route for route, _w in _MIX]
-    weights = [weight for _r, weight in _MIX]
+    rng: random.Random,
+    asns: Sequence[int],
+    count: int,
+    mix: Tuple[Tuple[str, int], ...] = _MIX,
+) -> List[_Planned]:
+    """Pre-draw the whole request schedule."""
+    routes = [route for route, _w in mix]
+    weights = [weight for _r, weight in mix]
     population = list(asns) or [0]
-    targets: List[Tuple[str, str]] = []
+
+    def get(route: str, target: str) -> _Planned:
+        return route, "GET", target, b""
+
+    targets: List[_Planned] = []
     for _ in range(count):
         route = rng.choices(routes, weights)[0]
         if route == "asn":
-            targets.append((route, f"/asns/{rng.choice(population)}"))
+            targets.append(get(route, f"/asns/{rng.choice(population)}"))
         elif route == "cone":
             definition = rng.choice(_DEFINITIONS)
             targets.append(
-                (
+                get(
                     route,
                     f"/asns/{rng.choice(population)}/cone"
                     f"?definition={definition}",
@@ -162,15 +195,36 @@ def _build_targets(
             )
         elif route == "link":
             a, b = rng.choice(population), rng.choice(population)
-            targets.append((route, f"/links/{a}/{b}"))
+            targets.append(get(route, f"/links/{a}/{b}"))
         elif route == "ranks":
             targets.append(
-                (route, f"/ranks?page={rng.randint(1, 4)}&per_page=50")
+                get(route, f"/ranks?page={rng.randint(1, 4)}&per_page=50")
             )
         elif route == "snapshot":
-            targets.append((route, "/snapshot"))
+            targets.append(get(route, "/snapshot"))
+        elif route == "paths":
+            src, dst = rng.choice(population), rng.choice(population)
+            target = f"/paths/{src}/{dst}"
+            if rng.random() < 0.25:  # some draws exercise anycast sets
+                extra = rng.sample(population, min(2, len(population)))
+                target += "?origins=" + ",".join(str(a) for a in extra)
+            targets.append(get(route, target))
+        elif route == "whatif":
+            # a leak scenario validates on any in-snapshot AS, so the
+            # drawn body never depends on which links exist
+            body = json.dumps(
+                {
+                    "dst": rng.choice(population),
+                    "ops": [
+                        {"op": "leak", "asn": rng.choice(population)}
+                    ],
+                    "sample": 50,
+                },
+                sort_keys=True,
+            ).encode()
+            targets.append((route, "POST", "/what-if", body))
         else:
-            targets.append((route, "/healthz"))
+            targets.append(get(route, "/healthz"))
     return targets
 
 
@@ -206,7 +260,7 @@ async def _discover_population(
 
 async def _worker(
     config: LoadGenConfig,
-    schedule: List[Tuple[str, str]],
+    schedule: List[_Planned],
     cursor: List[int],
     report: LoadReport,
 ) -> None:
@@ -217,11 +271,12 @@ async def _worker(
             if index >= len(schedule):
                 return
             cursor[0] = index + 1
-            route, target = schedule[index]
+            route, method, target, body = schedule[index]
             start = time.perf_counter()
             try:
                 status, _body = await _request(
-                    reader, writer, target, config.host, config.timeout
+                    reader, writer, target, config.host, config.timeout,
+                    method=method, body=body,
                 )
             except (
                 asyncio.TimeoutError,
@@ -260,7 +315,7 @@ async def run_loadgen_async(
     if asns is None:
         asns = await _discover_population(config)
     rng = random.Random(config.seed)
-    schedule = _build_targets(rng, asns, config.requests)
+    schedule = _build_targets(rng, asns, config.requests, _mix_for(config))
     report = LoadReport(connections=config.connections)
     cursor = [0]
     start = time.perf_counter()

@@ -1,0 +1,422 @@
+"""Path prediction and what-if scenarios over served snapshots.
+
+The serving tier answers "what AS path does BGP pick from A to B"
+straight from the inferred graph: a :class:`Snapshot`'s link rows
+compile into its frozen :class:`~repro.graph.relgraph.RelGraph`
+routing view, and per-origin route tables are computed through the
+batched Gao–Rexford engine (:func:`propagate_batch`) — never a serial
+sweep per request.
+
+Two pieces live here:
+
+* :class:`Scenario` — a parsed, canonicalized what-if description: a
+  list of JSON operations (drop a link, add a peering or transit edge,
+  flip a relationship, leak from an AS, poison an AS) hashed into a
+  stable 12-hex ``key``.  :func:`apply_scenario` replays the graph
+  operations over a copy of the snapshot's adjacency, on the *same*
+  frozen index — so baseline and scenario route tables stay aligned
+  by dense id and diff cheaply.
+* :class:`PathEngine` — the bounded, thread-safe cache in front of the
+  engine: compiled graphs keyed ``(snapshot version, scenario key)``
+  and route tables keyed ``(version, scenario key, origin ASN)``, both
+  LRU.  A warm path query is two dict hits and one next-hop walk; only
+  cold ``(version, scenario, origin)`` triples pay for propagation.
+
+Scenario semantics, for the record: a ``leak`` op makes the AS violate
+export policy (its peer/provider routes are re-announced upward — the
+engine's :func:`_leak_pass`); ``poison`` removes every edge of the AS,
+modeling an announcement the AS filters out of existence — it holds no
+route and nothing routes through it.  Both are part of the scenario
+hash even though ``leak`` never touches the graph.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict, deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bgp.propagation import (
+    CLS_CUSTOMER,
+    CLS_ORIGIN,
+    CLS_PEER,
+    CLS_PROVIDER,
+    NO_ROUTE,
+    GraphIndex,
+    RouteState,
+    propagate_batch,
+)
+from repro.graph.relgraph import RelGraph
+
+#: JSON spellings of the route classes, for path payloads
+CLASS_NAMES = {
+    CLS_ORIGIN: "origin",
+    CLS_CUSTOMER: "customer",
+    CLS_PEER: "peer",
+    CLS_PROVIDER: "provider",
+}
+
+#: hard cap on operations per scenario — bounds both the request body
+#: and the graph-mutation work a single query can demand
+MAX_OPS = 64
+
+
+class ScenarioError(ValueError):
+    """A structurally or semantically invalid what-if scenario (400)."""
+
+
+def _asn_value(op: Dict[str, object], field: str, kind: str) -> int:
+    value = op.get(field)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(f"{kind}: {field!r} must be an integer ASN")
+    if not 0 <= value < 2**32:
+        raise ScenarioError(f"{kind}: {field!r} out of ASN range")
+    return value
+
+
+def _parse_op(raw: object, position: int) -> Dict[str, object]:
+    """Validate one raw op and return its canonical form."""
+    if not isinstance(raw, dict):
+        raise ScenarioError(f"ops[{position}] is not an object")
+    kind = raw.get("op")
+    if kind in ("drop_link", "add_peering"):
+        a, b = _asn_value(raw, "a", kind), _asn_value(raw, "b", kind)
+        if a == b:
+            raise ScenarioError(f"{kind}: endpoints are the same AS")
+        lo, hi = (a, b) if a <= b else (b, a)
+        return {"op": kind, "a": lo, "b": hi}
+    if kind == "add_transit":
+        provider = _asn_value(raw, "provider", kind)
+        customer = _asn_value(raw, "customer", kind)
+        if provider == customer:
+            raise ScenarioError("add_transit: provider equals customer")
+        return {"op": kind, "provider": provider, "customer": customer}
+    if kind == "set_relationship":
+        a, b = _asn_value(raw, "a", kind), _asn_value(raw, "b", kind)
+        if a == b:
+            raise ScenarioError("set_relationship: endpoints are the same AS")
+        lo, hi = (a, b) if a <= b else (b, a)
+        relationship = raw.get("relationship")
+        if relationship == "p2p":
+            return {"op": kind, "a": lo, "b": hi, "relationship": "p2p"}
+        if relationship == "p2c":
+            provider = _asn_value(raw, "provider", kind)
+            if provider not in (a, b):
+                raise ScenarioError(
+                    "set_relationship: provider must be one of the endpoints"
+                )
+            return {
+                "op": kind, "a": lo, "b": hi,
+                "relationship": "p2c", "provider": provider,
+            }
+        raise ScenarioError(
+            "set_relationship: relationship must be 'p2p' or 'p2c'"
+        )
+    if kind in ("leak", "poison"):
+        return {"op": kind, "asn": _asn_value(raw, "asn", kind)}
+    raise ScenarioError(f"ops[{position}]: unknown op {kind!r}")
+
+
+class Scenario:
+    """A canonicalized what-if scenario with a content-derived key.
+
+    ``key`` is the first 12 hex digits of the sha256 over the canonical
+    ops JSON — the same ops in any input spelling hash identically, so
+    cache entries are shared across equivalent requests.  The empty
+    scenario has key ``""`` and is the baseline.
+    """
+
+    __slots__ = ("ops", "key", "leakers")
+
+    def __init__(self, ops: Sequence[Dict[str, object]] = ()):
+        self.ops: Tuple[Dict[str, object], ...] = tuple(ops)
+        self.leakers = frozenset(
+            op["asn"] for op in self.ops if op["op"] == "leak"
+        )
+        if self.ops:
+            blob = json.dumps(
+                list(self.ops), sort_keys=True, separators=(",", ":")
+            )
+            self.key = hashlib.sha256(blob.encode()).hexdigest()[:12]
+        else:
+            self.key = ""
+
+    @classmethod
+    def parse(cls, raw: object) -> "Scenario":
+        """Parse the ``ops`` value of a what-if request body."""
+        if not isinstance(raw, list):
+            raise ScenarioError("ops must be a list of operation objects")
+        if len(raw) > MAX_OPS:
+            raise ScenarioError(f"scenario exceeds {MAX_OPS} operations")
+        return cls([_parse_op(op, i) for i, op in enumerate(raw)])
+
+    def __bool__(self) -> bool:
+        return bool(self.ops)
+
+
+def apply_scenario(snapshot, scenario: Scenario) -> RelGraph:
+    """Replay a scenario's graph operations over a snapshot.
+
+    Returns a fresh :class:`RelGraph` on the snapshot's own frozen
+    index (the id space never changes — scenarios mutate edges, not
+    membership), leaving the snapshot's baseline graph untouched.
+    Raises :class:`ScenarioError` on unknown ASes, missing links,
+    duplicate links, or a transit edge that would close a provider
+    cycle.
+    """
+    base = snapshot.rel_graph()
+    ids = base.index.ids
+    providers = [list(row) for row in base.providers]
+    customers = [list(row) for row in base.customers]
+    peers = [list(row) for row in base.peers]
+
+    def asn_id(op: Dict[str, object], field: str) -> int:
+        value = op[field]
+        i = ids.get(value)
+        if i is None:
+            raise ScenarioError(f"{op['op']}: AS {value} not in snapshot")
+        return i
+
+    def linked(a_id: int, b_id: int) -> bool:
+        return (
+            b_id in providers[a_id]
+            or b_id in customers[a_id]
+            or b_id in peers[a_id]
+        )
+
+    def unlink(a_id: int, b_id: int) -> bool:
+        removed = False
+        for rows_a, rows_b in (
+            (providers, customers),
+            (customers, providers),
+            (peers, peers),
+        ):
+            if b_id in rows_a[a_id]:
+                rows_a[a_id].remove(b_id)
+                rows_b[b_id].remove(a_id)
+                removed = True
+        return removed
+
+    def creates_cycle(prov_id: int, cust_id: int) -> bool:
+        # the edge closes a provider cycle iff the provider is already
+        # in the customer's cone (reachable over customer edges)
+        queue = deque([cust_id])
+        seen = {cust_id}
+        while queue:
+            node = queue.popleft()
+            if node == prov_id:
+                return True
+            for nxt in customers[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return False
+
+    def add_p2c(op: Dict[str, object], prov_id: int, cust_id: int) -> None:
+        if creates_cycle(prov_id, cust_id):
+            raise ScenarioError(
+                f"{op['op']}: provider {base.index.asns[prov_id]} over "
+                f"customer {base.index.asns[cust_id]} would close a "
+                f"provider cycle"
+            )
+        customers[prov_id].append(cust_id)
+        providers[cust_id].append(prov_id)
+
+    for op in scenario.ops:
+        kind = op["op"]
+        if kind == "leak":
+            asn_id(op, "asn")  # validated only; leaks don't touch edges
+        elif kind == "poison":
+            i = asn_id(op, "asn")
+            for neighbor in providers[i]:
+                customers[neighbor].remove(i)
+            for neighbor in customers[i]:
+                providers[neighbor].remove(i)
+            for neighbor in peers[i]:
+                peers[neighbor].remove(i)
+            providers[i], customers[i], peers[i] = [], [], []
+        elif kind == "drop_link":
+            a_id, b_id = asn_id(op, "a"), asn_id(op, "b")
+            if not unlink(a_id, b_id):
+                raise ScenarioError(
+                    f"drop_link: no link between {op['a']} and {op['b']}"
+                )
+        elif kind == "add_peering":
+            a_id, b_id = asn_id(op, "a"), asn_id(op, "b")
+            if linked(a_id, b_id):
+                raise ScenarioError(
+                    f"add_peering: {op['a']} and {op['b']} are already "
+                    f"linked; use set_relationship"
+                )
+            peers[a_id].append(b_id)
+            peers[b_id].append(a_id)
+        elif kind == "add_transit":
+            prov_id = asn_id(op, "provider")
+            cust_id = asn_id(op, "customer")
+            if linked(prov_id, cust_id):
+                raise ScenarioError(
+                    f"add_transit: {op['provider']} and {op['customer']} "
+                    f"are already linked; use set_relationship"
+                )
+            add_p2c(op, prov_id, cust_id)
+        elif kind == "set_relationship":
+            a_id, b_id = asn_id(op, "a"), asn_id(op, "b")
+            if not unlink(a_id, b_id):
+                raise ScenarioError(
+                    f"set_relationship: no link between {op['a']} "
+                    f"and {op['b']}"
+                )
+            if op["relationship"] == "p2p":
+                peers[a_id].append(b_id)
+                peers[b_id].append(a_id)
+            else:
+                prov_id = ids[op["provider"]]
+                cust_id = b_id if prov_id == a_id else a_id
+                add_p2c(op, prov_id, cust_id)
+
+    for rows in (providers, customers, peers):
+        for row in rows:
+            row.sort()
+    return RelGraph(base.index, providers, customers, peers)
+
+
+def best_origin(
+    origins: Sequence[int], states: Sequence[RouteState], i: int
+) -> Optional[int]:
+    """Winning anycast origin at dense id ``i``, or ``None``.
+
+    BGP's preference order decides the catchment: route class
+    (origin > customer > peer > provider), then path length, then the
+    lowest origin ASN — the same total order route selection applies
+    to individual announcements.
+    """
+    best_key = None
+    winner = None
+    for asn, state in zip(origins, states):
+        cls = state.cls[i]
+        if cls == NO_ROUTE:
+            continue
+        key = (cls, state.pathlen[i], asn)
+        if best_key is None or key < best_key:
+            best_key = key
+            winner = asn
+    return winner
+
+
+class PathEngine:
+    """Bounded thread-safe cache of compiled graphs and route tables.
+
+    One engine fronts one server: handlers ask it for route tables and
+    it answers from cache or computes via :func:`propagate_batch` over
+    the snapshot's RelGraph.  Keys carry the snapshot version, so a hot
+    reload naturally cold-starts the new version while old entries age
+    out of the LRU — no explicit invalidation.
+    """
+
+    def __init__(self, max_graphs: int = 8, max_tables: int = 512):
+        self._graphs: "OrderedDict[Tuple[str, str], GraphIndex]" = (
+            OrderedDict()
+        )
+        self._tables: "OrderedDict[Tuple[str, str, int], RouteState]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._max_graphs = max_graphs
+        self._max_tables = max_tables
+        self.graph_hits = 0
+        self.graph_misses = 0
+        self.table_hits = 0
+        self.table_misses = 0
+
+    def graph_index(
+        self, snapshot, scenario: Optional[Scenario] = None
+    ) -> GraphIndex:
+        """The (possibly scenario-mutated) propagation view, cached."""
+        key = (snapshot.version, scenario.key if scenario else "")
+        with self._lock:
+            cached = self._graphs.get(key)
+            if cached is not None:
+                self._graphs.move_to_end(key)
+                self.graph_hits += 1
+                return cached
+            self.graph_misses += 1
+        # compute outside the lock: results are deterministic, so a
+        # concurrent duplicate compute is wasted work, never a wrong one
+        if scenario is None or not scenario.ops:
+            rel = snapshot.rel_graph()
+        else:
+            rel = apply_scenario(snapshot, scenario)
+        gindex = GraphIndex(rel=rel)
+        with self._lock:
+            self._graphs[key] = gindex
+            self._graphs.move_to_end(key)
+            while len(self._graphs) > self._max_graphs:
+                self._graphs.popitem(last=False)
+        return gindex
+
+    def tables(
+        self,
+        snapshot,
+        origins: Sequence[int],
+        scenario: Optional[Scenario] = None,
+    ) -> Tuple[GraphIndex, List[RouteState]]:
+        """Route tables for ``origins``, aligned with the input order.
+
+        Cache misses propagate together in one batched call; every
+        origin of an anycast set or a cold what-if pays one shared
+        sweep, not one sweep each.
+        """
+        gindex = self.graph_index(snapshot, scenario)
+        skey = scenario.key if scenario else ""
+        leakers = scenario.leakers if scenario else frozenset()
+        have: Dict[int, RouteState] = {}
+        missing: List[int] = []
+        with self._lock:
+            for asn in origins:
+                if asn in have or asn in missing:
+                    continue
+                key = (snapshot.version, skey, asn)
+                state = self._tables.get(key)
+                if state is not None:
+                    self._tables.move_to_end(key)
+                    self.table_hits += 1
+                    have[asn] = state
+                else:
+                    self.table_misses += 1
+                    missing.append(asn)
+        if missing:
+            leak_map = (
+                {asn: set(leakers) for asn in missing} if leakers else None
+            )
+            states = propagate_batch(gindex, missing, leak_map)
+            with self._lock:
+                for asn, state in zip(missing, states):
+                    have[asn] = state
+                    self._tables[(snapshot.version, skey, asn)] = state
+                    self._tables.move_to_end(
+                        (snapshot.version, skey, asn)
+                    )
+                while len(self._tables) > self._max_tables:
+                    self._tables.popitem(last=False)
+        return gindex, [have[asn] for asn in origins]
+
+    def table(
+        self, snapshot, origin: int, scenario: Optional[Scenario] = None
+    ) -> Tuple[GraphIndex, RouteState]:
+        """One origin's route table (the ``GET /paths`` hot path)."""
+        gindex, states = self.tables(snapshot, [origin], scenario)
+        return gindex, states[0]
+
+    def stats(self) -> Dict[str, int]:
+        """Cache occupancy and hit counters, for ``/metrics``."""
+        with self._lock:
+            return {
+                "graphs": len(self._graphs),
+                "tables": len(self._tables),
+                "graph_hits": self.graph_hits,
+                "graph_misses": self.graph_misses,
+                "table_hits": self.table_hits,
+                "table_misses": self.table_misses,
+            }

@@ -30,6 +30,7 @@ import threading
 import time
 import zlib
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import unquote
 
@@ -160,6 +161,7 @@ class SnapshotServer:
         cache_size: int = 4096,
         allow_admin: bool = True,
         install_sighup: bool = False,
+        compute_workers: int = 2,
     ):
         self.store = store
         self.host = host
@@ -169,6 +171,17 @@ class SnapshotServer:
         self.metrics = Metrics()
         self.api = Api(
             store, metrics_view=self.metrics.view, allow_admin=allow_admin
+        )
+        # path/what-if propagation runs on this bounded pool so a cold
+        # route-table build never stalls the event loop: cached reads
+        # keep flowing while at most ``compute_workers`` queries compute
+        self._pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=max(1, compute_workers),
+                thread_name_prefix="serve-compute",
+            )
+            if compute_workers > 0
+            else None
         )
         # (version, method, target) -> (status, body, etag, route)
         self._cache: "OrderedDict[Tuple[str, str, str], Tuple[int, bytes, bytes, str]]" = OrderedDict()
@@ -217,6 +230,9 @@ class SnapshotServer:
         await self.serve_forever()
 
     async def stop(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -310,9 +326,21 @@ class SnapshotServer:
 
         path, query = _split_target(target)
         try:
-            status, payload, route, cacheable = self.api.handle(
-                method, path, query, body_in
-            )
+            if self._pool is not None and _compute_route(path):
+                status, payload, route, cacheable = (
+                    await asyncio.get_running_loop().run_in_executor(
+                        self._pool,
+                        self.api.handle,
+                        method,
+                        path,
+                        query,
+                        body_in,
+                    )
+                )
+            else:
+                status, payload, route, cacheable = self.api.handle(
+                    method, path, query, body_in
+                )
             body = encode_payload(payload)
         except Exception as exc:  # a handler bug must not kill the server
             status, route, cacheable = 500, "error", False
@@ -368,6 +396,12 @@ def _parse_head(head: bytes) -> Tuple[str, str, bool, int, bytes]:
         elif key == b"if-none-match":
             if_none_match = value.strip()
     return method, target, keep_alive, content_length, if_none_match
+
+
+def _compute_route(path: str) -> bool:
+    """Does this path run propagation (and so belong on the pool)?"""
+    head = path.lstrip("/").split("/", 1)[0]
+    return head in ("paths", "what-if")
 
 
 def _split_target(target: str) -> Tuple[str, Dict[str, str]]:

@@ -109,6 +109,8 @@ class Snapshot:
         self._rank_of: Dict[int, int] = {}
         # lazy section source installed by the store
         self._section_loader: Optional[Callable[[str], bytes]] = None
+        # routing view over the link rows (compiled on first path query)
+        self._rel_graph = None
 
     # ------------------------------------------------------------------
     # construction
@@ -445,6 +447,41 @@ class Snapshot:
     @property
     def definitions(self) -> List[ConeDefinition]:
         return [ConeDefinition(v) for v in self.meta["definitions"]]
+
+    def rel_graph(self):
+        """The snapshot's routing view: a frozen
+        :class:`~repro.graph.relgraph.RelGraph` over the link rows.
+
+        Compiled once per snapshot (cached) on the snapshot's own dense
+        index, so route-table bitsets and CSR arrays built against it
+        stay valid for the snapshot's life.  Sibling (s2s) links merge
+        into the peer adjacency — the same treatment
+        :meth:`RelGraph.from_as_graph` applies for propagation.
+        """
+        if self._rel_graph is None:
+            from repro.graph.relgraph import RelGraph
+
+            n = len(self.asns)
+            providers: List[List[int]] = [[] for _ in range(n)]
+            customers: List[List[int]] = [[] for _ in range(n)]
+            peers: List[List[int]] = [[] for _ in range(n)]
+            p2c = int(Relationship.P2C)
+            for a_id, b_id, code, flag in self._links():
+                if code == p2c:
+                    prov, cust = (
+                        (a_id, b_id) if flag == _PROVIDER_A else (b_id, a_id)
+                    )
+                    customers[prov].append(cust)
+                    providers[cust].append(prov)
+                else:
+                    peers[a_id].append(b_id)
+                    peers[b_id].append(a_id)
+            for rows in (providers, customers, peers):
+                for row in rows:
+                    row.sort()
+            self._rel_graph = RelGraph(self.index, providers, customers,
+                                       peers)
+        return self._rel_graph
 
     # ------------------------------------------------------------------
     # encoding

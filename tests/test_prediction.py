@@ -119,3 +119,82 @@ class TestEndToEndOrdering:
         )
         assert report.reachability > 0.95
         assert report.exact_rate > 0.6
+
+
+class TestBatchedRefactorIdentity:
+    """predict_paths on the batched engine must reproduce the serial
+    ASGraph-based implementation bit for bit."""
+
+    @staticmethod
+    def _serial_report(inference, observations, max_origins=None):
+        # the pre-refactor implementation: mutable ASGraph + one
+        # reference sweep per origin
+        from repro.bgp.propagation import GraphIndex, propagate_origin
+
+        index = GraphIndex(graph_from_inference(inference))
+        by_origin = {}
+        for path in observations:
+            if len(path) < 2:
+                continue
+            vp, origin = path[0], path[-1]
+            if vp not in index.index or origin not in index.index:
+                continue
+            by_origin.setdefault(origin, {}).setdefault(vp, path)
+        report = PredictionReport()
+        origins = sorted(by_origin)
+        if max_origins is not None:
+            origins = origins[:max_origins]
+        for origin in origins:
+            state = propagate_origin(index, origin)
+            for vp, observed in sorted(by_origin[origin].items()):
+                predicted = state.path_from(index, index.index[vp])
+                report.compared += 1
+                if predicted is None:
+                    report.unreachable += 1
+                    continue
+                if predicted == observed:
+                    report.exact += 1
+                    report.same_length += 1
+                elif len(predicted) == len(observed):
+                    report.same_length += 1
+        return report
+
+    def test_identical_report_on_inferred_world(self, small_run):
+        observed = list(small_run.paths)
+        batched = predict_paths(small_run.result, observed, max_origins=40)
+        serial = self._serial_report(
+            small_run.result, observed, max_origins=40
+        )
+        assert (batched.compared, batched.exact, batched.same_length,
+                batched.unreachable) == (
+            serial.compared, serial.exact, serial.same_length,
+            serial.unreachable)
+
+    def test_identical_report_on_baseline_with_cycles(self, small_run):
+        # baseline inferences exercise the cycle-demotion path
+        baseline = infer_gao(small_run.paths)
+        observed = list(small_run.paths)
+        batched = predict_paths(baseline, observed, max_origins=25)
+        serial = self._serial_report(baseline, observed, max_origins=25)
+        assert (batched.compared, batched.exact, batched.same_length,
+                batched.unreachable) == (
+            serial.compared, serial.exact, serial.same_length,
+            serial.unreachable)
+
+    def test_rel_graph_matches_asgraph_compilation(self):
+        # cycle-closing p2c demotes to p2p identically in both builders
+        from repro.core.prediction import rel_graph_from_inference
+        from repro.graph.relgraph import RelGraph
+
+        m = RelationshipMap()
+        m.set_p2c(1, 2)
+        m.set_p2c(2, 3)
+        m.set_p2c(3, 1)
+        m.set_p2p(2, 4)
+        m.set_s2s(4, 5)
+        direct = rel_graph_from_inference(m)
+        via_asgraph = RelGraph.from_as_graph(graph_from_inference(m))
+        assert direct.index.asns == via_asgraph.index.asns
+        assert direct.providers == via_asgraph.providers
+        assert direct.customers == via_asgraph.customers
+        assert direct.peers == via_asgraph.peers

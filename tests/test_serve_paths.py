@@ -1,0 +1,383 @@
+"""Path-prediction / what-if endpoints + serving dispatch fixes.
+
+Most tests drive :class:`Api` in-process on a hand-built topology whose
+routing is easy to verify by eye::
+
+    1 ── provider of ──> 2, 3
+    2, 3 ── providers of ──> 4      (4 is dual-homed: tie-break fodder)
+    3 ── provider of ──> 5
+    10 ── provider of ──> 11        (a second, disconnected component)
+
+The disconnected component gives real unreachable pairs; the dual-homed
+AS 4 gives an anycast tie broken by lowest origin ASN.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.serve.handlers import Api
+from repro.serve.prediction import PathEngine, Scenario, ScenarioError
+from repro.serve.server import ServerThread
+from repro.serve.snapshot import Snapshot
+from repro.serve.store import SnapshotStore
+
+AS_REL_ROWS = """\
+1|2|-1
+1|3|-1
+2|4|-1
+3|4|-1
+3|5|-1
+10|11|-1
+"""
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    as_rel = tmp_path_factory.mktemp("paths") / "as-rel.txt"
+    as_rel.write_text(AS_REL_ROWS)
+    return Snapshot.from_files(str(as_rel))
+
+
+@pytest.fixture()
+def api(snapshot):
+    return Api(SnapshotStore(snapshot=snapshot))
+
+
+def _what_if(api, body):
+    return api.handle("POST", "/what-if", {}, json.dumps(body).encode())
+
+
+class TestPathsEndpoint:
+    def test_path_is_the_policy_path(self, api):
+        status, payload, route, cacheable = api.handle(
+            "GET", "/paths/4/1", {}
+        )
+        assert (status, route, cacheable) == (200, "paths", True)
+        # both 2 and 3 offer the len-2 provider route; lowest ASN wins
+        assert payload["path"] == [4, 2, 1]
+        assert payload["length"] == 2
+        assert payload["route_class"] == "provider"
+        assert payload["reachable"] is True
+
+    def test_src_equals_dst(self, api):
+        status, payload, _route, _c = api.handle("GET", "/paths/4/4", {})
+        assert status == 200
+        assert payload["path"] == [4]
+        assert payload["length"] == 0
+        assert payload["route_class"] == "origin"
+
+    def test_unreachable_pair_is_200_not_found_route(self, api):
+        status, payload, _route, _c = api.handle("GET", "/paths/4/10", {})
+        assert status == 200
+        assert payload["reachable"] is False
+        assert payload["path"] is None
+        assert payload["length"] is None
+
+    def test_unknown_src_and_dst_404(self, api):
+        assert api.handle("GET", "/paths/999/1", {})[0] == 404
+        assert api.handle("GET", "/paths/1/999", {})[0] == 404
+
+    def test_non_integer_asn_400(self, api):
+        assert api.handle("GET", "/paths/abc/1", {})[0] == 400
+
+
+class TestAnycast:
+    def test_tie_breaks_on_lowest_origin_asn(self, api):
+        status, payload, _route, _c = api.handle(
+            "GET", "/paths/4/2", {"origins": "3"}
+        )
+        assert status == 200
+        assert payload["origins"] == [2, 3]
+        # 4 sees both origins as len-1 provider routes: tie -> AS2
+        assert payload["winner"] == 2
+        assert payload["path"] == [4, 2]
+
+    def test_catchment_partitions_the_snapshot(self, api):
+        _status, payload, _route, _c = api.handle(
+            "GET", "/paths/4/2", {"origins": "3"}
+        )
+        # 1 (customer tie -> 2), 2 (origin), 4 (tie -> 2) vs
+        # 3 (origin), 5 (closer to 3); 10, 11 unreachable
+        assert payload["catchment"] == {"2": 3, "3": 2}
+        assert payload["unreachable"] == 2
+
+    def test_unknown_origin_404(self, api):
+        assert api.handle(
+            "GET", "/paths/4/2", {"origins": "999"}
+        )[0] == 404
+
+    def test_origin_cap_400(self, api):
+        too_many = ",".join(str(1000 + i) for i in range(20))
+        assert api.handle(
+            "GET", "/paths/4/2", {"origins": too_many}
+        )[0] == 400
+
+    def test_empty_origins_400(self, api):
+        assert api.handle("GET", "/paths/4/2", {"origins": ","})[0] == 400
+
+
+class TestWhatIf:
+    def test_disconnecting_scenario(self, api):
+        status, payload, route, cacheable = _what_if(
+            api,
+            {
+                "dst": 1,
+                "ops": [
+                    {"op": "drop_link", "a": 1, "b": 2},
+                    {"op": "drop_link", "a": 1, "b": 3},
+                ],
+            },
+        )
+        assert (status, route, cacheable) == (200, "whatif", False)
+        # 2,3,4,5 lose their only routes to 1; the 10-11 component and
+        # the origin itself never had different answers
+        assert payload["sources"] == 7
+        assert payload["changed"] == 4
+        assert payload["newly_unreachable"] == 4
+        assert payload["unchanged"] == 3
+        assert payload["newly_reachable"] == 0
+        for example in payload["examples"]:
+            assert example["after"] is None
+
+    def test_add_peering_connects_components(self, api):
+        status, payload, _route, _c = _what_if(
+            api,
+            {
+                "dst": 1,
+                "ops": [{"op": "add_peering", "a": 1, "b": 10}],
+            },
+        )
+        assert status == 200
+        # 10 learns the origin from its new peer 1 and exports the
+        # peer route to its customer 11; nobody else moves
+        assert payload["newly_reachable"] == 2
+        assert payload["changed"] == 2
+
+    def test_scenario_key_is_canonical(self):
+        a = Scenario.parse([{"op": "drop_link", "a": 3, "b": 1}])
+        b = Scenario.parse([{"op": "drop_link", "a": 1, "b": 3}])
+        assert a.key == b.key != ""
+
+    def test_add_transit_cycle_400(self, api):
+        status, payload, _route, _c = _what_if(
+            api,
+            {
+                "dst": 1,
+                "ops": [
+                    {"op": "add_transit", "provider": 4, "customer": 1}
+                ],
+            },
+        )
+        assert status == 400
+        assert "cycle" in payload["error"]
+
+    def test_set_relationship_flip(self, api):
+        status, payload, _route, _c = _what_if(
+            api,
+            {
+                "dst": 1,
+                "ops": [
+                    {
+                        "op": "set_relationship",
+                        "a": 1,
+                        "b": 2,
+                        "relationship": "p2p",
+                    }
+                ],
+            },
+        )
+        assert status == 200
+        # AS2's path to 1 is unchanged but it now rides a peer route
+        # instead of paying a provider — a class-only change the diff
+        # must still count
+        assert payload["changed"] == 1
+        example = payload["examples"][0]
+        assert example["src"] == 2
+        assert example["before"] == example["after"] == [2, 1]
+        assert example["before_class"] == "provider"
+        assert example["after_class"] == "peer"
+
+    def test_leak_is_valid_and_hashes(self, api):
+        status, payload, _route, _c = _what_if(
+            api,
+            {"dst": 1, "ops": [{"op": "leak", "asn": 4}], "sample": 5},
+        )
+        assert status == 200
+        assert payload["sources"] == 5
+
+    def test_poison_removes_the_as_from_routing(self, api):
+        status, payload, _route, _c = _what_if(
+            api,
+            {"dst": 1, "ops": [{"op": "poison", "asn": 2}], "srcs": [2]},
+        )
+        assert status == 200
+        assert payload["newly_unreachable"] == 1
+
+    def test_unknown_dst_404(self, api):
+        assert _what_if(
+            api, {"dst": 999, "ops": [{"op": "leak", "asn": 1}]}
+        )[0] == 404
+
+    def test_unknown_op_asn_400(self, api):
+        assert _what_if(
+            api, {"dst": 1, "ops": [{"op": "leak", "asn": 999}]}
+        )[0] == 400
+
+    def test_drop_missing_link_400(self, api):
+        assert _what_if(
+            api,
+            {"dst": 1, "ops": [{"op": "drop_link", "a": 1, "b": 10}]},
+        )[0] == 400
+
+    def test_malformed_bodies_400(self, api):
+        assert api.handle("POST", "/what-if", {}, b"not json")[0] == 400
+        assert api.handle("POST", "/what-if", {}, b"")[0] == 400
+        assert api.handle("POST", "/what-if", {}, b"[]")[0] == 400
+        assert _what_if(api, {"dst": 1, "ops": []})[0] == 400
+        assert _what_if(api, {"dst": "x", "ops": [{}]})[0] == 400
+        assert _what_if(
+            api, {"dst": 1, "ops": [{"op": "nonsense"}]}
+        )[0] == 400
+        assert _what_if(
+            api,
+            {"dst": 1, "ops": [{"op": "leak", "asn": 1}], "bogus": 1},
+        )[0] == 400
+
+    def test_scenario_parse_rejects_non_lists(self):
+        with pytest.raises(ScenarioError):
+            Scenario.parse({"op": "leak"})
+
+
+class TestEngineCache:
+    def test_route_tables_are_reused_across_requests(self, snapshot):
+        engine = PathEngine()
+        api = Api(SnapshotStore(snapshot=snapshot), engine=engine)
+        api.handle("GET", "/paths/4/1", {})
+        assert engine.table_misses == 1
+        api.handle("GET", "/paths/5/1", {})  # same origin, other source
+        assert engine.table_misses == 1
+        assert engine.table_hits == 1
+
+    def test_scenarios_get_their_own_cache_entries(self, snapshot):
+        engine = PathEngine()
+        api = Api(SnapshotStore(snapshot=snapshot), engine=engine)
+        body = {"dst": 1, "ops": [{"op": "drop_link", "a": 1, "b": 2}]}
+        _what_if(api, body)
+        misses = engine.table_misses
+        assert misses == 2  # baseline table + scenario table
+        _what_if(api, body)
+        assert engine.table_misses == misses  # both answered from cache
+
+    def test_table_lru_is_bounded(self, snapshot):
+        engine = PathEngine(max_tables=2)
+        api = Api(SnapshotStore(snapshot=snapshot), engine=engine)
+        for dst in (1, 2, 3, 4):
+            api.handle("GET", f"/paths/5/{dst}", {})
+        assert engine.stats()["tables"] == 2
+
+
+class TestDispatchFixes:
+    def test_post_to_get_only_routes_is_405(self, api):
+        for target in ("/snapshot", "/healthz", "/metrics", "/ranks",
+                       "/asns/1", "/links/1/2", "/paths/4/1"):
+            status, _payload, _route, _c = api.handle(
+                "POST", target, {}
+            )
+            assert status == 405, target
+
+    def test_post_to_unknown_route_is_404(self, api):
+        assert api.handle("POST", "/nope", {})[0] == 404
+
+    def test_reload_non_string_path_400(self, api):
+        status, payload, _route, _c = api.handle(
+            "POST", "/admin/reload", {}, b'{"path": 123}'
+        )
+        assert status == 400
+        assert "string" in payload["error"]
+
+    def test_cone_page_without_per_page_400(self, api):
+        status, payload, _route, _c = api.handle(
+            "GET", "/asns/1/cone", {"page": "2", "definition": "recursive"}
+        )
+        assert status == 400
+        assert "per_page" in payload["error"]
+
+    def test_cone_explicit_per_page_still_paginates(self, api):
+        status, payload, _route, _c = api.handle(
+            "GET", "/asns/1/cone",
+            {"page": "1", "per_page": "2", "definition": "recursive"},
+        )
+        assert status == 200
+        assert len(payload["members"]) == 2
+        assert payload["size"] == 5
+
+    def test_ranks_page_past_end_is_empty_200(self, api):
+        status, payload, _route, _c = api.handle(
+            "GET", "/ranks", {"page": "999", "per_page": "50"}
+        )
+        assert status == 200
+        assert payload["entries"] == []
+
+    def test_per_page_above_max_400(self, api):
+        assert api.handle(
+            "GET", "/ranks", {"per_page": "1001"}
+        )[0] == 400
+
+
+class TestOverTheWire:
+    """The asyncio server + compute pool serving the new endpoints."""
+
+    @pytest.fixture()
+    def served(self, snapshot):
+        thread = ServerThread(SnapshotStore(snapshot=snapshot))
+        host, port = thread.start()
+        yield host, port
+        thread.stop()
+
+    @staticmethod
+    def _request(host, port, method, target, body=None):
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request(method, target, body=body)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read() or b"{}")
+        finally:
+            conn.close()
+
+    def test_paths_and_what_if_over_http(self, served):
+        host, port = served
+        status, payload = self._request(host, port, "GET", "/paths/4/1")
+        assert status == 200 and payload["path"] == [4, 2, 1]
+        status, payload = self._request(
+            host, port, "POST", "/what-if",
+            json.dumps(
+                {"dst": 1, "ops": [{"op": "drop_link", "a": 1, "b": 2}]}
+            ),
+        )
+        assert status == 200 and payload["changed"] >= 1
+        status, payload = self._request(host, port, "GET", "/metrics")
+        assert payload["paths"]["table_misses"] >= 1
+
+    def test_post_to_get_route_is_405_over_http(self, served):
+        host, port = served
+        status, _payload = self._request(host, port, "POST", "/snapshot")
+        assert status == 405
+
+    def test_loadgen_paths_mix_zero_errors(self, served):
+        from repro.serve.loadgen import LoadGenConfig, run_loadgen
+
+        host, port = served
+        report = run_loadgen(
+            LoadGenConfig(
+                host=host, port=port, connections=2, requests=80,
+                paths_weight=20, what_if_weight=10, population=7,
+            )
+        )
+        assert report.requests == 80
+        assert report.errors == 0
+        assert report.by_route.get("paths", 0) > 0
+        assert report.by_route.get("whatif", 0) > 0
