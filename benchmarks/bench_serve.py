@@ -33,13 +33,18 @@ from repro.serve.loadgen import (
     LoadGenConfig,
     calibration_workload,
     run_loadgen,
+    run_loadgen_procs,
 )
 from repro.serve.server import ServerThread
 from repro.serve.store import SnapshotStore, load_snapshot, save_snapshot
+from repro.serve.workers import WorkerFleet, memory_stats
 
 SCENARIO = "medium"
 REQUESTS = 30_000
 CONNECTIONS = 8
+WORKER_COUNTS = (1, 2, 4, 8)
+WORKER_REQUESTS = 4_000  # per load generator; two generators per leg
+LOADGEN_PROCS = 2
 REPORT_FILE = os.path.join(
     os.path.dirname(__file__), "reports", "BENCH_serve.json"
 )
@@ -118,6 +123,83 @@ def paths_leg(store):
     }
 
 
+def workers_leg(path: str, size_bytes: int) -> dict:
+    """Fan the load generator out against 1/2/4/8 pre-fork workers.
+
+    Every fleet maps the same snapshot file read-only (``mode="mmap"``)
+    so the per-worker ``private_kb`` column is the proof of page
+    sharing: it must stay far below the snapshot size no matter how
+    many workers fault the payload in.  ``scaling_efficiency`` is
+    throughput relative to perfect linear scaling over the 1-worker
+    point; on a single-CPU machine every multi-worker point is
+    expected to sit near ``1 / workers`` — ``cpus`` is recorded so
+    consumers (``check_regression.py``) can tell the difference
+    between a contended box and a real regression.
+    """
+    legs = []
+    single_rps = None
+    for count in WORKER_COUNTS:
+        fleet = WorkerFleet(path, workers=count, mode="mmap")
+        host, port = fleet.start()
+        try:
+            run_loadgen(
+                LoadGenConfig(host=host, port=port, requests=1_000,
+                              connections=CONNECTIONS, seed=3)
+            )
+            report = run_loadgen_procs(
+                LoadGenConfig(host=host, port=port,
+                              requests=WORKER_REQUESTS,
+                              connections=CONNECTIONS, seed=4),
+                procs=LOADGEN_PROCS,
+            )
+            stats = [memory_stats(pid) for pid in fleet.pids()]
+            reuse_port = fleet.reuse_port
+        finally:
+            fleet.stop()
+        if single_rps is None:
+            single_rps = report.throughput
+        stats = [entry for entry in stats if entry is not None]
+        per_worker = None
+        if stats:
+            per_worker = {
+                key: round(sum(s[key] for s in stats) / len(stats), 1)
+                for key in ("rss_kb", "pss_kb", "private_kb", "shared_kb")
+            }
+        legs.append({
+            "workers": count,
+            "reuse_port": reuse_port,
+            "requests": report.requests,
+            "errors": report.errors,
+            "seconds": round(report.seconds, 4),
+            "throughput_rps": round(report.throughput, 1),
+            "p50_ms": round(report.percentile(0.50), 3),
+            "p99_ms": round(report.percentile(0.99), 3),
+            "scaling_efficiency": round(
+                report.throughput / (count * single_rps), 3
+            ),
+            "memory_per_worker": per_worker,
+        })
+        line = (
+            f"workers={count}: {report.throughput:,.0f} req/s, "
+            f"p50 {report.percentile(0.50):.2f}ms, "
+            f"p99 {report.percentile(0.99):.2f}ms, "
+            f"{report.errors} errors, "
+            f"efficiency {legs[-1]['scaling_efficiency']:.2f}"
+        )
+        if per_worker:
+            line += (
+                f", private {per_worker['private_kb']:.0f} kB/worker "
+                f"(snapshot {size_bytes // 1024} kB)"
+            )
+        print(line)
+    return {
+        "cpus": os.cpu_count(),
+        "loadgen_procs": LOADGEN_PROCS,
+        "snapshot_bytes": size_bytes,
+        "legs": legs,
+    }
+
+
 def main() -> int:
     print(f"building {SCENARIO} scenario ...")
     _graph, _corpus, paths, result = get_scenario(SCENARIO).run()
@@ -141,6 +223,9 @@ def main() -> int:
     start = time.perf_counter()
     load_snapshot(path, lazy=True)
     load_lazy_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    load_snapshot(path, mode="mmap")
+    load_mmap_seconds = time.perf_counter() - start
 
     store = SnapshotStore(snapshot=snapshot, path=path)
     thread = ServerThread(store)
@@ -161,6 +246,9 @@ def main() -> int:
 
     paths_report = paths_leg(store)
 
+    print("worker fleet scaling ...")
+    workers_report = workers_leg(path, size_bytes)
+
     calibration = calibration_workload()
 
     payload = {
@@ -173,6 +261,7 @@ def main() -> int:
             "save_seconds": round(save_seconds, 4),
             "load_eager_seconds": round(load_eager_seconds, 4),
             "load_lazy_seconds": round(load_lazy_seconds, 4),
+            "load_mmap_seconds": round(load_mmap_seconds, 4),
         },
         "load": {
             "requests": report.requests,
@@ -186,6 +275,7 @@ def main() -> int:
             "cache_hit_rate": metrics["cache"]["hit_rate"],
         },
         "paths": paths_report,
+        "workers": workers_report,
         "calibration": round(calibration, 4),
     }
 
@@ -198,7 +288,7 @@ def main() -> int:
         f"snapshot {snapshot.version}: {len(snapshot)} ASes, "
         f"{size_bytes} bytes, build {build_seconds:.3f}s, "
         f"save {save_seconds:.3f}s, load {load_eager_seconds:.3f}s "
-        f"(lazy {load_lazy_seconds:.3f}s)"
+        f"(lazy {load_lazy_seconds:.3f}s, mmap {load_mmap_seconds:.3f}s)"
     )
     print(
         f"load: {report.requests} requests / {report.connections} conns "
@@ -222,6 +312,10 @@ def main() -> int:
         return 1
     if paths_report["errors"]:
         print(f"FAIL: {paths_report['errors']} non-200s in the paths leg")
+        return 1
+    worker_errors = sum(leg["errors"] for leg in workers_report["legs"])
+    if worker_errors:
+        print(f"FAIL: {worker_errors} errors across the worker legs")
         return 1
     return 0
 

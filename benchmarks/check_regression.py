@@ -21,7 +21,11 @@ regression against the committed report:
 * the warm ``Snapshot.build`` time on the ``medium`` scenario vs
   ``reports/BENCH_graph.json`` — guards the graph core's zero-copy
   build path (the snapshot adopts the facade's ``RelGraph`` index and
-  cone bitsets instead of re-indexing).
+  cone bitsets instead of re-indexing);
+* pre-fork worker scaling: on runners with >=4 CPUs a 2-worker mmap
+  fleet must beat the 1-worker throughput by >=1.6x, both measured
+  live on the same machine (skipped, with a message, on smaller
+  runners where workers time-slice one core).
 
 The committed baselines and the CI runner are different machines, so
 the committed numbers are first rescaled by a calibration ratio.  The
@@ -65,6 +69,7 @@ GRAPH_BASELINE_FILE = os.path.join(
     os.path.dirname(__file__), "reports", "BENCH_graph.json"
 )
 GRAPH_ROUNDS = 5
+WORKER_MIN_SPEEDUP = 1.6  # 2-worker floor, only gated on >=4-CPU runners
 
 
 def _collect_seconds(graph, config) -> float:
@@ -249,6 +254,85 @@ def check_paths() -> int:
     return 0
 
 
+def check_workers() -> int:
+    """Worker-scaling leg: 2 pre-fork workers must beat 1 by >=1.6x.
+
+    Only meaningful with real parallelism available: on runners with
+    fewer than 4 CPUs the workers time-slice one core and the measured
+    "scaling" is scheduler noise, so the gate prints a skip (the
+    committed ``workers.cpus`` field in BENCH_serve.json records what
+    the baseline machine had).  Where it does run, a 2-worker mmap
+    fleet must deliver at least ``WORKER_MIN_SPEEDUP``x the 1-worker
+    throughput on the same machine within the same process — no
+    cross-machine calibration needed because both points are measured
+    live.
+    """
+    from repro.asrank import ASRank
+    from repro.scenarios import get_scenario
+    from repro.serve.loadgen import LoadGenConfig, run_loadgen_procs
+    from repro.serve.store import save_snapshot
+    from repro.serve.workers import WorkerFleet
+
+    cpus = os.cpu_count() or 1
+    if cpus < 4 or not hasattr(os, "fork"):
+        print(
+            f"skip: worker scaling gate needs >=4 CPUs and fork "
+            f"(this runner has {cpus})"
+        )
+        return 0
+
+    import tempfile
+
+    _graph, _corpus, paths, result = get_scenario("small").run()
+    facade = ASRank(paths)
+    facade._result = result
+    scratch = tempfile.mkdtemp(prefix="repro-check-workers-")
+    path = os.path.join(scratch, "small.snap")
+    save_snapshot(facade.snapshot(), path)
+
+    throughput = {}
+    for count in (1, 2):
+        fleet = WorkerFleet(path, workers=count, mode="mmap")
+        host, port = fleet.start()
+        try:
+            run_loadgen_procs(  # warmup
+                LoadGenConfig(host=host, port=port, requests=500,
+                              connections=SERVE_CONNECTIONS, seed=5),
+                procs=2,
+            )
+            report = run_loadgen_procs(
+                LoadGenConfig(host=host, port=port,
+                              requests=SERVE_REQUESTS,
+                              connections=SERVE_CONNECTIONS, seed=6),
+                procs=2,
+            )
+        finally:
+            fleet.stop()
+        if report.errors:
+            print(
+                f"REGRESSION: {report.errors} errors against the "
+                f"{count}-worker fleet"
+            )
+            return 1
+        throughput[count] = report.throughput
+
+    speedup = throughput[2] / throughput[1] if throughput[1] else 0.0
+    print(
+        f"worker scaling: 1 worker {throughput[1]:,.0f} req/s, "
+        f"2 workers {throughput[2]:,.0f} req/s, speedup {speedup:.2f}x "
+        f"(floor {WORKER_MIN_SPEEDUP}x, {cpus} CPUs)"
+    )
+    if speedup < WORKER_MIN_SPEEDUP:
+        print(
+            f"REGRESSION: 2-worker speedup {speedup:.2f}x is below the "
+            f"{WORKER_MIN_SPEEDUP}x floor — per-worker scaling has "
+            f"regressed (shared accept path or serialized hot path?)"
+        )
+        return 1
+    print("ok: pre-fork workers scale within the regression budget")
+    return 0
+
+
 def check_graph() -> int:
     """Snapshot-build leg: warm medium-world build, calibrated."""
     from repro.asrank import ASRank
@@ -340,7 +424,10 @@ def main() -> int:
     status = check_paths()
     if status:
         return status
-    return check_serve()
+    status = check_serve()
+    if status:
+        return status
+    return check_workers()
 
 
 if __name__ == "__main__":

@@ -8,6 +8,13 @@ error-free), then exercises an atomic hot reload via ``POST
 /admin/reload`` while that mixed load is in flight and checks the
 served version flipped with no failed requests.
 
+Then the pre-fork fleet legs: a 2-worker mmap-backed fleet must
+survive a SIGKILL of one worker mid-load (bounded transport errors,
+zero once the supervisor respawns it), and a 4-worker fleet must hot
+reload under load with zero failed requests, every worker converging
+to the new version — while a corrupt reload target must leave every
+worker on the old snapshot.
+
 Exit code 0 on success, 1 with a one-line reason on any failure.
 
 Usage (what CI runs)::
@@ -20,15 +27,18 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import signal
 import sys
 import tempfile
 import threading
+import time
 
 from repro.asrank import ASRank
 from repro.scenarios import get_scenario
 from repro.serve.loadgen import LoadGenConfig, run_loadgen
 from repro.serve.server import ServerThread
 from repro.serve.store import SnapshotStore, save_snapshot
+from repro.serve.workers import FleetError, WorkerFleet
 
 REQUESTS = 3_000
 CONNECTIONS = 4
@@ -38,6 +48,135 @@ P99_BOUND_MS = 250.0  # generous: CI runners are slow and noisy
 def _fail(reason: str) -> int:
     print(f"FAIL: {reason}")
     return 1
+
+
+def fleet_kill_leg(path: str) -> int:
+    """2 workers: clean load, SIGKILL one mid-load, clean load again."""
+    if not hasattr(os, "fork"):
+        print("fleet legs skipped: no fork on this platform")
+        return 0
+    fleet = WorkerFleet(path, workers=2, mode="mmap",
+                        restart_backoff=0.05)
+    host, port = fleet.start()
+    try:
+        clean = run_loadgen(
+            LoadGenConfig(host=host, port=port, requests=2_000,
+                          connections=CONNECTIONS, seed=11)
+        )
+        if clean.errors:
+            return _fail(f"{clean.errors} errors against a healthy fleet")
+
+        victim = fleet.pids()[0]
+        report_box = []
+        loader = threading.Thread(
+            target=lambda: report_box.append(run_loadgen(
+                LoadGenConfig(host=host, port=port, requests=3_000,
+                              connections=CONNECTIONS, seed=12)
+            ))
+        )
+        loader.start()
+        time.sleep(0.2)  # let the load get going before the kill
+        os.kill(victim, signal.SIGKILL)
+        loader.join(timeout=120)
+        if not report_box:
+            return _fail("load run never finished after the worker kill")
+        killed = report_box[0]
+        # each loadgen connection eats at most one reset from the dying
+        # worker, plus possibly one more if its reconnect raced into
+        # the dead worker's accept queue before the kernel drained it
+        bound = CONNECTIONS * 2
+        if killed.errors > bound:
+            return _fail(
+                f"{killed.errors} errors after killing one worker "
+                f"(bound: {bound})"
+            )
+
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            pids = fleet.pids()
+            if len(pids) == 2 and victim not in pids:
+                break
+            time.sleep(0.05)
+        else:
+            return _fail("killed worker was never respawned")
+
+        after = run_loadgen(
+            LoadGenConfig(host=host, port=port, requests=2_000,
+                          connections=CONNECTIONS, seed=13)
+        )
+        if after.errors:
+            return _fail(
+                f"{after.errors} errors after the worker respawn"
+            )
+        print(
+            f"fleet kill: {killed.errors} bounded errors at the kill, "
+            f"0 errors after respawn (restarts={fleet.restarts})"
+        )
+    finally:
+        fleet.stop()
+    return 0
+
+
+def fleet_reload_leg(path: str, next_path: str, scratch: str) -> int:
+    """4 workers: hot reload under load, then a corrupt-target abort."""
+    if not hasattr(os, "fork"):
+        return 0
+    fleet = WorkerFleet(path, workers=4, mode="mmap")
+    host, port = fleet.start()
+    try:
+        old_versions = fleet.versions()
+        if len(set(old_versions.values())) != 1:
+            return _fail(f"fleet started split: {old_versions}")
+        old_version = next(iter(old_versions.values()))
+
+        report_box = []
+        loader = threading.Thread(
+            target=lambda: report_box.append(run_loadgen(
+                LoadGenConfig(host=host, port=port, requests=3_000,
+                              connections=CONNECTIONS, seed=21,
+                              paths_weight=10, what_if_weight=5)
+            ))
+        )
+        loader.start()
+        time.sleep(0.1)
+        new_version = fleet.reload(next_path)
+        loader.join(timeout=120)
+        if not report_box:
+            return _fail("load run never finished across the reload")
+        if report_box[0].errors:
+            return _fail(
+                f"{report_box[0].errors} request errors during the "
+                f"fleet reload"
+            )
+        converged = fleet.versions()
+        if set(converged.values()) != {new_version}:
+            return _fail(f"fleet did not converge: {converged}")
+        print(
+            f"fleet reload under load: {old_version} -> {new_version} "
+            f"on all {len(converged)} workers, 0 failed requests"
+        )
+
+        # a corrupt target must leave every worker on the old snapshot
+        corrupt = os.path.join(scratch, "corrupt.snap")
+        with open(next_path, "rb") as stream:
+            blob = bytearray(stream.read())
+        blob[-1] ^= 0xFF
+        with open(corrupt, "wb") as stream:
+            stream.write(bytes(blob))
+        try:
+            fleet.reload(corrupt)
+        except FleetError:
+            pass
+        else:
+            return _fail("corrupt reload target was accepted")
+        held = fleet.versions()
+        if set(held.values()) != {new_version}:
+            return _fail(f"corrupt reload split the fleet: {held}")
+        print("fleet reload of a corrupt target: aborted, all workers "
+              "held the old version")
+    finally:
+        fleet.stop()
+    return 0
 
 
 def main() -> int:
@@ -144,6 +283,13 @@ def main() -> int:
         )
     finally:
         thread.stop()
+
+    status = fleet_kill_leg(path)
+    if status:
+        return status
+    status = fleet_reload_leg(path, next_path, scratch)
+    if status:
+        return status
 
     print("ok: serve smoke passed")
     return 0

@@ -225,7 +225,11 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         )
         return 0
     # info
+    from repro.serve.store import read_snapshot_header
+
     snapshot = load_snapshot(args.file, lazy=True)
+    header, payload_offset = read_snapshot_header(args.file)
+    alignment = int(header.get("alignment", 1))
     print(f"snapshot {snapshot.version} ({args.file})")
     print(f"  source       {snapshot.meta.get('source')}")
     print(f"  definitions  {', '.join(snapshot.meta['definitions'])}")
@@ -233,6 +237,16 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     print(f"  links        {snapshot.stats.get('n_links')}")
     clique = snapshot.meta.get("clique") or []
     print(f"  clique       {clique}")
+    print(f"  format       minor {header.get('minor', 0)}, "
+          f"{alignment}-byte section alignment, "
+          f"payload at {payload_offset}")
+    print(f"  {'section':<30}{'offset':>10}{'bytes':>10}  aligned")
+    for name, entry in sorted(header["sections"].items()):
+        offset = int(entry["offset"])
+        aligned = "yes" if offset % max(alignment, 1) == 0 else "no"
+        print(f"  {name:<30}{offset:>10}{int(entry['length']):>10}  "
+              f"{aligned}")
+    snapshot.close()
     return 0
 
 
@@ -242,8 +256,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import SnapshotServer
     from repro.serve.store import SnapshotStore, save_snapshot
 
+    mode = args.mode or ("lazy" if args.lazy else None)
+    if args.workers > 1:
+        return _serve_fleet(args, mode)
     if args.snapshot:
-        store = SnapshotStore(path=args.snapshot, lazy=args.lazy)
+        store = SnapshotStore(path=args.snapshot, mode=mode)
     else:
         snapshot = _build_snapshot(args)
         path = None
@@ -264,6 +281,65 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(server.run())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace, mode: Optional[str]) -> int:
+    """``serve --workers N``: the pre-fork SO_REUSEPORT fleet."""
+    import signal as _signal
+
+    from repro.serve.store import read_snapshot_header, save_snapshot
+    from repro.serve.workers import FleetError, WorkerFleet
+
+    path = args.snapshot
+    if not path:
+        # the fleet maps one file; a built snapshot must land on disk
+        path = args.out
+        if not path:
+            print(
+                "error: --workers needs a snapshot file: pass --snapshot, "
+                "or --out to save the built snapshot",
+                file=sys.stderr,
+            )
+            return 2
+        snapshot = _build_snapshot(args)
+        save_snapshot(snapshot, path)
+    else:
+        # fail before forking on a missing/garbled file (main() turns
+        # the raised error into the one-line exit-2 convention)
+        read_snapshot_header(path)
+    fleet = WorkerFleet(
+        path,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        mode=mode or "mmap",
+        cache_size=args.cache_size,
+        allow_admin=not args.no_admin,
+        compute_workers=args.compute_workers,
+    )
+    try:
+        host, port = fleet.start()
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if hasattr(_signal, "SIGHUP"):
+        _signal.signal(
+            _signal.SIGHUP, lambda *_: fleet.request_reload()
+        )
+    print(
+        f"serving snapshot {path} on http://{host}:{port} "
+        f"with {args.workers} workers "
+        f"({'SO_REUSEPORT' if fleet.reuse_port else 'shared socket'}, "
+        f"mode={fleet.mode}); SIGHUP reloads the fleet"
+    )
+    try:
+        while True:
+            _signal.pause()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        fleet.stop()
     return 0
 
 
@@ -379,7 +455,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=4096,
                        help="response-cache entries (default: 4096)")
     serve.add_argument("--lazy", action="store_true",
-                       help="load snapshot sections on demand")
+                       help="load snapshot sections on demand "
+                            "(shorthand for --mode lazy)")
+    serve.add_argument("--mode", choices=["eager", "lazy", "mmap"],
+                       help="snapshot load mode: eager copies and "
+                            "verifies everything up front, lazy reads "
+                            "sections on demand, mmap serves zero-copy "
+                            "views of the mapped file (default: eager; "
+                            "fleets default to mmap)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="pre-fork worker processes sharing the port "
+                            "via SO_REUSEPORT and the snapshot via mmap; "
+                            "1 keeps the single-process server "
+                            "(default: 1)")
     serve.add_argument("--no-admin", action="store_true",
                        help="disable POST /admin/reload")
     serve.add_argument("--compute-workers", type=int, default=2,

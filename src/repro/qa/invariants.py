@@ -564,7 +564,10 @@ def check_serving(
     os.makedirs(directory, exist_ok=True)
     snapshot_file = os.path.join(directory, "qa.snapshot")
     save_snapshot(Snapshot.build(facade), snapshot_file)
-    served = load_snapshot(snapshot_file)
+    # mmap mode: the zero-copy load path must be bit-identical to the
+    # facade too (it falls back to lazy copies where mmap/numpy are
+    # unavailable, so this also covers the fallback on the no-numpy leg)
+    served = load_snapshot(snapshot_file, mode="mmap")
 
     # relationships + providers: every inferred link, bit for bit
     for a, b in result.links():

@@ -66,11 +66,19 @@ class Api:
         metrics_view: Optional[Callable[[], Dict[str, object]]] = None,
         allow_admin: bool = True,
         engine: Optional[PathEngine] = None,
+        worker_info: Optional[Dict[str, object]] = None,
+        reload_delegate: Optional[Callable[[Optional[str]], None]] = None,
     ):
         self.store = store
         self._metrics_view = metrics_view
         self.allow_admin = allow_admin
         self.engine = engine if engine is not None else PathEngine()
+        # pre-fork fleet wiring: worker_info rides on /healthz and
+        # /snapshot so convergence is observable per worker, and
+        # reload_delegate hands /admin/reload to the supervisor (a
+        # worker must not reload alone — versions would diverge)
+        self.worker_info = worker_info
+        self.reload_delegate = reload_delegate
 
     # ------------------------------------------------------------------
     # dispatch
@@ -88,12 +96,10 @@ class Api:
         try:
             if method == "GET":
                 if parts == ["healthz"]:
-                    return (
-                        200,
-                        {"status": "ok", "version": snapshot.version},
-                        "healthz",
-                        False,
-                    )
+                    payload = {"status": "ok", "version": snapshot.version}
+                    if self.worker_info is not None:
+                        payload["worker"] = self.worker_info
+                    return 200, payload, "healthz", False
                 if parts == ["metrics"]:
                     return 200, self._metrics(), "metrics", False
                 if parts == ["snapshot"]:
@@ -436,7 +442,7 @@ class Api:
         return 200, payload, "ranks", True
 
     def _snapshot_info(self, snapshot: Snapshot) -> Dict[str, object]:
-        return {
+        info = {
             "version": snapshot.version,
             "source": snapshot.meta.get("source"),
             "definitions": snapshot.meta.get("definitions"),
@@ -445,6 +451,9 @@ class Api:
             "reloads": self.store.reloads,
             "path": self.store.path,
         }
+        if self.worker_info is not None:
+            info["worker"] = self.worker_info
+        return info
 
     def _metrics(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -470,6 +479,20 @@ class Api:
             path = parsed.get("path")
             if path is not None and not isinstance(path, str):
                 raise _BadRequest("reload 'path' must be a string")
+        if self.reload_delegate is not None:
+            # fleet mode: the supervisor coordinates a two-phase reload
+            # across every worker; this worker only files the request
+            self.reload_delegate(path)
+            return (
+                202,
+                {
+                    "accepted": True,
+                    "version": self.store.current.version,
+                    "detail": "reload delegated to the fleet supervisor",
+                },
+                "admin",
+                False,
+            )
         try:
             fresh = self.store.reload(path)
         except (SnapshotFormatError, OSError) as exc:

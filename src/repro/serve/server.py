@@ -40,6 +40,7 @@ from repro.serve.store import SnapshotStore
 
 _STATUS_LINES = {
     200: b"HTTP/1.1 200 OK\r\n",
+    202: b"HTTP/1.1 202 Accepted\r\n",
     304: b"HTTP/1.1 304 Not Modified\r\n",
     400: b"HTTP/1.1 400 Bad Request\r\n",
     403: b"HTTP/1.1 403 Forbidden\r\n",
@@ -162,15 +163,27 @@ class SnapshotServer:
         allow_admin: bool = True,
         install_sighup: bool = False,
         compute_workers: int = 2,
+        sock=None,
+        reuse_port: bool = False,
+        worker_info: Optional[Dict[str, object]] = None,
+        reload_delegate=None,
     ):
         self.store = store
         self.host = host
         self.port = port
         self.cache_size = cache_size
         self.install_sighup = install_sighup
+        # pre-fork fleet wiring: an inherited listening socket (shared-
+        # socket fallback) or reuse_port=True for SO_REUSEPORT siblings
+        self._sock = sock
+        self._reuse_port = reuse_port
         self.metrics = Metrics()
         self.api = Api(
-            store, metrics_view=self.metrics.view, allow_admin=allow_admin
+            store,
+            metrics_view=self.metrics.view,
+            allow_admin=allow_admin,
+            worker_info=worker_info,
+            reload_delegate=reload_delegate,
         )
         # path/what-if propagation runs on this bounded pool so a cold
         # route-table build never stalls the event loop: cached reads
@@ -195,10 +208,21 @@ class SnapshotServer:
 
     async def start(self) -> Tuple[str, int]:
         """Bind and start accepting; returns the actual (host, port)."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock
+            )
+        elif self._reuse_port:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port,
+                reuse_port=True,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
         sockname = self._server.sockets[0].getsockname()
+        self.host = sockname[0]
         self.port = sockname[1]
         if self.install_sighup and hasattr(signal, "SIGHUP"):
             try:

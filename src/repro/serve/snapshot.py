@@ -41,6 +41,11 @@ from repro.datasets.serialization import DatasetFormatError
 from repro.graph import DenseIndex, closure_bits, decode_bits
 from repro.relationships import Relationship
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
 
 class SnapshotFormatError(DatasetFormatError):
     """Raised on a malformed, truncated or corrupted snapshot blob."""
@@ -58,6 +63,102 @@ DEFINITION_ALIASES["provider-peer-observed"] = (
 _LINK_STRUCT = struct.Struct("<IIbB")
 _RANK_STRUCT = struct.Struct("<IQIqqIIIII")
 _NO_PROVIDER, _PROVIDER_A, _PROVIDER_B = 0, 1, 2
+
+if _np is not None:
+    #: structured views over the packed sections — field layout must
+    #: mirror the struct codecs exactly so an mmap'd file decodes to
+    #: the same rows the pure-Python path produces
+    LINK_DTYPE = _np.dtype(
+        [("a", "<u4"), ("b", "<u4"), ("rel", "<i1"), ("flag", "<u1")]
+    )
+    RANK_DTYPE = _np.dtype(
+        [
+            ("rank", "<u4"),
+            ("asn", "<u8"),
+            ("cone_ases", "<u4"),
+            ("cone_prefixes", "<i8"),
+            ("cone_addresses", "<i8"),
+            ("transit_degree", "<u4"),
+            ("node_degree", "<u4"),
+            ("num_customers", "<u4"),
+            ("num_peers", "<u4"),
+            ("num_providers", "<u4"),
+        ]
+    )
+    assert LINK_DTYPE.itemsize == _LINK_STRUCT.size
+    assert RANK_DTYPE.itemsize == _RANK_STRUCT.size
+else:  # pragma: no cover - exercised by the no-numpy CI leg
+    LINK_DTYPE = RANK_DTYPE = None
+
+
+class LazyConeBits:
+    """Per-AS cone bitsets served straight off a packed section.
+
+    The ``cones:*`` sections hold one ``[u32 length][little-endian
+    bitset]`` frame per AS.  Cones are variable-length Python-int
+    bitsets, so unlike links/ranks they cannot be a fixed-stride numpy
+    view — instead this parses only the framing (two small offset
+    tables) and leaves the bitset bytes where they are, in the mmap'd
+    pages.  Membership probes touch a single byte of the mapping;
+    full bitsets materialize as ints on first use and are cached, so
+    an idle worker's private memory stays at the offset tables while
+    the payload pages remain shared.
+
+    Indexing (``bits[i]``) matches the eager ``List[int]`` contract, so
+    every snapshot query works unchanged; ``test`` is the zero-copy
+    membership fast path.
+    """
+
+    def __init__(self, blob, n: int):
+        self._blob = blob
+        starts: List[int] = []
+        lengths: List[int] = []
+        offset = 0
+        size = len(blob)
+        for _ in range(n):
+            if offset + 4 > size:
+                raise SnapshotFormatError("cones section truncated")
+            (length,) = struct.unpack_from("<I", blob, offset)
+            offset += 4
+            if offset + length > size:
+                raise SnapshotFormatError("cones section truncated")
+            starts.append(offset)
+            lengths.append(length)
+            offset += length
+        if offset != size:
+            raise SnapshotFormatError("cones section has trailing bytes")
+        self._starts = starts
+        self._lengths = lengths
+        self._cache: List[Optional[int]] = [None] * n
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __getitem__(self, i: int) -> int:
+        mask = self._cache[i]
+        if mask is None:
+            start = self._starts[i]
+            mask = int.from_bytes(
+                self._blob[start:start + self._lengths[i]], "little"
+            )
+            self._cache[i] = mask
+        return mask
+
+    def __iter__(self):
+        for i in range(len(self._starts)):
+            yield self[i]
+
+    def test(self, i: int, member_id: int) -> bool:
+        """One-byte membership probe; never materializes the bitset."""
+        mask = self._cache[i]
+        if mask is not None:
+            return bool(mask >> member_id & 1)
+        byte = member_id >> 3
+        if byte >= self._lengths[i]:
+            return False
+        return bool(
+            self._blob[self._starts[i] + byte] >> (member_id & 7) & 1
+        )
 
 
 def resolve_definition(name: str) -> ConeDefinition:
@@ -109,6 +210,11 @@ class Snapshot:
         self._rank_of: Dict[int, int] = {}
         # lazy section source installed by the store
         self._section_loader: Optional[Callable[[str], bytes]] = None
+        # mmap-backed loads decode links/ranks as numpy views and
+        # cones as LazyConeBits instead of copying
+        self._mapped = False
+        # the store's section reader, for deterministic close()
+        self._section_reader = None
         # routing view over the link rows (compiled on first path query)
         self._rel_graph = None
 
@@ -286,28 +392,62 @@ class Snapshot:
     # internal wiring
     # ------------------------------------------------------------------
 
-    def _attach_links(self, rows: List[Tuple[int, int, int, int]]) -> None:
+    def _attach_links(self, rows) -> None:
         self._link_rows = rows
-        self._link_index = {
-            (a_id << 32) | b_id: i for i, (a_id, b_id, _c, _f) in
-            enumerate(rows)
-        }
+        if _np is not None and isinstance(rows, _np.ndarray):
+            # one vectorized key computation; .tolist() hands back
+            # Python ints for the dict keys
+            keys = (
+                (rows["a"].astype("<u8") << _np.uint64(32)) | rows["b"]
+            ).tolist()
+            self._link_index = {key: i for i, key in enumerate(keys)}
+        else:
+            self._link_index = {
+                (a_id << 32) | b_id: i for i, (a_id, b_id, _c, _f) in
+                enumerate(rows)
+            }
 
-    def _attach_ranks(self, rows: List[Tuple[int, ...]]) -> None:
+    def _attach_ranks(self, rows) -> None:
         self._rank_rows = rows
-        self._rank_of = {row[1]: i for i, row in enumerate(rows)}
+        if _np is not None and isinstance(rows, _np.ndarray):
+            self._rank_of = {
+                asn: i for i, asn in enumerate(rows["asn"].tolist())
+            }
+        else:
+            self._rank_of = {row[1]: i for i, row in enumerate(rows)}
 
-    def _links(self) -> List[Tuple[int, int, int, int]]:
+    def _links(self):
         if self._link_rows is None:
-            self._attach_links(_decode_links(self._load_section("links")))
+            blob = self._load_section("links")
+            if self._mapped and _np is not None:
+                self._attach_links(_links_view(blob))
+            else:
+                self._attach_links(_decode_links(bytes(blob)))
         return self._link_rows
 
-    def _ranks(self) -> List[Tuple[int, ...]]:
+    def _ranks(self):
         if self._rank_rows is None:
-            self._attach_ranks(_decode_ranks(self._load_section("ranks")))
+            blob = self._load_section("ranks")
+            if self._mapped and _np is not None:
+                self._attach_ranks(_ranks_view(blob))
+            else:
+                self._attach_ranks(_decode_ranks(bytes(blob)))
         return self._rank_rows
 
-    def _cone_bits(self, definition: ConeDefinition) -> List[int]:
+    def _links_as_tuples(self) -> List[Tuple[int, int, int, int]]:
+        """Link rows as plain-int tuples (for iteration-heavy callers)."""
+        rows = self._links()
+        if _np is not None and isinstance(rows, _np.ndarray):
+            return rows.tolist()
+        return rows
+
+    def _ranks_as_tuples(self) -> List[Tuple[int, ...]]:
+        rows = self._ranks()
+        if _np is not None and isinstance(rows, _np.ndarray):
+            return rows.tolist()
+        return rows
+
+    def _cone_bits(self, definition: ConeDefinition):
         if definition.value not in self.meta["definitions"]:
             raise KeyError(
                 f"definition {definition.value!r} not in this snapshot "
@@ -315,9 +455,11 @@ class Snapshot:
             )
         bits = self._cones.get(definition.value)
         if bits is None:
-            bits = _decode_cones(
-                self._load_section(_cone_section(definition)), len(self.asns)
-            )
+            blob = self._load_section(_cone_section(definition))
+            if self._mapped:
+                bits = LazyConeBits(blob, len(self.asns))
+            else:
+                bits = _decode_cones(bytes(blob), len(self.asns))
             self._cones[definition.value] = bits
         return bits
 
@@ -330,7 +472,7 @@ class Snapshot:
         customers = [0] * len(self.asns)
         peers = [0] * len(self.asns)
         providers = [0] * len(self.asns)
-        for a_id, b_id, code, flag in self._links():
+        for a_id, b_id, code, flag in self._links_as_tuples():
             if code == int(Relationship.P2C):
                 prov, cust = (
                     (a_id, b_id) if flag == _PROVIDER_A else (b_id, a_id)
@@ -343,7 +485,7 @@ class Snapshot:
         return customers, peers, providers
 
     def _summary_stats(self) -> Dict[str, object]:
-        links = self._links()
+        links = self._links_as_tuples()
         counts: Dict[str, int] = {}
         for _a, _b, code, _f in links:
             label = Relationship(code).label
@@ -411,7 +553,10 @@ class Snapshot:
         asn_id, member_id = self._ids.get(asn), self._ids.get(member)
         if asn_id is None or member_id is None:
             return asn == member
-        return bool(self._cone_bits(definition)[asn_id] >> member_id & 1)
+        bits = self._cone_bits(definition)
+        if isinstance(bits, LazyConeBits):
+            return bits.test(asn_id, member_id)
+        return bool(bits[asn_id] >> member_id & 1)
 
     def cone_size(
         self,
@@ -466,7 +611,7 @@ class Snapshot:
             customers: List[List[int]] = [[] for _ in range(n)]
             peers: List[List[int]] = [[] for _ in range(n)]
             p2c = int(Relationship.P2C)
-            for a_id, b_id, code, flag in self._links():
+            for a_id, b_id, code, flag in self._links_as_tuples():
                 if code == p2c:
                     prov, cust = (
                         (a_id, b_id) if flag == _PROVIDER_A else (b_id, a_id)
@@ -491,8 +636,8 @@ class Snapshot:
         """All sections as canonical bytes (the store writes these)."""
         sections: Dict[str, bytes] = {
             "asns": struct.pack(f"<{len(self.asns)}Q", *self.asns),
-            "links": _encode_links(self._links()),
-            "ranks": _encode_ranks(self._ranks()),
+            "links": _encode_links(self._links_as_tuples()),
+            "ranks": _encode_ranks(self._ranks_as_tuples()),
             "stats": _json_bytes(self.stats),
             "meta": _json_bytes(self.meta),
         }
@@ -520,12 +665,16 @@ class Snapshot:
         version: str,
         loader: Callable[[str], bytes],
         eager_sections: Optional[Mapping[str, bytes]] = None,
+        mapped: bool = False,
     ) -> "Snapshot":
         """Rebuild from decoded header sections + a section loader.
 
         ``eager_sections`` (the store passes it for non-lazy loads)
         decodes everything up front; otherwise links/cones/ranks
-        materialize on first query via ``loader``.
+        materialize on first query via ``loader``.  ``mapped=True``
+        (the store's mmap path) decodes links/ranks as read-only numpy
+        views over the loader's buffers and cones as
+        :class:`LazyConeBits` — zero copies, bit-identical answers.
         """
         try:
             meta = json.loads(meta_blob)
@@ -537,6 +686,7 @@ class Snapshot:
         asns = list(struct.unpack(f"<{len(asns_blob) // 8}Q", asns_blob))
         snapshot = cls(asns=asns, meta=meta, stats=stats, version=version)
         snapshot._section_loader = loader
+        snapshot._mapped = mapped
         if eager_sections is not None:
             snapshot._attach_links(
                 _decode_links(eager_sections["links"])
@@ -549,6 +699,17 @@ class Snapshot:
                     eager_sections[_cone_section(definition)], len(asns)
                 )
         return snapshot
+
+    def close(self) -> None:
+        """Release the store's section reader (file handle or mapping).
+
+        Safe to call on eagerly loaded snapshots (no-op) and
+        idempotent; an mmap-backed snapshot's mapping is released
+        best-effort — outstanding numpy views keep the pages alive
+        until they are collected.
+        """
+        if self._section_reader is not None:
+            self._section_reader.close()
 
 
 # ---------------------------------------------------------------------------
@@ -574,6 +735,20 @@ def _decode_links(blob: bytes) -> List[Tuple[int, int, int, int]]:
     return [tuple(row) for row in _LINK_STRUCT.iter_unpack(blob)]
 
 
+def _links_view(blob):
+    """Read-only structured numpy view over a links section buffer."""
+    if len(blob) % _LINK_STRUCT.size:
+        raise SnapshotFormatError("links section truncated")
+    return _np.frombuffer(blob, dtype=LINK_DTYPE)
+
+
+def _ranks_view(blob):
+    """Read-only structured numpy view over a ranks section buffer."""
+    if len(blob) % _RANK_STRUCT.size:
+        raise SnapshotFormatError("ranks section truncated")
+    return _np.frombuffer(blob, dtype=RANK_DTYPE)
+
+
 def _encode_ranks(rows: Iterable[Tuple[int, ...]]) -> bytes:
     return b"".join(_RANK_STRUCT.pack(*row) for row in rows)
 
@@ -584,9 +759,12 @@ def _decode_ranks(blob: bytes) -> List[Tuple[int, ...]]:
     return [tuple(row) for row in _RANK_STRUCT.iter_unpack(blob)]
 
 
-def _encode_cones(bits: List[int]) -> bytes:
+def _encode_cones(bits) -> bytes:
+    # index-based so LazyConeBits encodes through the same path as a
+    # plain list (materializing each bitset once)
     chunks: List[bytes] = []
-    for mask in bits:
+    for i in range(len(bits)):
+        mask = bits[i]
         blob = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
         chunks.append(struct.pack("<I", len(blob)))
         chunks.append(blob)
@@ -626,15 +804,17 @@ def _rank_entry_to_row(entry: ASRankEntry) -> Tuple[int, ...]:
 
 
 def _row_to_rank_entry(row: Tuple[int, ...]) -> ASRankEntry:
+    # int() coercion: a row may be a numpy structured-view record, and
+    # the entry's fields end up in json.dumps, which rejects np ints
     return ASRankEntry(
-        rank=row[0],
-        asn=row[1],
-        cone_ases=row[2],
-        cone_prefixes=None if row[3] < 0 else row[3],
-        cone_addresses=None if row[4] < 0 else row[4],
-        transit_degree=row[5],
-        node_degree=row[6],
-        num_customers=row[7],
-        num_peers=row[8],
-        num_providers=row[9],
+        rank=int(row[0]),
+        asn=int(row[1]),
+        cone_ases=int(row[2]),
+        cone_prefixes=None if row[3] < 0 else int(row[3]),
+        cone_addresses=None if row[4] < 0 else int(row[4]),
+        transit_degree=int(row[5]),
+        node_degree=int(row[6]),
+        num_customers=int(row[7]),
+        num_peers=int(row[8]),
+        num_providers=int(row[9]),
     )

@@ -6,16 +6,36 @@ File layout (all little-endian)::
     offset 8   format       u32      container format version (1)
     offset 12  header_len   u32      length of the JSON header
     offset 16  header       JSON     {"version", "payload_sha256",
+                                      "minor", "alignment",
                                       "sections": {name: {offset,
                                       length, sha256}}}
     then       payload      bytes    section blobs, concatenated
 
+Since format minor 1 the header is space-padded and every section
+offset is zero-padded so each section starts on a 64-byte boundary in
+the file — mmap'd numpy views land aligned.  Minor-0 files (unpadded)
+load unchanged: readers only ever trust the header's offset table.
+
 Integrity is two-level: the header carries a sha256 over the whole
 payload (verified on eager loads) and one per section (verified on
-first access in lazy loads), so a flipped byte is rejected on either
-path.  ``save_snapshot`` writes to a temp file in the target directory
-and ``os.replace``s it into place, so a concurrently reloading server
-never observes a half-written file.
+first access in lazy and mmap loads), so a flipped byte is rejected on
+either path.  ``save_snapshot`` writes to a temp file in the target
+directory and ``os.replace``s it into place, so a concurrently
+reloading server never observes a half-written file.
+
+Three load modes (``load_snapshot(path, mode=...)``):
+
+* ``eager`` — read + checksum the whole payload, decode every section.
+* ``lazy`` — decode ``meta``/``stats``/``asns``; other sections come
+  off one long-lived file handle (and are checksum-verified) on first
+  query.
+* ``mmap`` — map the file read-only and hand sections out as
+  zero-copy views of the mapping; numpy decodes links/ranks as array
+  views over the mapped pages and cones stay packed with per-AS lazy
+  access, so N worker processes mapping the same file share one
+  physical copy of the payload.  Falls back to ``lazy`` when the
+  platform cannot map the file, and to pure-Python tuple decoding when
+  numpy is absent — results are bit-identical in every mode.
 
 :class:`SnapshotStore` is what the server holds: the current
 :class:`~repro.serve.snapshot.Snapshot` behind one attribute, swapped
@@ -27,18 +47,31 @@ from __future__ import annotations
 
 import hashlib
 import json
+import mmap as _mmap_module
 import os
 import struct
 import tempfile
 import threading
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro import perf
 from repro.serve.snapshot import Snapshot, SnapshotFormatError
 
 MAGIC = b"REPROSNP"
 FORMAT_VERSION = 1
+#: header minor version: 1 marks 64-byte-aligned section offsets;
+#: minor-0 (pre-alignment) files load unchanged
+MINOR_VERSION = 1
+#: section offsets are padded to this boundary in the file so mmap'd
+#: numpy views start aligned
+SECTION_ALIGNMENT = 64
 _FIXED = struct.Struct("<8sII")
+
+LOAD_MODES = ("eager", "lazy", "mmap")
+
+
+def _align(offset: int, alignment: int) -> int:
+    return -(-offset // alignment) * alignment
 
 
 def save_snapshot(snapshot: Snapshot, path: str) -> str:
@@ -50,6 +83,10 @@ def save_snapshot(snapshot: Snapshot, path: str) -> str:
         offset = 0
         for name in sorted(sections):
             blob = sections[name]
+            padded = _align(offset, SECTION_ALIGNMENT)
+            if padded != offset:
+                payload_parts.append(b"\0" * (padded - offset))
+                offset = padded
             table[name] = {
                 "offset": offset,
                 "length": len(blob),
@@ -63,11 +100,17 @@ def save_snapshot(snapshot: Snapshot, path: str) -> str:
             {
                 "version": version,
                 "payload_sha256": hashlib.sha256(payload).hexdigest(),
+                "minor": MINOR_VERSION,
+                "alignment": SECTION_ALIGNMENT,
                 "sections": table,
             },
             sort_keys=True,
             separators=(",", ":"),
         ).encode()
+        # space-pad the header (JSON tolerates trailing whitespace) so
+        # the payload itself starts on an aligned file offset
+        payload_start = _align(_FIXED.size + len(header), SECTION_ALIGNMENT)
+        header += b" " * (payload_start - _FIXED.size - len(header))
 
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
@@ -109,68 +152,241 @@ def _read_header(stream) -> Dict[str, object]:
     return header
 
 
+def read_snapshot_header(path: str) -> Tuple[Dict[str, object], int]:
+    """The parsed JSON header and the payload's file offset.
+
+    What ``repro-asrank snapshot info`` prints the section table from;
+    no payload bytes are read or verified.
+    """
+    with open(path, "rb") as stream:
+        header = _read_header(stream)
+        return header, stream.tell()
+
+
 class _SectionReader:
-    """Seek-and-read section access with per-section checksum checks."""
+    """Seek-and-read section access with per-section checksum checks.
+
+    Holds one file handle for its whole lifetime (the handle pins the
+    inode, so a concurrent ``os.replace`` of the path never changes
+    what this reader serves) and remembers which sections already
+    passed their checksum, so each is verified exactly once — on first
+    touch.  ``close()`` releases the handle deterministically.
+    """
 
     def __init__(self, path: str, header: Dict[str, object],
-                 payload_offset: int):
+                 payload_offset: int, stream):
         self._path = path
         self._sections: Dict[str, Dict[str, object]] = header["sections"]
         self._payload_offset = payload_offset
+        self._stream = stream
+        self._verified: set = set()
         self._lock = threading.Lock()
 
     def __call__(self, name: str) -> bytes:
         entry = self._sections.get(name)
         if entry is None:
             raise SnapshotFormatError(f"section {name!r} missing")
-        with self._lock, open(self._path, "rb") as stream:
-            stream.seek(self._payload_offset + int(entry["offset"]))
-            blob = stream.read(int(entry["length"]))
+        with self._lock:
+            if self._stream is None:
+                raise SnapshotFormatError(
+                    f"section {name!r} requested after the reader for "
+                    f"{self._path} was closed"
+                )
+            self._stream.seek(self._payload_offset + int(entry["offset"]))
+            blob = self._stream.read(int(entry["length"]))
         if len(blob) != int(entry["length"]):
             raise SnapshotFormatError(f"section {name!r} truncated")
-        if hashlib.sha256(blob).hexdigest() != entry["sha256"]:
-            raise SnapshotFormatError(
-                f"section {name!r} checksum mismatch (corrupted snapshot)"
-            )
+        if name not in self._verified:
+            if hashlib.sha256(blob).hexdigest() != entry["sha256"]:
+                raise SnapshotFormatError(
+                    f"section {name!r} checksum mismatch "
+                    f"(corrupted snapshot)"
+                )
+            self._verified.add(name)
         return blob
 
+    def verify_all(self) -> None:
+        """Force every section through its first-touch checksum."""
+        for name in self._sections:
+            self(name)
 
-def load_snapshot(path: str, lazy: bool = False) -> Snapshot:
+    def close(self) -> None:
+        with self._lock:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
+
+
+class MappedSectionReader:
+    """Zero-copy section access over one read-only ``mmap``.
+
+    ``__call__`` returns a ``memoryview`` slice of the mapping — no
+    bytes are copied; the kernel shares the physical pages between
+    every process mapping the same file.  Each section's sha256 is
+    verified lazily on its first touch (hashing reads the mapped pages
+    in place).  Where the platform supports it the mapping is advised
+    ``MADV_WILLNEED`` so first-touch latency is a readahead, not a
+    page-fault-per-4k walk.
+
+    ``close()`` is best-effort: the mapping can only be released once
+    every exported view (numpy arrays included) is gone, so an
+    outstanding view downgrades close to a no-op and the OS reclaims
+    the mapping when the last reference dies.
+    """
+
+    def __init__(self, path: str, header: Dict[str, object],
+                 payload_offset: int, mapping):
+        self._path = path
+        self._sections: Dict[str, Dict[str, object]] = header["sections"]
+        self._payload_offset = payload_offset
+        self._map = mapping
+        self._view = memoryview(mapping)
+        self._verified: set = set()
+        self._lock = threading.Lock()
+        if hasattr(self._map, "madvise") and hasattr(
+            _mmap_module, "MADV_WILLNEED"
+        ):
+            try:
+                self._map.madvise(_mmap_module.MADV_WILLNEED)
+            except OSError:
+                pass
+
+    def __call__(self, name: str) -> memoryview:
+        entry = self._sections.get(name)
+        if entry is None:
+            raise SnapshotFormatError(f"section {name!r} missing")
+        if self._view is None:
+            raise SnapshotFormatError(
+                f"section {name!r} requested after the mapping of "
+                f"{self._path} was closed"
+            )
+        start = self._payload_offset + int(entry["offset"])
+        stop = start + int(entry["length"])
+        if stop > len(self._view):
+            raise SnapshotFormatError(f"section {name!r} truncated")
+        view = self._view[start:stop]
+        with self._lock:
+            if name not in self._verified:
+                if hashlib.sha256(view).hexdigest() != entry["sha256"]:
+                    raise SnapshotFormatError(
+                        f"section {name!r} checksum mismatch "
+                        f"(corrupted snapshot)"
+                    )
+                self._verified.add(name)
+        return view
+
+    def verify_all(self) -> None:
+        """Force every section through its first-touch checksum."""
+        for name in self._sections:
+            self(name)
+
+    def close(self) -> None:
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+        if self._map is not None:
+            try:
+                self._map.close()
+            except BufferError:
+                # numpy views over the mapping are still alive; the
+                # mapping is freed when the last of them is collected
+                pass
+            self._map = None
+
+
+def _resolve_mode(lazy: bool, mode: Optional[str]) -> str:
+    if mode is None:
+        return "lazy" if lazy else "eager"
+    if mode not in LOAD_MODES:
+        raise ValueError(
+            f"unknown snapshot load mode {mode!r}; one of {LOAD_MODES}"
+        )
+    return mode
+
+
+def load_snapshot(
+    path: str,
+    lazy: bool = False,
+    mode: Optional[str] = None,
+    verify: bool = False,
+) -> Snapshot:
     """Load a snapshot file.
 
-    Eager (default): the whole payload is read, checksummed and every
-    section decoded up front.  Lazy: only ``meta``/``stats``/``asns``
-    are decoded; links, cones and ranks come off disk (and are
-    checksum-verified) on first query.
+    ``mode`` picks the load path (``eager``/``lazy``/``mmap``, see the
+    module docstring); the legacy ``lazy`` flag is shorthand for
+    ``mode="lazy"``.  ``verify=True`` forces every section through its
+    checksum up front even in the lazy/mmap modes — what a pre-fork
+    worker does before *committing* to a new snapshot, so a corrupt
+    section can never surface mid-request after a hot reload.
     """
+    mode = _resolve_mode(lazy, mode)
     with perf.stage("snapshot-load"):
-        with open(path, "rb") as stream:
+        stream = open(path, "rb")
+        try:
             header = _read_header(stream)
             payload_offset = stream.tell()
-            reader = _SectionReader(path, header, payload_offset)
-            eager: Optional[Dict[str, bytes]] = None
-            if not lazy:
-                payload = stream.read()
-                if (
-                    hashlib.sha256(payload).hexdigest()
-                    != header["payload_sha256"]
-                ):
-                    raise SnapshotFormatError(
-                        f"{path}: payload checksum mismatch "
-                        "(corrupted snapshot)"
-                    )
-                eager = {}
-                for name, entry in header["sections"].items():
-                    start = int(entry["offset"])
-                    eager[name] = payload[start:start + int(entry["length"])]
+        except BaseException:
+            stream.close()
+            raise
+
+        if mode == "mmap":
+            mapping = None
+            try:
+                mapping = _mmap_module.mmap(
+                    stream.fileno(), 0, access=_mmap_module.ACCESS_READ
+                )
+            except (OSError, ValueError, OverflowError):
+                mode = "lazy"  # platform can't map this file: copy path
+            if mapping is not None:
+                # the mapping outlives the handle; drop the fd now
+                stream.close()
+                reader = MappedSectionReader(
+                    path, header, payload_offset, mapping
+                )
+                if verify:
+                    reader.verify_all()
+                snapshot = Snapshot.from_sections(
+                    meta_blob=bytes(reader("meta")),
+                    stats_blob=bytes(reader("stats")),
+                    asns_blob=reader("asns"),
+                    version=str(header["version"]),
+                    loader=reader,
+                    mapped=True,
+                )
+                snapshot._section_reader = reader
+                return snapshot
+
+        if mode == "lazy":
+            reader = _SectionReader(path, header, payload_offset, stream)
+            if verify:
+                reader.verify_all()
+            snapshot = Snapshot.from_sections(
+                meta_blob=reader("meta"),
+                stats_blob=reader("stats"),
+                asns_blob=reader("asns"),
+                version=str(header["version"]),
+                loader=reader,
+            )
+            snapshot._section_reader = reader
+            return snapshot
+
+        # eager: one read, whole-payload checksum, decode everything
+        with stream:
+            payload = stream.read()
+        if hashlib.sha256(payload).hexdigest() != header["payload_sha256"]:
+            raise SnapshotFormatError(
+                f"{path}: payload checksum mismatch (corrupted snapshot)"
+            )
+        eager: Dict[str, bytes] = {}
+        for name, entry in header["sections"].items():
+            start = int(entry["offset"])
+            eager[name] = payload[start:start + int(entry["length"])]
 
         def section(name: str) -> bytes:
-            if eager is not None:
-                blob = eager.get(name)
-                if blob is None:
-                    raise SnapshotFormatError(f"section {name!r} missing")
-                return blob
-            return reader(name)
+            blob = eager.get(name)
+            if blob is None:
+                raise SnapshotFormatError(f"section {name!r} missing")
+            return blob
 
         return Snapshot.from_sections(
             meta_blob=section("meta"),
@@ -196,15 +412,18 @@ class SnapshotStore:
         snapshot: Optional[Snapshot] = None,
         path: Optional[str] = None,
         lazy: bool = False,
+        mode: Optional[str] = None,
     ):
         if snapshot is None and path is None:
             raise ValueError("SnapshotStore needs a snapshot or a path")
         self.path = path
-        self.lazy = lazy
+        self.mode = _resolve_mode(lazy, mode)
+        self.lazy = self.mode != "eager"
         self._reload_lock = threading.Lock()
         self.reloads = 0
         self.current: Snapshot = (
-            snapshot if snapshot is not None else load_snapshot(path, lazy)
+            snapshot if snapshot is not None
+            else load_snapshot(path, mode=self.mode)
         )
 
     def reload(self, path: Optional[str] = None) -> Snapshot:
@@ -219,15 +438,22 @@ class SnapshotStore:
                 raise SnapshotFormatError(
                     "store has no file to reload from"
                 )
-            fresh = load_snapshot(target, self.lazy)
+            fresh = load_snapshot(target, mode=self.mode)
             self.path = target
             self.current = fresh
             self.reloads += 1
             perf.counter("snapshot-reloads")
         return fresh
 
-    def swap(self, snapshot: Snapshot) -> None:
-        """Install an in-memory snapshot (tests / embedded rebuilds)."""
+    def swap(self, snapshot: Snapshot, path: Optional[str] = None) -> None:
+        """Install an already-loaded snapshot (worker commit, tests).
+
+        ``path`` updates the store's reload source alongside — a
+        worker committing a coordinated reload points later
+        ``reload()`` calls at the file it just adopted.
+        """
         with self._reload_lock:
             self.current = snapshot
+            if path is not None:
+                self.path = path
             self.reloads += 1
