@@ -1,0 +1,220 @@
+"""Timeline benchmark: delta-storage efficiency and historical-read cost.
+
+Builds the default longitudinal series (four eras), compiles one full
+snapshot per era, delta-encodes them into a timeline, and measures:
+
+* storage — bytes stored per era inside the timeline vs the size of a
+  standalone full snapshot file for the same era (the delta ratio the
+  regression gate holds under 35%);
+* serving — sequential service times on one connection for latest
+  reads (``/asns/{asn}``), warm historical reads (``?as_of=`` after
+  the era is materialized), cold historical reads (the first touch of
+  an era, which pays the delta-chain reconstruction), and the era-diff
+  endpoint cold vs cached.
+
+Every sampled URL is distinct, so the server's response cache never
+answers for the timeline: warm numbers measure the era-LRU hit path,
+not response-cache hits.  The committed JSON records a
+``calibration_workload`` run so ``check_regression.py`` can rescale on
+slower runners.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_timeline.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.scenarios import evolution_scenario
+from repro.serve.loadgen import calibration_workload
+from repro.serve.server import ServerThread
+from repro.serve.store import SnapshotStore, save_snapshot
+from repro.timeline import build_timeline, era_snapshots, load_timeline, save_timeline
+from repro.topology.evolution import generate_series
+
+ERAS = 3  # growth steps; the series is base + ERAS = 4 eras
+SEED = 7
+LATEST_SAMPLES = 200
+HISTORICAL_SAMPLES = 200
+REPORT_FILE = os.path.join(
+    os.path.dirname(__file__), "reports", "BENCH_timeline.json"
+)
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def history_leg(timeline_path: str, samples: int = HISTORICAL_SAMPLES) -> dict:
+    """Latest vs historical service times against a timeline server.
+
+    Sequential on one connection, every URL distinct (response-cache
+    misses throughout).  Cold historical samples are taken first — one
+    per non-base era, in order, so each pays exactly one delta
+    materialization step on top of its predecessor.
+    """
+    store = SnapshotStore(path=timeline_path)
+    n_eras = len(store.timeline)
+    asns = [int(a) for a in store.timeline.snapshot(0).asns]
+
+    thread = ServerThread(store)
+    host, port = thread.start()
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    errors = 0
+
+    def timed(target):
+        nonlocal errors
+        start = time.perf_counter()
+        conn.request("GET", target)
+        response = conn.getresponse()
+        response.read()
+        if response.status != 200:
+            errors += 1
+        return (time.perf_counter() - start) * 1000.0
+
+    cold, warm, latest = [], [], []
+    try:
+        # spin up the connection before timing anything
+        for _ in range(20):
+            timed(f"/asns/{asns[0]}")
+        errors = 0
+        # cold: first touch per era pays one delta reconstruction
+        for era in range(1, n_eras):
+            cold.append(timed(f"/asns/{asns[1]}?as_of={era}"))
+        # warm historical vs latest yardstick, interleaved so both
+        # legs sample the same noise window; every URL is distinct
+        # (different asn per request) so the response cache never hits
+        pool = asns[2 : 2 + samples]
+        for i, asn in enumerate(pool):
+            warm.append(timed(f"/asns/{asn}?as_of={i % n_eras}"))
+            latest.append(timed(f"/asns/{asn}"))
+        diff_cold = timed(f"/diff/0/{n_eras - 1}")
+        diff_cached = timed(f"/diff/0/{n_eras - 1}")
+    finally:
+        conn.close()
+        thread.stop()
+        store.timeline.close()
+
+    return {
+        "errors": errors,
+        "eras": n_eras,
+        "cold_ms": [round(ms, 3) for ms in cold],
+        "warm_samples": len(warm),
+        "warm_p50_ms": round(_percentile(warm, 0.50), 3),
+        "warm_p99_ms": round(_percentile(warm, 0.99), 3),
+        "latest_samples": len(latest),
+        "latest_p50_ms": round(_percentile(latest, 0.50), 3),
+        "latest_p99_ms": round(_percentile(latest, 0.99), 3),
+        "diff_cold_ms": round(diff_cold, 3),
+        "diff_cached_ms": round(diff_cached, 3),
+    }
+
+
+def main() -> int:
+    print(f"building the {ERAS}-step evolution series (seed {SEED}) ...")
+    series = generate_series(evolution_scenario(eras=ERAS, seed=SEED))
+    start = time.perf_counter()
+    pairs = era_snapshots(series)
+    pipeline_seconds = time.perf_counter() - start
+
+    scratch = tempfile.mkdtemp(prefix="repro-bench-timeline-")
+
+    # standalone full snapshot files: the storage yardstick
+    full_bytes = []
+    for index, (label, snapshot) in enumerate(pairs):
+        path = os.path.join(scratch, f"era{index}.snap")
+        save_snapshot(snapshot, path)
+        full_bytes.append(os.path.getsize(path))
+
+    start = time.perf_counter()
+    timeline = build_timeline(pairs)
+    build_seconds = time.perf_counter() - start
+    timeline_path = os.path.join(scratch, "series.tln")
+    start = time.perf_counter()
+    save_timeline(timeline, timeline_path)
+    save_seconds = time.perf_counter() - start
+    timeline_bytes = os.path.getsize(timeline_path)
+
+    start = time.perf_counter()
+    loaded = load_timeline(timeline_path, verify=True)
+    load_verify_seconds = time.perf_counter() - start
+
+    eras_report = []
+    delta_stored = delta_full = 0
+    for info in loaded.eras:
+        stored = loaded.era_bytes(info.index)
+        ratio = stored / full_bytes[info.index]
+        if info.kind == "delta":
+            delta_stored += stored
+            delta_full += full_bytes[info.index]
+        eras_report.append({
+            "era": info.index,
+            "label": info.label,
+            "date": info.date,
+            "kind": info.kind,
+            "n_ases": info.n_ases,
+            "n_links": info.n_links,
+            "stored_bytes": stored,
+            "full_snapshot_bytes": full_bytes[info.index],
+            "ratio": round(ratio, 4),
+        })
+        print(
+            f"era {info.index} ({info.kind}): {stored:,} bytes stored "
+            f"vs {full_bytes[info.index]:,} full ({ratio:.1%})"
+        )
+    delta_ratio = delta_stored / delta_full if delta_full else 0.0
+    loaded.close()
+    print(
+        f"timeline file {timeline_bytes:,} bytes vs "
+        f"{sum(full_bytes):,} all-full; delta eras at "
+        f"{delta_ratio:.1%} of their full-snapshot bytes"
+    )
+
+    print("serving leg ...")
+    serving = history_leg(timeline_path)
+    print(
+        f"latest p50 {serving['latest_p50_ms']}ms / "
+        f"p99 {serving['latest_p99_ms']}ms; historical warm p50 "
+        f"{serving['warm_p50_ms']}ms / p99 {serving['warm_p99_ms']}ms; "
+        f"cold per era {serving['cold_ms']}; diff cold "
+        f"{serving['diff_cold_ms']}ms -> cached "
+        f"{serving['diff_cached_ms']}ms ({serving['errors']} errors)"
+    )
+
+    payload = {
+        "series": {
+            "eras": ERAS,
+            "seed": SEED,
+            "pipeline_seconds": round(pipeline_seconds, 4),
+        },
+        "timeline": {
+            "version": timeline.version,
+            "bytes": timeline_bytes,
+            "all_full_bytes": sum(full_bytes),
+            "delta_ratio": round(delta_ratio, 4),
+            "build_seconds": round(build_seconds, 4),
+            "save_seconds": round(save_seconds, 4),
+            "load_verify_seconds": round(load_verify_seconds, 4),
+        },
+        "eras": eras_report,
+        "serving": serving,
+        "calibration": round(calibration_workload(), 4),
+    }
+    os.makedirs(os.path.dirname(REPORT_FILE), exist_ok=True)
+    with open(REPORT_FILE, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {REPORT_FILE}")
+    return 1 if serving["errors"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

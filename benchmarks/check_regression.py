@@ -25,7 +25,13 @@ regression against the committed report:
 * pre-fork worker scaling: on runners with >=4 CPUs a 2-worker mmap
   fleet must beat the 1-worker throughput by >=1.6x, both measured
   live on the same machine (skipped, with a message, on smaller
-  runners where workers time-slice one core).
+  runners where workers time-slice one core);
+* the era timeline: committed delta eras must store <=35% of their
+  full-snapshot bytes and committed warm historical-read p99 must sit
+  within 2x of the latest-read p99; a small timeline is then rebuilt
+  and served live — the storage ratio is machine-independent, and the
+  live historical/latest comparison is self-calibrated because both
+  legs run interleaved on this runner.
 
 The committed baselines and the CI runner are different machines, so
 the committed numbers are first rescaled by a calibration ratio.  The
@@ -70,6 +76,13 @@ GRAPH_BASELINE_FILE = os.path.join(
 )
 GRAPH_ROUNDS = 5
 WORKER_MIN_SPEEDUP = 1.6  # 2-worker floor, only gated on >=4-CPU runners
+TIMELINE_BASELINE_FILE = os.path.join(
+    os.path.dirname(__file__), "reports", "BENCH_timeline.json"
+)
+TIMELINE_DELTA_RATIO_MAX = 0.35  # delta eras vs their full snapshots
+TIMELINE_WARM_FACTOR = 2.0  # committed historical p99 vs latest p99
+TIMELINE_LIVE_FACTOR = 3.0  # live re-measure, absorbs runner noise
+TIMELINE_LIVE_EPSILON_MS = 0.25  # sub-ms samples need an absolute floor
 
 
 def _collect_seconds(graph, config) -> float:
@@ -254,6 +267,105 @@ def check_paths() -> int:
     return 0
 
 
+def check_timeline() -> int:
+    """Timeline leg: delta storage stays small, historical reads stay
+    near latest reads.
+
+    The committed gates: delta eras at <=35% of their full-snapshot
+    bytes, and warm historical-read p99 within 2x of latest-read p99.
+    Then a small two-era timeline is rebuilt here: its storage ratio
+    must meet the same 35% bound (byte counts are machine-independent),
+    and a live serving run — historical and latest legs interleaved on
+    one connection — must keep warm historical p99 under 3x the live
+    latest p99 plus a small absolute epsilon for sub-millisecond noise.
+    """
+    import tempfile
+
+    from bench_timeline import history_leg
+
+    from repro.serve.store import save_snapshot
+    from repro.timeline import build_timeline, era_snapshots, save_timeline
+    from repro.topology.evolution import Era, EvolutionConfig, generate_series
+
+    with open(TIMELINE_BASELINE_FILE) as handle:
+        baseline = json.load(handle)
+    committed_ratio = baseline["timeline"]["delta_ratio"]
+    if committed_ratio > TIMELINE_DELTA_RATIO_MAX:
+        print(
+            f"REGRESSION: committed delta ratio {committed_ratio:.1%} "
+            f"exceeds {TIMELINE_DELTA_RATIO_MAX:.0%} — delta encoding "
+            f"is not earning its keep; re-run bench_timeline.py"
+        )
+        return 1
+    committed = baseline["serving"]
+    if committed["warm_p99_ms"] > TIMELINE_WARM_FACTOR * committed[
+        "latest_p99_ms"
+    ]:
+        print(
+            f"REGRESSION: committed historical warm p99 "
+            f"{committed['warm_p99_ms']}ms exceeds "
+            f"{TIMELINE_WARM_FACTOR:.0f}x the committed latest p99 "
+            f"{committed['latest_p99_ms']}ms"
+        )
+        return 1
+
+    config = EvolutionConfig(
+        base=GeneratorConfig(n_ases=80, seed=5, clique_size=4),
+        eras=[
+            Era(label="e1", new_ases=20, peering_boost=0.02),
+            Era(label="e2", new_ases=25, peering_boost=0.03),
+        ],
+    )
+    pairs = era_snapshots(generate_series(config))
+    scratch = tempfile.mkdtemp(prefix="repro-check-timeline-")
+    timeline = build_timeline(pairs)
+    path = os.path.join(scratch, "small.tln")
+    save_timeline(timeline, path)
+
+    delta_stored = delta_full = 0
+    for index, (_label, snapshot) in enumerate(pairs):
+        if timeline.eras[index].kind != "delta":
+            continue
+        full = os.path.join(scratch, f"era{index}.snap")
+        save_snapshot(snapshot, full)
+        delta_stored += timeline.era_bytes(index)
+        delta_full += os.path.getsize(full)
+    live_ratio = delta_stored / delta_full if delta_full else 0.0
+    print(
+        f"timeline (live 3-era build): delta ratio {live_ratio:.1%} "
+        f"(committed {committed_ratio:.1%}, bound "
+        f"{TIMELINE_DELTA_RATIO_MAX:.0%})"
+    )
+    if live_ratio > TIMELINE_DELTA_RATIO_MAX:
+        print(
+            f"REGRESSION: live delta ratio {live_ratio:.1%} exceeds "
+            f"{TIMELINE_DELTA_RATIO_MAX:.0%}"
+        )
+        return 1
+
+    measured = history_leg(path, samples=120)
+    allowed = (
+        TIMELINE_LIVE_FACTOR * measured["latest_p99_ms"]
+        + TIMELINE_LIVE_EPSILON_MS
+    )
+    print(
+        f"timeline serving: latest p99 {measured['latest_p99_ms']}ms, "
+        f"historical warm p99 {measured['warm_p99_ms']}ms "
+        f"(allowed {allowed:.3f}ms)"
+    )
+    if measured["errors"]:
+        print(f"REGRESSION: {measured['errors']} non-200s in the timeline leg")
+        return 1
+    if measured["warm_p99_ms"] > allowed:
+        print(
+            "REGRESSION: warm historical reads are not riding the "
+            "era cache — p99 is far above the latest-read cost"
+        )
+        return 1
+    print("ok: delta storage small, historical reads near latest reads")
+    return 0
+
+
 def check_workers() -> int:
     """Worker-scaling leg: 2 pre-fork workers must beat 1 by >=1.6x.
 
@@ -425,6 +537,9 @@ def main() -> int:
     if status:
         return status
     status = check_serve()
+    if status:
+        return status
+    status = check_timeline()
     if status:
         return status
     return check_workers()

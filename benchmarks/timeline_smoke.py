@@ -1,0 +1,166 @@
+"""CI smoke for the time-travel subsystem: build, serve, diff, reload.
+
+Builds a four-era timeline from the default evolution model, serves it
+on an ephemeral port, and drives concurrent mixed traffic — latest
+reads, ``?as_of=`` historical reads (index, label, and date tokens),
+``/eras``, ``/diff``, and ``/asns/{asn}/history`` — from several
+threads.  Mid-load, the server hot-reloads a second timeline (the same
+series truncated to three eras) through ``POST /admin/reload``; the
+load keeps to eras the two timelines share, so the run must finish
+with zero non-200 responses.  Afterwards the served era table must
+show the new timeline.
+
+Exit code 0 on success, 1 with a one-line reason on any failure.
+
+Usage (what CI runs)::
+
+    PYTHONPATH=src python benchmarks/timeline_smoke.py
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import sys
+import tempfile
+import threading
+
+from repro.serve.server import ServerThread
+from repro.serve.store import SnapshotStore
+from repro.timeline import build_timeline, era_snapshots, save_timeline
+from repro.topology.evolution import EvolutionConfig, generate_series
+
+START_ASES = 150
+ERAS = 3  # growth steps -> base + 3 = four eras
+SEED = 7
+THREADS = 4
+REQUESTS_PER_THREAD = 250
+SHARED_ERAS = 3  # eras 0..2 exist in both timelines; the load stays there
+
+
+def _fail(reason: str) -> int:
+    print(f"FAIL: {reason}")
+    return 1
+
+
+def _request(host, port, method, target, body=None):
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        conn.request(method, target, body=body)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _load_thread(host, port, asns, seed, failures):
+    """One closed-loop client cycling the whole timeline surface."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    tokens = ["0", "1", "2", "era-1", "1998-06-01", "2000-12-31"]
+    try:
+        for i in range(REQUESTS_PER_THREAD):
+            pick = (seed + i) % 6
+            asn = asns[(seed * 31 + i * 7) % len(asns)]
+            if pick == 0:
+                target = f"/asns/{asn}"
+            elif pick == 1:
+                target = f"/asns/{asn}?as_of={tokens[(seed + i) % len(tokens)]}"
+            elif pick == 2:
+                target = f"/ranks?per_page=20&as_of={i % SHARED_ERAS}"
+            elif pick == 3:
+                target = "/eras"
+            elif pick == 4:
+                target = f"/diff/{i % 2}/{SHARED_ERAS - 1}"
+            else:
+                target = f"/asns/{asn}/history"
+            conn.request("GET", target)
+            response = conn.getresponse()
+            response.read()
+            if response.status != 200:
+                failures.append((response.status, target))
+    except Exception as exc:  # transport error = failure
+        failures.append(("transport", repr(exc)))
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    print(f"building the {ERAS}-step series ({START_ASES} start ASes) ...")
+    config = EvolutionConfig.default_series(
+        start_ases=START_ASES, eras=ERAS, seed=SEED
+    )
+    pairs = era_snapshots(generate_series(config))
+
+    scratch = tempfile.mkdtemp(prefix="repro-timeline-smoke-")
+    four_eras = os.path.join(scratch, "four.tln")
+    version_four = save_timeline(build_timeline(pairs), four_eras)
+    three_eras = os.path.join(scratch, "three.tln")
+    version_three = save_timeline(build_timeline(pairs[:3]), three_eras)
+    if version_four == version_three:
+        return _fail("truncated timeline has the same version")
+    # ASes born in era 0 exist in every era — history/as_of-safe probes
+    asns = [int(a) for a in pairs[0][1].asns]
+
+    store = SnapshotStore(path=four_eras)
+    thread = ServerThread(store)
+    host, port = thread.start()
+    try:
+        status, body = _request(host, port, "GET", "/eras")
+        if status != 200 or len(json.loads(body)["eras"]) != ERAS + 1:
+            return _fail(f"/eras answered {status}: {body[:120]!r}")
+
+        failures: list = []
+        loaders = [
+            threading.Thread(
+                target=_load_thread,
+                args=(host, port, asns, seed, failures),
+            )
+            for seed in range(THREADS)
+        ]
+        for loader in loaders:
+            loader.start()
+
+        # hot-reload the truncated timeline while the load is running
+        status, body = _request(
+            host, port, "POST", "/admin/reload",
+            json.dumps({"path": three_eras}).encode(),
+        )
+        if status != 200:
+            return _fail(f"reload answered {status}: {body[:120]!r}")
+
+        for loader in loaders:
+            loader.join(timeout=120)
+        if any(loader.is_alive() for loader in loaders):
+            return _fail("load threads never finished")
+        if failures:
+            return _fail(
+                f"{len(failures)} failed requests under load, first: "
+                f"{failures[0]}"
+            )
+
+        status, body = _request(host, port, "GET", "/eras")
+        payload = json.loads(body)
+        if status != 200 or payload["timeline"] != version_three:
+            return _fail(
+                f"served timeline is {payload.get('timeline')}, "
+                f"expected {version_three} after reload"
+            )
+        if len(payload["eras"]) != SHARED_ERAS:
+            return _fail(
+                f"{len(payload['eras'])} eras served after the reload"
+            )
+        total = THREADS * REQUESTS_PER_THREAD
+        print(
+            f"mixed timeline load: {total} requests across {THREADS} "
+            f"threads, 0 errors; hot reload {version_four} -> "
+            f"{version_three} under load"
+        )
+    finally:
+        thread.stop()
+    print("timeline smoke: all legs passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

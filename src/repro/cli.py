@@ -250,6 +250,58 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.scenarios import evolution_scenario
+    from repro.timeline import (
+        build_timeline,
+        era_snapshots,
+        load_timeline,
+        read_timeline_header,
+        save_timeline,
+    )
+
+    if args.timeline_command == "build":
+        config = evolution_scenario(eras=args.eras, seed=args.seed)
+        series = generate_series(config)
+        snapshots = era_snapshots(series)
+        timeline = build_timeline(snapshots, start_year=args.start_year)
+        version = save_timeline(timeline, args.out)
+        size = os.path.getsize(args.out)
+        print(
+            f"wrote timeline {version} to {args.out}: "
+            f"{len(timeline)} eras, {size} bytes"
+        )
+        for info in timeline.eras:
+            print(
+                f"  era {info.index} {info.label:<8}{info.date}  "
+                f"{info.kind:<6}{info.n_ases:>6} ASes "
+                f"{info.n_links:>7} links  "
+                f"{timeline.era_bytes(info.index):>9} bytes  "
+                f"snapshot {info.snapshot_version}"
+            )
+        return 0
+    # info
+    timeline = load_timeline(args.file)
+    header, payload_offset = read_timeline_header(args.file)
+    full = timeline.era_bytes(0)
+    print(f"timeline {timeline.version} ({args.file})")
+    print(f"  eras         {len(timeline)}")
+    print(f"  payload at   {payload_offset}")
+    print(f"  {'era':<5}{'label':<10}{'date':<12}{'kind':<7}"
+          f"{'ases':>7}{'links':>8}{'bytes':>10}  {'vs era0':>8}  "
+          f"snapshot")
+    for info in timeline.eras:
+        era_bytes = timeline.era_bytes(info.index)
+        ratio = era_bytes / full if full else 0.0
+        print(
+            f"  {info.index:<5}{info.label:<10}{info.date:<12}"
+            f"{info.kind:<7}{info.n_ases:>7}{info.n_links:>8}"
+            f"{era_bytes:>10}  {ratio:>7.1%}  {info.snapshot_version}"
+        )
+    timeline.close()
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -288,7 +340,7 @@ def _serve_fleet(args: argparse.Namespace, mode: Optional[str]) -> int:
     """``serve --workers N``: the pre-fork SO_REUSEPORT fleet."""
     import signal as _signal
 
-    from repro.serve.store import read_snapshot_header, save_snapshot
+    from repro.serve.store import read_payload_header, save_snapshot
     from repro.serve.workers import FleetError, WorkerFleet
 
     path = args.snapshot
@@ -306,8 +358,9 @@ def _serve_fleet(args: argparse.Namespace, mode: Optional[str]) -> int:
         save_snapshot(snapshot, path)
     else:
         # fail before forking on a missing/garbled file (main() turns
-        # the raised error into the one-line exit-2 convention)
-        read_snapshot_header(path)
+        # the raised error into the one-line exit-2 convention); the
+        # sniffing header read accepts snapshot and timeline files
+        read_payload_header(path)
     fleet = WorkerFleet(
         path,
         workers=args.workers,
@@ -441,11 +494,42 @@ def build_parser() -> argparse.ArgumentParser:
     snap_info.add_argument("file", help="snapshot file")
     snap_info.set_defaults(func=_cmd_snapshot)
 
+    timeline = sub.add_parser(
+        "timeline",
+        help="build/inspect delta-encoded era timelines (repro.timeline)",
+    )
+    timeline_sub = timeline.add_subparsers(
+        dest="timeline_command", required=True
+    )
+    timeline_build = timeline_sub.add_parser(
+        "build",
+        help="run the longitudinal era series and pack it into one "
+             "delta-encoded timeline file",
+    )
+    timeline_build.add_argument("--eras", type=int, default=4,
+                                help="eras after the base (default: 4)")
+    timeline_build.add_argument("--seed", type=int, default=7,
+                                help="series seed (default: 7)")
+    timeline_build.add_argument(
+        "--start-year", type=int, default=1998,
+        help="year of era 0; each era is one year later (default: 1998)",
+    )
+    timeline_build.add_argument("--out", required=True,
+                                help="timeline file to write")
+    timeline_build.set_defaults(func=_cmd_timeline)
+    timeline_info = timeline_sub.add_parser(
+        "info", help="print a timeline's era and section table"
+    )
+    timeline_info.add_argument("file", help="timeline file")
+    timeline_info.set_defaults(func=_cmd_timeline)
+
     serve = sub.add_parser(
         "serve", help="serve a snapshot over the asyncio HTTP/JSON API"
     )
     _add_scenario_arg(serve)
-    serve.add_argument("--snapshot", help="snapshot file to serve")
+    serve.add_argument("--snapshot",
+                       help="snapshot or timeline file to serve "
+                            "(sniffed by magic)")
     serve.add_argument("--paths", help="build + serve from a path file")
     serve.add_argument("--as-rel", help="build + serve from an as-rel file")
     serve.add_argument("--ppdc", help="ppdc-ases file (with --as-rel)")

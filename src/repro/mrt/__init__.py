@@ -10,7 +10,7 @@ public BGP data parses.
 """
 
 from repro.mrt.writer import MrtWriter, write_rib_dump
-from repro.mrt.reader import MrtReader, RibRecord, read_rib_dump
+from repro.mrt.reader import MrtReader, RibRecord, iter_rib_dump, read_rib_dump
 from repro.mrt.constants import MrtFormatError
 
 __all__ = [
@@ -20,4 +20,5 @@ __all__ = [
     "MrtFormatError",
     "write_rib_dump",
     "read_rib_dump",
+    "iter_rib_dump",
 ]

@@ -160,6 +160,16 @@ class MrtReader:
         self._peer_asns: List[int] = []
 
     def __iter__(self) -> Iterator[object]:
+        return self.iter_records()
+
+    def iter_records(self) -> Iterator[object]:
+        """Yield decoded records one at a time as the stream is read.
+
+        Memory stays bounded by the largest single MRT record: only one
+        record body is held at a time, never the whole dump.  The eager
+        helpers (:func:`read_rib_dump` et al.) drain this same generator,
+        so both paths decode identical record sequences.
+        """
         while True:
             header = self._stream.read(c.MRT_COMMON_HEADER_LEN)
             if not header:
@@ -323,7 +333,26 @@ class MrtReader:
         )
 
 
+#: default read-ahead for the streaming file helpers (64 KiB)
+DEFAULT_BUFFER_SIZE = 1 << 16
+
+
 def read_rib_dump(path: str) -> List[RibRecord]:
     """Parse a TABLE_DUMP_V2 file into RIB rows."""
-    with open(path, "rb") as stream:
-        return [r for r in MrtReader(stream) if isinstance(r, RibRecord)]
+    return list(iter_rib_dump(path))
+
+
+def iter_rib_dump(
+    path: str, buffer_size: int = DEFAULT_BUFFER_SIZE
+) -> Iterator[RibRecord]:
+    """Stream RIB rows from a TABLE_DUMP_V2 file.
+
+    Unlike :func:`read_rib_dump` this never materializes the full row
+    list; the file is read through a bounded ``buffer_size`` buffer and
+    rows are yielded as they decode.
+    """
+    # buffering=1 means line buffering (invalid for binary streams)
+    with open(path, "rb", buffering=max(2, buffer_size)) as stream:
+        for record in MrtReader(stream).iter_records():
+            if isinstance(record, RibRecord):
+                yield record

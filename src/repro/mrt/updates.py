@@ -10,9 +10,14 @@ last-announcement-wins, as real tooling does.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.mrt.reader import MrtReader, RibRecord, UpdateRecord
+from repro.mrt.reader import (
+    DEFAULT_BUFFER_SIZE,
+    MrtReader,
+    RibRecord,
+    UpdateRecord,
+)
 from repro.mrt.writer import MrtWriter
 from repro.net.prefix import Prefix
 
@@ -61,8 +66,22 @@ def write_update_dump(
 
 def read_update_dump(path: str) -> List[UpdateRecord]:
     """Parse every UPDATE record from a BGP4MP file."""
-    with open(path, "rb") as stream:
-        return [r for r in MrtReader(stream) if isinstance(r, UpdateRecord)]
+    return list(iter_update_dump(path))
+
+
+def iter_update_dump(
+    path: str, buffer_size: int = DEFAULT_BUFFER_SIZE
+) -> Iterator[UpdateRecord]:
+    """Stream UPDATE records from a BGP4MP file with a bounded buffer.
+
+    The streaming twin of :func:`read_update_dump`; useful for feeding
+    :func:`rib_from_updates` without holding the whole dump in memory.
+    """
+    # buffering=1 means line buffering (invalid for binary streams)
+    with open(path, "rb", buffering=max(2, buffer_size)) as stream:
+        for record in MrtReader(stream).iter_records():
+            if isinstance(record, UpdateRecord):
+                yield record
 
 
 def rib_from_updates(

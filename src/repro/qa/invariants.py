@@ -1,4 +1,4 @@
-"""The eight invariant families the QA sweep asserts per world.
+"""The nine invariant families the QA sweep asserts per world.
 
 Every checker returns a list of :class:`Violation` (empty = clean)
 instead of raising, so one sweep reports everything it finds and the
@@ -882,4 +882,192 @@ def check_path_serving(
                 )
             )
             break
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# family 9: time travel — the delta-encoded timeline vs full snapshots
+# ---------------------------------------------------------------------------
+
+
+def _era_link_labels(snapshot) -> Dict[Tuple[int, int], str]:
+    """Brute-force (asn_lo, asn_hi) -> oriented label via per-pair lookups.
+
+    Independent of :func:`repro.timeline._asn_link_map` (which reads the
+    bulk row tuples): this goes through the snapshot's per-pair
+    ``relationship`` / ``provider_of`` query path instead.
+    """
+    labels: Dict[Tuple[int, int], str] = {}
+    asns = snapshot.asns
+    for a_id, b_id, _code, _flag in snapshot._links():
+        a, b = int(asns[a_id]), int(asns[b_id])
+        rel = snapshot.relationship(a, b)
+        provider = snapshot.provider_of(a, b)
+        if rel is Relationship.P2C and provider is not None:
+            label = "p2c" if provider == a else "c2p"
+        else:
+            label = rel.label
+        labels[(a, b)] = label
+    return labels
+
+
+def check_timeline(directory: str, world: str, seed: int) -> List[Violation]:
+    """Family 9: historical reads off a delta timeline are exact.
+
+    Builds a three-era evolution series from the world seed, compiles
+    per-era full snapshots, delta-encodes them into a timeline,
+    round-trips it through the checksummed container, and asserts:
+
+    * every materialized era is bit-identical (``encode_sections``) to
+      the independently built full snapshot of that era;
+    * every ``?as_of=`` read off the timeline equals the same request
+      against a plain single-snapshot server for that era;
+    * ``GET /diff/{a}/{b}`` equals a brute-force set comparison of the
+      two materialized snapshots, recomputed here from per-pair lookups;
+    * ``GET /asns/{asn}/history`` equals the per-era rank entries.
+    """
+    from repro.serve.handlers import Api
+    from repro.serve.store import SnapshotStore
+    from repro.timeline import (
+        build_timeline,
+        era_snapshots,
+        load_timeline,
+        save_timeline,
+    )
+    from repro.topology.evolution import (
+        Era,
+        EvolutionConfig,
+        generate_series,
+    )
+    from repro.topology.generator import GeneratorConfig
+
+    violations: List[Violation] = []
+    config = EvolutionConfig(
+        base=GeneratorConfig(n_ases=40, seed=seed, clique_size=4),
+        eras=[
+            Era("e1", new_ases=10, peering_boost=0.02),
+            Era("e2", new_ases=12, peering_boost=0.03, clique_entrants=1),
+        ],
+    )
+    pairs = era_snapshots(generate_series(config))
+    snapshots = [snapshot for _label, snapshot in pairs]
+
+    os.makedirs(directory, exist_ok=True)
+    timeline_file = os.path.join(directory, "qa.timeline")
+    save_timeline(build_timeline(pairs), timeline_file)
+    timeline = load_timeline(timeline_file, verify=True)
+
+    # storage: eras past the first must actually be delta-encoded
+    if [info.kind for info in timeline.eras] != ["full", "delta", "delta"]:
+        violations.append(
+            Violation(
+                "timeline/kinds",
+                world,
+                f"era kinds {[i.kind for i in timeline.eras]} != "
+                "['full', 'delta', 'delta']",
+            )
+        )
+
+    # bit-identity: each materialized era vs its independent full build
+    for index, full in enumerate(snapshots):
+        if timeline.snapshot(index).encode_sections() != (
+            full.encode_sections()
+        ):
+            violations.append(
+                Violation(
+                    "timeline/bit-identity",
+                    world,
+                    f"era {index}: delta-materialized snapshot is not "
+                    "bit-identical to the full build",
+                )
+            )
+            return violations  # downstream comparisons would only echo this
+
+    # as_of serving: every read equals a plain server on that era
+    api = Api(SnapshotStore(timeline=timeline))
+    for index, full in enumerate(snapshots):
+        plain = Api(SnapshotStore(snapshot=full))
+        probes = [int(full.asns[0]), int(full.asns[-1])]
+        targets = [f"/asns/{probes[0]}", f"/asns/{probes[1]}/cone", "/ranks"]
+        for target in targets:
+            got = api.handle("GET", target, {"as_of": str(index)})
+            want = plain.handle("GET", target, {})
+            if got[:2] != want[:2]:
+                violations.append(
+                    Violation(
+                        "timeline/as-of",
+                        world,
+                        f"GET {target}?as_of={index} differs from the "
+                        "single-snapshot server for that era",
+                    )
+                )
+                return violations
+
+    # diff endpoint vs brute-force set comparison
+    last = len(snapshots) - 1
+    status, payload, _route, _c = api.handle(
+        "GET", f"/diff/0/{last}", {}
+    )
+    snap_a, snap_b = snapshots[0], snapshots[last]
+    asns_a, asns_b = set(snap_a.asns), set(snap_b.asns)
+    links_a = _era_link_labels(snap_a)
+    links_b = _era_link_labels(snap_b)
+    flips: Dict[str, int] = {}
+    for key in links_a.keys() & links_b.keys():
+        if links_a[key] != links_b[key]:
+            transition = f"{links_a[key]}->{links_b[key]}"
+            flips[transition] = flips.get(transition, 0) + 1
+    expected = {
+        "new_count": len(asns_b - asns_a),
+        "vanished_count": len(asns_a - asns_b),
+        "added": len([k for k in links_b if k not in links_a]),
+        "removed": len([k for k in links_a if k not in links_b]),
+        "flips": flips,
+    }
+    got = {
+        "new_count": payload["ases"]["new_count"],
+        "vanished_count": payload["ases"]["vanished_count"],
+        "added": payload["links"]["added"],
+        "removed": payload["links"]["removed"],
+        "flips": payload["links"]["flips"],
+    }
+    if status != 200 or got != expected:
+        violations.append(
+            Violation(
+                "timeline/diff",
+                world,
+                f"/diff/0/{last} served {got}, brute force computes "
+                f"{expected}",
+            )
+        )
+
+    # history endpoint vs per-era rank entries
+    probe = int(snapshots[0].asns[0])
+    status, payload, _route, _c = api.handle(
+        "GET", f"/asns/{probe}/history", {}
+    )
+    ok = status == 200 and len(payload["eras"]) == len(snapshots)
+    if ok:
+        for index, row in enumerate(payload["eras"]):
+            entry = snapshots[index].rank_entry(probe)
+            if entry is None:
+                ok = row.get("rank") is None
+            else:
+                ok = (
+                    row.get("rank") == entry.rank
+                    and row.get("cone_ases") == entry.cone_ases
+                    and row.get("transit_degree") == entry.transit_degree
+                )
+            if not ok:
+                break
+    if not ok:
+        violations.append(
+            Violation(
+                "timeline/history",
+                world,
+                f"/asns/{probe}/history disagrees with per-era rank "
+                "entries",
+            )
+        )
+    timeline.close()
     return violations

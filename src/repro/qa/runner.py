@@ -1,7 +1,7 @@
 """The QA sweep driver: worlds → invariants → shrink → repro files.
 
 ``run_qa`` is what ``repro-asrank qa --seeds N`` executes.  Every world
-runs all eight invariant families; the corpus-level families (1–3) are
+runs all nine invariant families; the corpus-level families (1–3) are
 shrunk on failure and the minimal corpus is written under
 ``benchmarks/repros/`` together with a one-line replay command, so a
 red sweep is immediately actionable.
@@ -28,6 +28,7 @@ from repro.qa.invariants import (
     check_propagation,
     check_round_trips,
     check_serving,
+    check_timeline,
 )
 from repro.qa.shrink import shrink_paths
 
@@ -52,6 +53,9 @@ class QaConfig:
     # times per checked world; same every-Nth budget trade-off, offset
     # from family 5 below so the two never stack on one world
     propagation_every: int = 2
+    # family 9 builds its own fixed-size three-era series per world
+    # (cheap — tens of milliseconds), so it runs every world by default
+    timeline_every: int = 1
 
 
 @dataclass
@@ -219,6 +223,19 @@ def run_qa(
                         with perf.stage("qa-propagation"):
                             world_violations.extend(
                                 check_propagation(world)
+                            )
+                        report.checks += 1
+                    if (
+                        config.timeline_every
+                        and (index + 2) % config.timeline_every == 0
+                    ):
+                        with perf.stage("qa-timeline"):
+                            world_violations.extend(
+                                check_timeline(
+                                    os.path.join(scratch, f"world{seed}"),
+                                    label,
+                                    spec.seed,
+                                )
                             )
                         report.checks += 1
 

@@ -10,19 +10,30 @@ Routes (all JSON)::
 
     GET  /asns/{asn}                     rank-table row for one AS
     GET  /asns/{asn}/cone?definition=    cone membership (paginated)
+    GET  /asns/{asn}/history             per-era rank/degree/cone series
     GET  /links/{a}/{b}                  relationship + provider
     GET  /ranks?page=&per_page=          the rank table, paginated
     GET  /paths/{src}/{dst}              policy path (``?origins=`` anycast)
     POST /what-if                        scenario query diffed vs baseline
+    GET  /eras                           the mounted timeline's era table
+    GET  /diff/{era_a}/{era_b}           era-over-era comparison
     GET  /snapshot                       version + metadata + stats
     GET  /healthz                        liveness
     GET  /metrics                        perf counters, latencies, cache
     POST /admin/reload                   atomic hot snapshot reload
+
+Every query route accepts ``?as_of=<era index | era label | date>``
+when the store mounts a timeline: the handler runs against that era's
+materialized snapshot instead of the latest one.  A malformed or
+out-of-range ``as_of`` — or one sent to a single-snapshot server — is
+a 400, never a 500.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import perf
@@ -38,7 +49,7 @@ from repro.serve.snapshot import (
     SnapshotFormatError,
     resolve_definition,
 )
-from repro.serve.store import SnapshotStore
+from repro.serve.store import SnapshotStore, TimelineLookupError
 
 #: (status, JSON-serializable payload, route label, cacheable)
 HandlerResult = Tuple[int, object, str, bool]
@@ -50,10 +61,13 @@ DEFAULT_PER_PAGE = 50
 MAX_ORIGINS = 16
 #: per-bucket example paths included in a what-if diff payload
 MAX_EXAMPLES = 10
+#: cached era-pair diffs; each is computed once per (version, pair)
+MAX_DIFF_CACHE = 64
 
 #: first path segments owned by GET — a POST here is 405, not 404
 _GET_ROUTE_HEADS = frozenset(
-    ("asns", "links", "ranks", "paths", "snapshot", "healthz", "metrics")
+    ("asns", "links", "ranks", "paths", "snapshot", "healthz", "metrics",
+     "eras", "diff")
 )
 
 
@@ -79,6 +93,13 @@ class Api:
         # worker must not reload alone — versions would diverge)
         self.worker_info = worker_info
         self.reload_delegate = reload_delegate
+        # era-pair diff LRU; keys carry the timeline version so a hot
+        # reload cold-starts it naturally (PathEngine idiom: compute
+        # outside the lock, deterministic duplicate compute is safe)
+        self._diff_cache: "OrderedDict[Tuple[str, int, int], Dict]" = (
+            OrderedDict()
+        )
+        self._diff_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # dispatch
@@ -91,9 +112,12 @@ class Api:
         query: Dict[str, str],
         body: bytes = b"",
     ) -> HandlerResult:
-        snapshot = self.store.current  # one atomic read per request
         parts = [p for p in path.split("/") if p]
         try:
+            # one atomic store read per request; ?as_of= swaps in the
+            # requested era's materialized snapshot before dispatch so
+            # every handler below time-travels uniformly
+            snapshot = self._resolve_snapshot(query)
             if method == "GET":
                 if parts == ["healthz"]:
                     payload = {"status": "ok", "version": snapshot.version}
@@ -111,6 +135,8 @@ class Api:
                     )
                 if parts == ["ranks"]:
                     return self._ranks(snapshot, query)
+                if parts == ["eras"]:
+                    return self._eras()
                 if len(parts) == 2 and parts[0] == "asns":
                     return self._asn(snapshot, parts[1])
                 if (
@@ -119,12 +145,20 @@ class Api:
                     and parts[2] == "cone"
                 ):
                     return self._cone(snapshot, parts[1], query)
+                if (
+                    len(parts) == 3
+                    and parts[0] == "asns"
+                    and parts[2] == "history"
+                ):
+                    return self._history(parts[1])
                 if len(parts) == 3 and parts[0] == "links":
                     return self._link(snapshot, parts[1], parts[2])
                 if len(parts) == 3 and parts[0] == "paths":
                     return self._paths(
                         snapshot, parts[1], parts[2], query
                     )
+                if len(parts) == 3 and parts[0] == "diff":
+                    return self._diff(parts[1], parts[2])
             elif method == "POST":
                 if parts == ["admin", "reload"]:
                     return self._reload(body)
@@ -139,7 +173,25 @@ class Api:
             return 400, _error(str(exc)), "error", False
         except ScenarioError as exc:
             return 400, _error(str(exc)), "error", False
+        except TimelineLookupError as exc:
+            return 400, _error(str(exc)), "error", False
         return 404, _error(f"no route for {path}"), "error", False
+
+    def _resolve_snapshot(self, query: Dict[str, str]) -> Snapshot:
+        as_of = query.get("as_of")
+        if as_of is None:
+            return self.store.current
+        timeline = self.store.timeline
+        if timeline is None:
+            raise _BadRequest(
+                "as_of requires a timeline; this server mounts a "
+                "single snapshot"
+            )
+        try:
+            era = timeline.resolve(as_of)
+        except TimelineLookupError as exc:
+            raise _BadRequest(str(exc)) from None
+        return timeline.snapshot(era)
 
     # ------------------------------------------------------------------
     # handlers
@@ -441,6 +493,84 @@ class Api:
         }
         return 200, payload, "ranks", True
 
+    # -- timeline routes ------------------------------------------------
+
+    def _timeline_or_404(self, route: str):
+        timeline = self.store.timeline
+        if timeline is None:
+            return None, (
+                404,
+                _error("no timeline mounted (serving a single snapshot)"),
+                route,
+                True,
+            )
+        return timeline, None
+
+    def _eras(self) -> HandlerResult:
+        timeline, miss = self._timeline_or_404("eras")
+        if timeline is None:
+            return miss
+        payload = {
+            "timeline": timeline.version,
+            "eras": [
+                {
+                    "era": info.index,
+                    "label": info.label,
+                    "date": info.date,
+                    "kind": info.kind,
+                    "snapshot": info.snapshot_version,
+                    "n_ases": info.n_ases,
+                    "n_links": info.n_links,
+                }
+                for info in timeline.eras
+            ],
+        }
+        return 200, payload, "eras", True
+
+    def _diff(self, raw_a: str, raw_b: str) -> HandlerResult:
+        timeline, miss = self._timeline_or_404("diff")
+        if timeline is None:
+            return miss
+        try:
+            era_a = timeline.resolve(raw_a)
+            era_b = timeline.resolve(raw_b)
+        except TimelineLookupError as exc:
+            raise _BadRequest(str(exc)) from None
+        key = (timeline.version, era_a, era_b)
+        with self._diff_lock:
+            cached = self._diff_cache.get(key)
+            if cached is not None:
+                self._diff_cache.move_to_end(key)
+        if cached is None:
+            cached = timeline.diff(era_a, era_b, max_examples=MAX_EXAMPLES)
+            cached["timeline"] = timeline.version
+            with self._diff_lock:
+                self._diff_cache[key] = cached
+                self._diff_cache.move_to_end(key)
+                while len(self._diff_cache) > MAX_DIFF_CACHE:
+                    self._diff_cache.popitem(last=False)
+        return 200, cached, "diff", True
+
+    def _history(self, raw: str) -> HandlerResult:
+        asn = _parse_asn(raw)
+        timeline, miss = self._timeline_or_404("history")
+        if timeline is None:
+            return miss
+        series = timeline.history(asn)
+        if not any(row["present"] for row in series):
+            return (
+                404,
+                _error(f"AS{asn} not in any era"),
+                "history",
+                True,
+            )
+        payload = {
+            "asn": asn,
+            "timeline": timeline.version,
+            "eras": series,
+        }
+        return 200, payload, "history", True
+
     def _snapshot_info(self, snapshot: Snapshot) -> Dict[str, object]:
         info = {
             "version": snapshot.version,
@@ -451,6 +581,12 @@ class Api:
             "reloads": self.store.reloads,
             "path": self.store.path,
         }
+        timeline = self.store.timeline
+        if timeline is not None:
+            info["timeline"] = {
+                "version": timeline.version,
+                "eras": len(timeline.eras),
+            }
         if self.worker_info is not None:
             info["worker"] = self.worker_info
         return info

@@ -332,7 +332,11 @@ class SnapshotServer:
                 )
             body_in = await reader.readexactly(content_length)
 
-        version = self.store.current.version
+        # the cache/ETag version is the timeline version when one is
+        # mounted: the request target carries the raw as_of token, so
+        # (version, target) pins both the content generation and the
+        # resolved era
+        version = self.store.cache_version
         cache_key = (version, method, target)
         cached = self._cache.get(cache_key) if method == "GET" else None
         if cached is not None:
@@ -423,9 +427,10 @@ def _parse_head(head: bytes) -> Tuple[str, str, bool, int, bytes]:
 
 
 def _compute_route(path: str) -> bool:
-    """Does this path run propagation (and so belong on the pool)?"""
+    """Does this path run propagation or an era diff (and so belong
+    on the pool)?"""
     head = path.lstrip("/").split("/", 1)[0]
-    return head in ("paths", "what-if")
+    return head in ("paths", "what-if", "diff")
 
 
 def _split_target(target: str) -> Tuple[str, Dict[str, str]]:

@@ -70,6 +70,16 @@ _FIXED = struct.Struct("<8sII")
 LOAD_MODES = ("eager", "lazy", "mmap")
 
 
+class TimelineLookupError(ValueError):
+    """An ``as_of``/era token that does not resolve against the
+    mounted timeline.
+
+    Lives here (not in :mod:`repro.timeline`) so the handler layer can
+    catch it without a circular import; the serving layer maps it to a
+    400 — a bad era reference is a client error, never a server fault.
+    """
+
+
 def _align(offset: int, alignment: int) -> int:
     return -(-offset // alignment) * alignment
 
@@ -398,6 +408,37 @@ def load_snapshot(
         )
 
 
+def read_payload_header(path: str) -> Tuple[Dict[str, object], int]:
+    """Sniff the magic and parse either container's header — what the
+    CLI uses to fail fast on a missing/garbled file before forking a
+    fleet."""
+    from repro import timeline as _timeline
+
+    with open(path, "rb") as probe:
+        magic = probe.read(len(_timeline.TIMELINE_MAGIC))
+    if magic == _timeline.TIMELINE_MAGIC:
+        return _timeline.read_timeline_header(path)
+    return read_snapshot_header(path)
+
+
+def load_payload(path: str, mode: Optional[str] = None,
+                 verify: bool = False):
+    """Sniff the container magic and load a snapshot *or* a timeline.
+
+    Every serving entry point (store, worker prepare, CLI serve) goes
+    through this, so a ``REPROTLN`` timeline file drops in anywhere a
+    ``REPROSNP`` file does.  Returns a :class:`Snapshot` or a
+    :class:`repro.timeline.Timeline` — both carry ``.version``.
+    """
+    from repro import timeline as _timeline
+
+    with open(path, "rb") as probe:
+        magic = probe.read(len(_timeline.TIMELINE_MAGIC))
+    if magic == _timeline.TIMELINE_MAGIC:
+        return _timeline.load_timeline(path, verify=verify)
+    return load_snapshot(path, mode=mode, verify=verify)
+
+
 class SnapshotStore:
     """The server's mount point: one current snapshot, swapped atomically.
 
@@ -405,6 +446,14 @@ class SnapshotStore:
     is atomic, so handlers grab a reference once per request and keep
     serving the version they started with while ``reload()`` swaps in
     a new one mid-flight.
+
+    A store can mount a whole :class:`repro.timeline.Timeline` instead
+    of a single snapshot (``timeline=`` or a ``REPROTLN`` file at
+    ``path``): ``current`` is then the latest era and ``timeline``
+    exposes the historical eras to the ``as_of`` serving path.
+    ``cache_version`` is what response caches and ETags must key on —
+    the timeline version when one is mounted (any era changing changes
+    it), the snapshot version otherwise.
     """
 
     def __init__(
@@ -413,18 +462,41 @@ class SnapshotStore:
         path: Optional[str] = None,
         lazy: bool = False,
         mode: Optional[str] = None,
+        timeline=None,
     ):
-        if snapshot is None and path is None:
-            raise ValueError("SnapshotStore needs a snapshot or a path")
+        if snapshot is None and path is None and timeline is None:
+            raise ValueError(
+                "SnapshotStore needs a snapshot, a timeline or a path"
+            )
         self.path = path
         self.mode = _resolve_mode(lazy, mode)
         self.lazy = self.mode != "eager"
         self._reload_lock = threading.Lock()
         self.reloads = 0
-        self.current: Snapshot = (
-            snapshot if snapshot is not None
-            else load_snapshot(path, mode=self.mode)
-        )
+        self.timeline = None
+        if timeline is not None:
+            self._adopt(timeline)
+        elif snapshot is not None:
+            self.current: Snapshot = snapshot
+        else:
+            self._adopt(load_payload(path, mode=self.mode))
+
+    def _adopt(self, payload) -> None:
+        """Point ``current``/``timeline`` at a loaded payload."""
+        from repro.timeline import Timeline
+
+        if isinstance(payload, Timeline):
+            self.timeline = payload
+            self.current = payload.latest
+        else:
+            self.timeline = None
+            self.current = payload
+
+    @property
+    def cache_version(self) -> str:
+        timeline = self.timeline
+        return timeline.version if timeline is not None \
+            else self.current.version
 
     def reload(self, path: Optional[str] = None) -> Snapshot:
         """Load (or re-load) the file and swap it in atomically.
@@ -438,22 +510,23 @@ class SnapshotStore:
                 raise SnapshotFormatError(
                     "store has no file to reload from"
                 )
-            fresh = load_snapshot(target, mode=self.mode)
+            fresh = load_payload(target, mode=self.mode)
             self.path = target
-            self.current = fresh
+            self._adopt(fresh)
             self.reloads += 1
             perf.counter("snapshot-reloads")
-        return fresh
+        return self.current
 
-    def swap(self, snapshot: Snapshot, path: Optional[str] = None) -> None:
-        """Install an already-loaded snapshot (worker commit, tests).
+    def swap(self, payload, path: Optional[str] = None) -> None:
+        """Install an already-loaded snapshot or timeline (worker
+        commit, tests).
 
         ``path`` updates the store's reload source alongside — a
         worker committing a coordinated reload points later
         ``reload()`` calls at the file it just adopted.
         """
         with self._reload_lock:
-            self.current = snapshot
+            self._adopt(payload)
             if path is not None:
                 self.path = path
             self.reloads += 1

@@ -61,7 +61,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.datasets.serialization import DatasetFormatError
 from repro.serve.server import SnapshotServer
-from repro.serve.store import SnapshotStore, load_snapshot
+from repro.serve.store import SnapshotStore, load_payload
 
 
 class FleetError(RuntimeError):
@@ -138,7 +138,7 @@ class WorkerAgent:
         self._send(
             {
                 "event": "ready",
-                "version": self.store.current.version,
+                "version": self.store.cache_version,
                 "pid": os.getpid(),
                 "port": server.port,
             }
@@ -181,16 +181,18 @@ class WorkerAgent:
             self._send({"event": "resp", "id": rid, "ok": ok, **extra})
 
         if cmd == "ping":
-            resp(True, version=self.store.current.version)
+            resp(True, version=self.store.cache_version)
         elif cmd == "prepare":
             path = msg.get("path")
             try:
                 # full checksum verification before acking: a corrupt
                 # section must fail the *prepare* phase, never surface
-                # mid-request after commit
-                snapshot = await self._loop.run_in_executor(
+                # mid-request after commit.  load_payload sniffs the
+                # magic, so a whole timeline stages the same way a
+                # single snapshot does.
+                payload = await self._loop.run_in_executor(
                     None,
-                    lambda: load_snapshot(
+                    lambda: load_payload(
                         path, mode=self.store.mode, verify=True
                     ),
                 )
@@ -198,24 +200,24 @@ class WorkerAgent:
                 self._staged = None
                 resp(False, error=str(exc))
                 return
-            self._staged = (snapshot, path)
-            resp(True, version=snapshot.version)
+            self._staged = (payload, path)
+            resp(True, version=payload.version)
         elif cmd == "commit":
             if self._staged is None:
                 resp(False, error="nothing staged")
                 return
-            snapshot, path = self._staged
+            payload, path = self._staged
             self._staged = None
-            self.store.swap(snapshot, path=path)
-            resp(True, version=snapshot.version)
+            self.store.swap(payload, path=path)
+            resp(True, version=payload.version)
         elif cmd == "abort":
             if self._staged is not None:
-                snapshot, _path = self._staged
+                payload, _path = self._staged
                 self._staged = None
-                close = getattr(snapshot, "close", None)
+                close = getattr(payload, "close", None)
                 if close is not None:
                     close()
-            resp(True, version=self.store.current.version)
+            resp(True, version=self.store.cache_version)
         elif cmd == "stop":
             resp(True)
             self._stop.set()

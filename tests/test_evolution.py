@@ -1,11 +1,30 @@
 """Unit tests for the longitudinal growth model."""
 
+import hashlib
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.relationships import Relationship
 from repro.topology.evolution import Era, EvolutionConfig, generate_series
 from repro.topology.generator import GeneratorConfig
 from repro.topology.model import ASType
+
+
+def _series_digest(series) -> str:
+    """Stable digest of a (label, graph) series: ASNs + typed links."""
+    digest = hashlib.sha256()
+    for label, graph in series:
+        digest.update(label.encode())
+        digest.update(repr(sorted(a.asn for a in graph.ases())).encode())
+        digest.update(
+            repr(
+                sorted((a, b, int(rel)) for a, b, rel in graph.links())
+            ).encode()
+        )
+    return digest.hexdigest()
 
 
 @pytest.fixture(scope="module")
@@ -77,6 +96,75 @@ class TestSeries:
         first = peer_count(series[0][1]) / series[0][1].num_links()
         last = peer_count(series[-1][1]) / series[-1][1].num_links()
         assert last > first
+
+
+class TestEraMonotonicity:
+    """The growth assumptions the delta timeline encoder relies on."""
+
+    def test_asn_births_permanent_and_increasing(self, series):
+        # sorted ASN lists must prefix-extend era over era, with every
+        # newcomer larger than all incumbents — the DenseIndex prefix
+        # property that makes delta encoding possible
+        previous = None
+        for label, graph in series:
+            asns = sorted(a.asn for a in graph.ases())
+            if previous is not None:
+                assert asns[: len(previous)] == previous, label
+                assert all(
+                    asn > previous[-1] for asn in asns[len(previous):]
+                ), label
+            previous = asns
+
+    def test_no_link_type_regressions_in_clique(self, series):
+        # clique members stay transit-free once promoted
+        seen_clique = set()
+        for label, graph in series:
+            seen_clique |= set(graph.clique_asns())
+            for member in seen_clique:
+                assert not graph.providers[member], (label, member)
+
+
+class TestDeterminism:
+    def test_same_seed_same_series(self):
+        config = EvolutionConfig.default_series(start_ases=120, eras=2, seed=11)
+        assert _series_digest(generate_series(config)) == _series_digest(
+            generate_series(config)
+        )
+
+    def test_different_seeds_differ(self):
+        a = EvolutionConfig.default_series(start_ases=120, eras=2, seed=11)
+        b = EvolutionConfig.default_series(start_ases=120, eras=2, seed=12)
+        assert _series_digest(generate_series(a)) != _series_digest(
+            generate_series(b)
+        )
+
+    def test_output_identical_without_numpy(self):
+        """The growth model is pure stdlib: masking numpy changes nothing."""
+        repo = Path(__file__).resolve().parent.parent
+        script = (
+            "from repro.topology.evolution import ("
+            "EvolutionConfig, generate_series)\n"
+            "import sys; sys.path.insert(0, r'%s')\n"
+            "from test_evolution import _series_digest\n"
+            "config = EvolutionConfig.default_series("
+            "start_ases=100, eras=2, seed=13)\n"
+            "print(_series_digest(generate_series(config)))\n"
+            % (repo / "tests")
+        )
+        digests = {}
+        for label, pythonpath in (
+            ("numpy", f"{repo / 'src'}"),
+            ("no-numpy", f"{repo / 'ci' / 'no-numpy'}:{repo / 'src'}"),
+        ):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": pythonpath, "PATH": "/usr/bin:/bin"},
+                check=True,
+            )
+            digests[label] = out.stdout.strip()
+        assert digests["numpy"] == digests["no-numpy"]
 
 
 class TestDefaultSeries:

@@ -1,0 +1,117 @@
+"""Streaming MRT decode: generator path vs eager path equivalence.
+
+The eager helpers (``read_rib_dump`` / ``read_update_dump``) now drain
+``MrtReader.iter_records()``; these tests prove the streaming path
+yields record sequences identical to the eager lists, including with
+pathologically small read buffers, and that it is genuinely lazy.
+"""
+
+import io
+
+import pytest
+
+from repro.mrt.reader import (
+    MrtReader,
+    RibRecord,
+    UpdateRecord,
+    iter_rib_dump,
+    read_rib_dump,
+)
+from repro.mrt.updates import (
+    iter_update_dump,
+    read_update_dump,
+    write_update_dump,
+)
+from repro.mrt.writer import MrtWriter, write_rib_dump
+from repro.net.prefix import Prefix
+
+
+class TestRibStreaming:
+    def test_streaming_equals_eager(self, tmp_path, small_run):
+        dump = str(tmp_path / "rib.mrt")
+        write_rib_dump(dump, small_run.corpus.rib)
+        eager = read_rib_dump(dump)
+        assert eager  # non-trivial corpus
+        assert list(iter_rib_dump(dump)) == eager
+
+    def test_tiny_buffer_identical(self, tmp_path, small_run):
+        dump = str(tmp_path / "rib.mrt")
+        write_rib_dump(dump, small_run.corpus.rib)
+        assert list(iter_rib_dump(dump, buffer_size=1)) == read_rib_dump(dump)
+
+    def test_lazy_first_record(self, tmp_path, small_run):
+        dump = str(tmp_path / "rib.mrt")
+        write_rib_dump(dump, small_run.corpus.rib)
+        stream = iter_rib_dump(dump)
+        first = next(stream)
+        assert isinstance(first, RibRecord)
+        stream.close()  # early close must not raise; file handle released
+        assert first == read_rib_dump(dump)[0]
+
+    def test_iter_delegates_to_iter_records(self, tmp_path, small_run):
+        dump = str(tmp_path / "rib.mrt")
+        write_rib_dump(dump, small_run.corpus.rib)
+        with open(dump, "rb") as fh:
+            via_iter = list(MrtReader(fh))
+        with open(dump, "rb") as fh:
+            via_records = list(MrtReader(fh).iter_records())
+        assert via_iter == via_records
+
+
+class TestUpdateStreaming:
+    def test_streaming_equals_eager(self, tmp_path, small_run):
+        dump = str(tmp_path / "updates.mrt")
+        write_update_dump(dump, small_run.corpus.rib)
+        eager = read_update_dump(dump)
+        assert eager
+        assert list(iter_update_dump(dump)) == eager
+
+    def test_tiny_buffer_identical(self, tmp_path, small_run):
+        dump = str(tmp_path / "updates.mrt")
+        write_update_dump(dump, small_run.corpus.rib)
+        assert (
+            list(iter_update_dump(dump, buffer_size=1))
+            == read_update_dump(dump)
+        )
+
+    def test_lazy_partial_consumption(self, tmp_path, small_run):
+        dump = str(tmp_path / "updates.mrt")
+        write_update_dump(dump, small_run.corpus.rib)
+        stream = iter_update_dump(dump)
+        head = [next(stream) for _ in range(3)]
+        stream.close()
+        assert all(isinstance(r, UpdateRecord) for r in head)
+        assert head == read_update_dump(dump)[:3]
+
+
+class TestLegacyStreaming:
+    def test_table_dump_v1_streaming(self):
+        buf = io.BytesIO()
+        writer = MrtWriter(buf, timestamp=7)
+        entries = [
+            (Prefix.parse("10.0.0.0/8"), 1, (1, 2), ()),
+            (Prefix.parse("192.0.2.0/24"), 3, (3, 4, 5), ((3, 9),)),
+        ]
+        for prefix, peer, path, communities in entries:
+            writer.write_table_dump_entry(prefix, peer, path, communities)
+        payload = buf.getvalue()
+        eager = list(MrtReader(io.BytesIO(payload)))
+        streamed = list(MrtReader(io.BytesIO(payload)).iter_records())
+        assert streamed == eager
+        assert [r.prefix for r in streamed] == [e[0] for e in entries]
+
+    def test_generator_does_not_prefetch(self):
+        """iter_records must not touch the stream past the yielded record."""
+        buf = io.BytesIO()
+        writer = MrtWriter(buf, timestamp=0)
+        writer.write_table_dump_entry(
+            Prefix.parse("10.0.0.0/8"), 1, (1, 2), ()
+        )
+        mark = buf.tell()
+        writer.write_table_dump_entry(
+            Prefix.parse("192.0.2.0/24"), 2, (2, 3), ()
+        )
+        stream = io.BytesIO(buf.getvalue())
+        records = MrtReader(stream).iter_records()
+        next(records)
+        assert stream.tell() == mark

@@ -328,6 +328,92 @@ class TestDispatchFixes:
         )[0] == 400
 
 
+class TestAsOfParamHardening:
+    """Malformed ``as_of`` / era / date values must 400, never 500."""
+
+    READ_TARGETS = (
+        "/snapshot", "/ranks", "/asns/1", "/asns/1/cone",
+        "/links/1/2", "/paths/4/1",
+    )
+    # note: surrounding whitespace is stripped (" 0" is valid), so it
+    # is not in this list
+    BAD_TOKENS = (
+        "bogus", "", "99", "-1", "2026-13-40", "1900-13-01",
+        "1e3", "0x1", "None",
+    )
+
+    @pytest.fixture()
+    def timeline_api(self, snapshot):
+        from repro.timeline import build_timeline
+
+        timeline = build_timeline([("a", snapshot), ("b", snapshot)])
+        return Api(SnapshotStore(timeline=timeline))
+
+    def test_as_of_without_timeline_is_400(self, api):
+        for target in self.READ_TARGETS:
+            status, payload, _route, _c = api.handle(
+                "GET", target, {"as_of": "0"}
+            )
+            assert status == 400, target
+            assert "timeline" in payload["error"], target
+
+    def test_malformed_as_of_is_400_everywhere(self, timeline_api):
+        for target in self.READ_TARGETS:
+            for token in self.BAD_TOKENS:
+                status, payload, _route, _c = timeline_api.handle(
+                    "GET", target, {"as_of": token}
+                )
+                assert status == 400, (target, token)
+                assert set(payload) == {"error"}, (target, token)
+
+    def test_out_of_range_date_is_400(self, timeline_api):
+        # a well-formed date before the first era cannot resolve
+        status, payload, _route, _c = timeline_api.handle(
+            "GET", "/ranks", {"as_of": "1901-01-01"}
+        )
+        assert status == 400
+        assert "error" in payload
+
+    def test_valid_as_of_forms_still_resolve(self, timeline_api):
+        for token in ("0", "1", "a", "b", "1998-01-01", "2030-06-15"):
+            status, _payload, _route, _c = timeline_api.handle(
+                "GET", "/ranks", {"as_of": token}
+            )
+            assert status == 200, token
+
+    def test_diff_with_bad_eras_is_400(self, timeline_api):
+        for pair in ("bogus/0", "0/bogus", "5/0", "0/-3", "x/y"):
+            status, payload, _route, _c = timeline_api.handle(
+                "GET", f"/diff/{pair}", {}
+            )
+            assert status == 400, pair
+            assert "error" in payload, pair
+
+    def test_timeline_routes_404_without_timeline(self, api):
+        for target in ("/eras", "/diff/0/1", "/asns/1/history"):
+            assert api.handle("GET", target, {})[0] == 404, target
+
+    def test_post_to_timeline_routes_is_405(self, timeline_api):
+        for target in ("/eras", "/diff/0/1", "/asns/1/history"):
+            assert timeline_api.handle("POST", target, {})[0] == 405, target
+
+    def test_what_if_ignores_valid_as_of_but_rejects_malformed(
+        self, timeline_api
+    ):
+        body = json.dumps(
+            {"dst": 1, "ops": [{"op": "drop_link", "a": 1, "b": 2}]}
+        ).encode()
+        status, _payload, _route, _c = timeline_api.handle(
+            "POST", "/what-if", {"as_of": "0"}, body
+        )
+        assert status == 200
+        status, payload, _route, _c = timeline_api.handle(
+            "POST", "/what-if", {"as_of": "bogus"}, body
+        )
+        assert status == 400
+        assert "error" in payload
+
+
 class TestOverTheWire:
     """The asyncio server + compute pool serving the new endpoints."""
 

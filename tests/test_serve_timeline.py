@@ -1,0 +1,230 @@
+"""Historical serving off a mounted timeline: as_of, eras, diff, history.
+
+In-process tests drive :class:`Api` over the same hand-built eras as
+``test_timeline.py`` and pin every ``?as_of=`` answer to a plain
+single-snapshot server for that era (byte-identical payloads).  The
+over-the-wire class checks ETag separation between eras, and the fleet
+class hot-reloads a whole timeline through the two-phase protocol.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+
+import pytest
+
+from repro.serve.handlers import Api
+from repro.serve.server import ServerThread
+from repro.serve.snapshot import Snapshot
+from repro.serve.store import SnapshotStore
+from repro.timeline import build_timeline, load_timeline, save_timeline
+
+ERA0 = """\
+1|2|-1
+1|3|-1
+2|4|-1
+3|4|-1
+3|5|-1
+10|11|-1
+"""
+ERA1 = ERA0 + "5|12|-1\n11|13|-1\n"
+ERA2 = ERA1.replace("3|5|-1", "3|5|0").replace("2|4|-1\n", "") + "12|14|-1\n"
+
+
+@pytest.fixture(scope="module")
+def eras(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("serve-tln")
+    snapshots = []
+    for index, text in enumerate((ERA0, ERA1, ERA2)):
+        as_rel = directory / f"era{index}.txt"
+        as_rel.write_text(text)
+        snapshots.append(
+            (f"era-{index}", Snapshot.from_files(str(as_rel)))
+        )
+    return snapshots
+
+
+@pytest.fixture(scope="module")
+def timeline_path(eras, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("tln") / "eras.tln")
+    save_timeline(build_timeline(eras), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def api(timeline_path):
+    store = SnapshotStore(path=timeline_path)
+    return Api(store)
+
+
+class TestAsOfReads:
+    TARGETS = (
+        ("/asns/4", {}),
+        ("/asns/1/cone", {"definition": "recursive"}),
+        ("/ranks", {}),
+        ("/links/3/5", {}),
+        ("/paths/4/1", {}),
+    )
+
+    def test_every_read_equals_plain_server(self, api, eras):
+        for index, (_label, full) in enumerate(eras):
+            plain = Api(SnapshotStore(snapshot=full))
+            for target, params in self.TARGETS:
+                query = dict(params, as_of=str(index))
+                got = api.handle("GET", target, query)
+                want = plain.handle("GET", target, params)
+                # identical status AND payload: as_of adds no fields,
+                # so historical reads are byte-for-byte era reads
+                assert got[:2] == want[:2], (index, target)
+
+    def test_default_read_is_latest_era(self, api, eras):
+        latest = Api(SnapshotStore(snapshot=eras[-1][1]))
+        assert api.handle("GET", "/ranks", {})[:2] == (
+            latest.handle("GET", "/ranks", {})[:2]
+        )
+
+    def test_label_and_date_tokens(self, api):
+        by_index = api.handle("GET", "/ranks", {"as_of": "1"})
+        assert api.handle(
+            "GET", "/ranks", {"as_of": "era-1"}
+        )[:2] == by_index[:2]
+        assert api.handle(
+            "GET", "/ranks", {"as_of": "1999-07-01"}
+        )[:2] == by_index[:2]
+
+    def test_snapshot_info_names_the_timeline(self, api):
+        status, payload, _route, _c = api.handle("GET", "/snapshot", {})
+        assert status == 200
+        assert payload["timeline"]["eras"] == 3
+        status, payload, _route, _c = api.handle(
+            "GET", "/snapshot", {"as_of": "0"}
+        )
+        assert status == 200  # historical snapshot info resolves too
+
+
+class TestTimelineEndpoints:
+    def test_eras_listing(self, api):
+        status, payload, route, cacheable = api.handle("GET", "/eras", {})
+        assert (status, route, cacheable) == (200, "eras", True)
+        assert [row["era"] for row in payload["eras"]] == [0, 1, 2]
+        assert [row["kind"] for row in payload["eras"]] == [
+            "full", "delta", "delta"
+        ]
+
+    def test_diff_endpoint_and_cache(self, api):
+        status, payload, route, _c = api.handle("GET", "/diff/0/2", {})
+        assert (status, route) == (200, "diff")
+        assert payload["ases"]["new_count"] == 3
+        assert payload["links"]["flips"] == {"p2c->p2p": 1}
+        again = api.handle("GET", "/diff/0/2", {})[1]
+        assert again is payload  # served from the diff cache
+
+    def test_diff_accepts_labels_and_dates(self, api):
+        by_index = api.handle("GET", "/diff/0/2", {})[1]
+        by_label = api.handle("GET", "/diff/era-0/era-2", {})[1]
+        assert by_label == by_index
+
+    def test_history_endpoint(self, api):
+        status, payload, route, _c = api.handle(
+            "GET", "/asns/12/history", {}
+        )
+        assert (status, route) == (200, "history")
+        assert [row["present"] for row in payload["eras"]] == [
+            False, True, True
+        ]
+        assert api.handle("GET", "/asns/999999/history", {})[0] == 404
+
+
+class TestOverTheWire:
+    @pytest.fixture()
+    def served(self, timeline_path):
+        store = SnapshotStore(path=timeline_path)
+        thread = ServerThread(store)
+        host, port = thread.start()
+        yield store, host, port
+        thread.stop()
+
+    @staticmethod
+    def _get(host, port, target, headers=None):
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("GET", target, headers=headers or {})
+            response = conn.getresponse()
+            return (
+                response.status,
+                response.read(),
+                dict(response.getheaders()),
+            )
+        finally:
+            conn.close()
+
+    def test_as_of_gets_its_own_etag(self, served):
+        _store, host, port = served
+        etags = set()
+        for era in range(3):
+            status, _body, headers = self._get(
+                host, port, f"/ranks?as_of={era}"
+            )
+            assert status == 200
+            etags.add(headers["ETag"])
+        assert len(etags) == 3  # each era revalidates independently
+
+    def test_etag_revalidation_per_era(self, served):
+        _store, host, port = served
+        _status, _body, headers = self._get(host, port, "/ranks?as_of=1")
+        status, body, _headers = self._get(
+            host, port, "/ranks?as_of=1",
+            headers={"If-None-Match": headers["ETag"]},
+        )
+        assert status == 304 and body == b""
+
+    def test_timeline_endpoints_over_http(self, served):
+        _store, host, port = served
+        status, body, _h = self._get(host, port, "/eras")
+        assert status == 200
+        assert len(json.loads(body)["eras"]) == 3
+        status, body, _h = self._get(host, port, "/diff/0/2")
+        assert status == 200
+        assert json.loads(body)["links"]["removed"] == 1
+        status, body, _h = self._get(host, port, "/asns/12/history")
+        assert status == 200
+        assert self._get(host, port, "/ranks?as_of=bogus")[0] == 400
+        assert self._get(host, port, "/diff/0/9")[0] == 400
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs fork")
+class TestFleetReload:
+    def test_two_phase_reload_of_a_timeline(
+        self, eras, timeline_path, tmp_path
+    ):
+        import urllib.request
+
+        from repro.serve.workers import WorkerFleet
+
+        # a second timeline (first two eras only) to reload into
+        shorter = str(tmp_path / "short.tln")
+        save_timeline(build_timeline(eras[:2]), shorter)
+        short_version = load_timeline(shorter).version
+
+        def get(host, port, path):
+            with urllib.request.urlopen(
+                f"http://{host}:{port}{path}", timeout=5
+            ) as response:
+                return response.status, json.loads(response.read())
+
+        fleet = WorkerFleet(timeline_path, workers=2)
+        host, port = fleet.start()
+        try:
+            status, payload = get(host, port, "/eras")
+            assert status == 200 and len(payload["eras"]) == 3
+            assert fleet.reload(shorter) == short_version
+            assert set(fleet.versions().values()) == {short_version}
+            status, payload = get(host, port, "/eras")
+            assert status == 200 and len(payload["eras"]) == 2
+            # historical reads resolve on the new timeline
+            status, _payload = get(host, port, "/ranks?as_of=1")
+            assert status == 200
+        finally:
+            fleet.stop()
