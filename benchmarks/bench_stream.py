@@ -1,0 +1,263 @@
+"""Stream-ingest benchmark: incremental apply vs full recompute.
+
+Measures the live-ingest path (``repro.stream``) on two scales:
+
+* ``large`` — the 1500-AS headline scenario's RIB;
+* ``internet-10k`` — a 10k-AS power-law world, origin-sampled the same
+  way as the internet collection smoke.
+
+Each leg seeds a :class:`~repro.stream.StreamIngestor` with the full
+RIB, then streams *delta-eligible* UPDATE batches: announcements of
+truncated variants of already-observed paths, filtered so every link
+is label-carrying and early-step (the zero-new-links envelope
+``try_delta`` accepts).  Reported per leg:
+
+* per-batch incremental apply latency (mean/p95, snapshot encode
+  excluded — ``last_apply_seconds`` stops before the build);
+* the full-recompute apply time over the same final table (a fresh
+  cold ingestor), which is what each batch would have cost without the
+  delta path;
+* the speedup between the two — committed as the baseline for
+  ``check_regression.py``'s self-calibrated >=3x live gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import statistics
+import sys
+
+from repro.bgp.collector import Collector, CollectorConfig
+from repro.bgp.propagation import PropagationConfig
+from repro.mrt.reader import RibRecord, UpdateRecord
+from repro.mrt.updates import COLLECTOR_ASN
+from repro.net.prefix import Prefix
+from repro.relationships import canonical_pair
+from repro.scenarios import get_scenario
+from repro.stream import StreamIngestor
+from repro.stream.delta import _LATE_STEPS, _partial_vps
+from repro.topology.generator import (
+    InternetScaleConfig,
+    generate_internet_topology,
+)
+
+N_BATCHES = 8
+BATCH_SIZE = 4
+INTERNET_ASES = 10_000
+INTERNET_ORIGINS = 300
+REPORT_FILE = os.path.join(
+    os.path.dirname(__file__), "reports", "BENCH_stream.json"
+)
+
+
+def rows_from_rib(rib) -> list:
+    """Collector RIB entries → MRT RibRecord rows (the stream substrate)."""
+    return [
+        RibRecord(
+            prefix=entry.prefix,
+            peer_asn=entry.vp,
+            as_path=tuple(entry.path),
+            communities=tuple(entry.communities),
+        )
+        for entry in rib
+    ]
+
+
+def delta_eligible_batches(
+    ingestor: StreamIngestor,
+    n_batches: int = N_BATCHES,
+    batch_size: int = BATCH_SIZE,
+    seed: int = 5,
+) -> list:
+    """Build announcement batches ``try_delta`` provably accepts.
+
+    Candidates are truncations (cut >=3) of already-filtered paths
+    whose endpoint is already an origin elsewhere, whose VP is not in
+    the partial-feed set, and whose links all carry early-step labels
+    — i.e. new paths that add zero links and can only cast agreeing
+    votes.  Each gets a fresh prefix so the corpus genuinely changes.
+    Worlds with short paths yield few truncations, so any shortfall is
+    filled with prefix-only announcements (an existing row's path
+    announced for a new prefix) — the other delta-eligible family.
+    """
+    live = ingestor.live
+    result = live.result
+    origins = {path[-1] for path in live.filtered.paths}
+    partial = _partial_vps(live.filtered, ingestor.config.partial_vp_coverage)
+    existing = set(live.filtered.paths)
+    candidates = []
+    rng = random.Random(seed)
+    paths = list(live.filtered.paths)
+    rng.shuffle(paths)
+    needed = n_batches * batch_size
+    for path in paths:
+        for cut in range(3, len(path)):
+            truncated = path[:cut]
+            if truncated in existing or truncated[-1] not in origins:
+                continue
+            if truncated[0] in partial:
+                continue
+            steps = [
+                result._step.get(canonical_pair(a, b))
+                for a, b in zip(truncated, truncated[1:])
+            ]
+            if any(s is None or s in _LATE_STEPS for s in steps):
+                continue
+            existing.add(truncated)
+            candidates.append(truncated)
+        if len(candidates) >= needed:
+            break
+    records = [
+        UpdateRecord(
+            peer_asn=truncated[0],
+            local_asn=COLLECTOR_ASN,
+            as_path=truncated,
+            announced=(
+                Prefix.parse(f"203.{index // 250}.{index % 250}.0/24"),
+            ),
+            communities=(),
+        )
+        for index, truncated in enumerate(candidates[:needed])
+    ]
+    donors = [row for row in ingestor.corpus.rows() if row.as_path]
+    rng.shuffle(donors)
+    for index, row in enumerate(donors[: needed - len(records)]):
+        records.append(
+            UpdateRecord(
+                peer_asn=row.peer_asn,
+                local_asn=COLLECTOR_ASN,
+                as_path=row.as_path,
+                announced=(
+                    Prefix.parse(f"198.{18 + index // 250}.{index % 250}.0/24"),
+                ),
+                communities=row.communities,
+            )
+        )
+    batches = []
+    for index, record in enumerate(records):
+        if index % batch_size == 0:
+            batches.append([])
+        batches[-1].append(record)
+    return batches
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def bench_leg(name: str, graph, rows) -> dict:
+    """Stream delta batches over a seeded table; compare with full."""
+    ingestor = StreamIngestor(ixp_asns=graph.ixp_asns(), base_rows=rows)
+    ingestor.publish()  # cold start: the full batch pipeline
+    cold_apply = ingestor.stats.last_apply_seconds
+
+    batches = delta_eligible_batches(ingestor)
+    delta_applies = []
+    delta_builds = []
+    for batch in batches:
+        ingestor.apply_batch(batch)
+        ingestor.publish()
+        if ingestor.stats.last_publish_mode != "delta":
+            continue  # fell back; excluded from the incremental stats
+        delta_applies.append(ingestor.stats.last_apply_seconds)
+        delta_builds.append(ingestor.stats.last_build_seconds)
+
+    # what every batch would have cost without the delta path: a full
+    # recompute over the same final table, timed on a cold ingestor
+    recompute = StreamIngestor(
+        ixp_asns=graph.ixp_asns(), base_rows=ingestor.corpus.rows()
+    )
+    recompute.publish()
+    full_apply = recompute.stats.last_apply_seconds
+    assert (
+        recompute.stats.last_publish_version
+        == ingestor.stats.last_publish_version
+    ), f"{name}: streamed table diverged from the batch oracle"
+
+    mean_delta = statistics.mean(delta_applies) if delta_applies else None
+    leg = {
+        "table_rows": len(ingestor.corpus),
+        "sanitized_paths": len(ingestor.live.filtered.paths),
+        "batches": len(batches),
+        "batch_size": BATCH_SIZE,
+        "delta_publishes": ingestor.stats.delta_publishes,
+        "full_fallbacks": dict(ingestor.stats.fallbacks),
+        "cold_full_apply_s": round(cold_apply, 6),
+        "full_apply_s": round(full_apply, 6),
+        "delta_apply_mean_s": (
+            round(mean_delta, 6) if mean_delta is not None else None
+        ),
+        "delta_apply_p95_s": (
+            round(_percentile(delta_applies, 0.95), 6)
+            if delta_applies
+            else None
+        ),
+        "delta_build_mean_s": (
+            round(statistics.mean(delta_builds), 6) if delta_builds else None
+        ),
+        "speedup_vs_full": (
+            round(full_apply / mean_delta, 2) if mean_delta else None
+        ),
+    }
+    print(
+        f"{name}: {leg['table_rows']} rows, "
+        f"{leg['delta_publishes']} delta publishes, "
+        f"delta apply mean {leg['delta_apply_mean_s']}s "
+        f"(p95 {leg['delta_apply_p95_s']}s), "
+        f"full apply {leg['full_apply_s']}s, "
+        f"speedup {leg['speedup_vs_full']}x"
+    )
+    return leg
+
+
+def large_leg() -> dict:
+    scenario = get_scenario("large")
+    graph, corpus, _paths, _result = scenario.run()
+    return bench_leg("large", graph, rows_from_rib(corpus.rib))
+
+
+def internet_leg() -> dict:
+    graph = generate_internet_topology(
+        InternetScaleConfig(n_ases=INTERNET_ASES, seed=42)
+    )
+    config = CollectorConfig(
+        n_vps=20,
+        seed=1,
+        propagation=PropagationConfig(array_state=True, batch_size=64),
+    )
+    origins = sorted(
+        random.Random(7).sample(
+            sorted(a.asn for a in graph.ases()), INTERNET_ORIGINS
+        )
+    )
+    corpus = Collector(graph, config).run(origins=origins)
+    leg = bench_leg("internet-10k", graph, rows_from_rib(corpus.rib))
+    leg["n_ases"] = INTERNET_ASES
+    leg["origins"] = INTERNET_ORIGINS
+    return leg
+
+
+def main() -> int:
+    report = {
+        "legs": {
+            "large": large_leg(),
+            "internet-10k": internet_leg(),
+        },
+    }
+    os.makedirs(os.path.dirname(REPORT_FILE), exist_ok=True)
+    with open(REPORT_FILE, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {REPORT_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

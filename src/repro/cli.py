@@ -396,6 +396,79 @@ def _serve_fleet(args: argparse.Namespace, mode: Optional[str]) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """``stream``: replay an UPDATE dump through the live-ingest layer."""
+    import json
+
+    if args.status:
+        from urllib.request import urlopen
+
+        url = args.status.rstrip("/") + "/stream"
+        with urlopen(url, timeout=10) as response:
+            print(json.dumps(json.load(response), indent=2, sort_keys=True))
+        return 0
+
+    if not args.updates:
+        print("error: an UPDATE dump is required (or --status URL)",
+              file=sys.stderr)
+        return 2
+
+    from repro.mrt.reader import iter_rib_dump
+    from repro.mrt.updates import follow_update_batches, iter_update_batches
+    from repro.stream import StreamIngestor
+
+    base_rows = None
+    if args.base:
+        base_rows = list(iter_rib_dump(args.base))
+    ingestor = StreamIngestor(
+        base_rows=base_rows, full_threshold=args.full_threshold
+    )
+
+    server = None
+    if args.serve:
+        from repro.serve.server import ServerThread
+        from repro.serve.store import SnapshotStore
+        from repro.stream import StorePublisher
+
+        snapshot = ingestor.publish()  # serve the seeded table from t=0
+        store = SnapshotStore(snapshot=snapshot)
+        ingestor.publisher = StorePublisher(store)
+        server = ServerThread(
+            store, host=args.host, port=args.port,
+            ingest_status=ingestor.status,
+        )
+        host, port = server.start()
+        print(f"serving live ingest on http://{host}:{port} "
+              f"(version {snapshot.version})")
+
+    if args.follow:
+        batches = follow_update_batches(
+            args.updates, batch_size=args.batch_size
+        )
+    else:
+        batches = iter_update_batches(
+            args.updates, batch_size=args.batch_size
+        )
+    try:
+        ingestor.run(batches, publish_every=args.publish_every)
+    except KeyboardInterrupt:
+        pass
+    status = ingestor.status()
+    print(json.dumps(status, indent=2, sort_keys=True))
+    if server is not None:
+        print("stream drained; still serving (ctrl-c to stop)")
+        try:
+            import time as _time
+
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+    return 0
+
+
 def _cmd_paths(args: argparse.Namespace) -> int:
     """One path / anycast / what-if query against a snapshot, as JSON."""
     import json
@@ -588,6 +661,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="diff over an evenly-spaced sample of sources (what-if)",
     )
     paths_cmd.set_defaults(func=_cmd_paths)
+
+    stream = sub.add_parser(
+        "stream",
+        help="live-ingest an MRT UPDATE dump, publishing snapshots "
+             "incrementally (optionally into a live server)",
+    )
+    stream.add_argument("updates", nargs="?",
+                        help="BGP4MP UPDATE dump to replay")
+    stream.add_argument("--base",
+                        help="MRT RIB dump seeding the live table")
+    stream.add_argument("--batch-size", type=int, default=256,
+                        help="UPDATE records applied per batch "
+                             "(default: 256)")
+    stream.add_argument("--publish-every", type=int, default=1,
+                        help="publish a snapshot every N batches "
+                             "(default: 1)")
+    stream.add_argument("--full-threshold", type=float, default=0.25,
+                        help="dirty-table fraction above which a publish "
+                             "skips the delta checks and recomputes in "
+                             "full (default: 0.25)")
+    stream.add_argument("--serve", action="store_true",
+                        help="serve the stream over HTTP while ingesting "
+                             "(hot-publishing each snapshot); keeps "
+                             "serving after the dump is drained")
+    stream.add_argument("--host", default="127.0.0.1")
+    stream.add_argument("--port", type=int, default=8080)
+    stream.add_argument("--follow", action="store_true",
+                        help="tail the dump for appended records instead "
+                             "of stopping at EOF")
+    stream.add_argument("--status", metavar="URL",
+                        help="print a running stream server's /stream "
+                             "status as JSON and exit (no ingest)")
+    stream.set_defaults(func=_cmd_stream)
 
     qa = sub.add_parser(
         "qa",

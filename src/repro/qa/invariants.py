@@ -1,4 +1,4 @@
-"""The nine invariant families the QA sweep asserts per world.
+"""The ten invariant families the QA sweep asserts per world.
 
 Every checker returns a list of :class:`Violation` (empty = clean)
 instead of raising, so one sweep reports everything it finds and the
@@ -1070,4 +1070,202 @@ def check_timeline(directory: str, world: str, seed: int) -> List[Violation]:
             )
         )
     timeline.close()
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# family 10: streamed ingest == batch recompute (bit-identity per publish)
+# ---------------------------------------------------------------------------
+
+
+def check_stream(world, label: str, seed: int) -> List[Violation]:
+    """Family 10: every streamed publish is bit-identical to batch.
+
+    Seeds a :class:`~repro.stream.corpus.LiveCorpus` with part of the
+    world's RIB, then drives a seeded UPDATE series through
+    :class:`~repro.stream.ingest.StreamIngestor` — announcements of the
+    held-back rows, withdrawals of live keys, relationship-changing
+    churn (re-announcing live prefixes with donor paths), a
+    withdraw+announce of the same prefix inside one UPDATE, and
+    delta-eligible batches (new prefixes over existing paths, truncated
+    existing paths) so the incremental apply level is exercised, not
+    just its fallback.  After *every* publish, the snapshot's content
+    version must equal a from-scratch batch recompute
+    (:func:`~repro.stream.corpus.asrank_from_rib_rows`) over the same
+    final rows — the streamed-vs-batch contract is exact, not
+    approximate.
+    """
+    import random as _random
+
+    from repro.mrt.reader import RibRecord, UpdateRecord
+    from repro.net.prefix import Prefix
+    from repro.relationships import canonical_pair
+    from repro.stream import StreamIngestor, asrank_from_rib_rows
+    from repro.stream.delta import _LATE_STEPS, _partial_vps
+
+    violations: List[Violation] = []
+    rows = [
+        RibRecord(
+            prefix=entry.prefix,
+            peer_asn=entry.vp,
+            as_path=tuple(entry.path),
+            communities=tuple(entry.communities),
+        )
+        for entry in world.corpus.rib
+    ]
+    if len(rows) < 8:
+        return violations  # not enough routes to stage a stream
+    rng = _random.Random(seed * 7919 + 10)
+    base_count = max(4, len(rows) * 3 // 5)
+    base, held = rows[:base_count], rows[base_count:]
+    ixp_asns = world.graph.ixp_asns()
+    local_asn = 64700
+
+    def announce(row, prefix=None, path=None):
+        return UpdateRecord(
+            peer_asn=row.peer_asn,
+            local_asn=local_asn,
+            as_path=path if path is not None else row.as_path,
+            announced=(prefix if prefix is not None else row.prefix,),
+            communities=row.communities,
+        )
+
+    def withdraw(row):
+        return UpdateRecord(
+            peer_asn=row.peer_asn,
+            local_asn=local_asn,
+            as_path=(),
+            announced=(),
+            communities=(),
+            withdrawn=(row.prefix,),
+        )
+
+    batches: List[List[UpdateRecord]] = []
+    half = len(held) // 2
+    batches.append([announce(row) for row in held[:half]])
+    # mixed batch: the rest of the held rows plus withdrawals of live keys
+    mixed = [announce(row) for row in held[half:]]
+    mixed.extend(withdraw(row) for row in rng.sample(base, min(3, len(base))))
+    batches.append(mixed)
+    # relationship-changing churn: live prefixes re-announced with donor
+    # paths from other vantage points
+    donors = rng.sample(rows, min(4, len(rows)))
+    targets = rng.sample(base, min(4, len(base)))
+    batches.append(
+        [
+            announce(target, path=donor.as_path)
+            for target, donor in zip(targets, donors)
+        ]
+    )
+    # RFC 4271 ordering: withdraw and announce the same prefix in one
+    # UPDATE — the prefix must survive with the new path
+    flip = rng.choice(rows)
+    batches.append(
+        [
+            UpdateRecord(
+                peer_asn=flip.peer_asn,
+                local_asn=local_asn,
+                as_path=flip.as_path,
+                announced=(flip.prefix,),
+                communities=flip.communities,
+                withdrawn=(flip.prefix,),
+            )
+        ]
+    )
+
+    ingestor = StreamIngestor(
+        ixp_asns=ixp_asns, base_rows=base, full_threshold=0.95
+    )
+
+    def checked_publish(stage: str) -> None:
+        snapshot = ingestor.publish()
+        expected = asrank_from_rib_rows(
+            ingestor.corpus.rows(), ixp_asns=ixp_asns
+        ).snapshot(source=ingestor.source)
+        if snapshot.version != expected.version:
+            violations.append(
+                Violation(
+                    "stream/bit-identity",
+                    label,
+                    f"{stage} publish "
+                    f"({ingestor.stats.last_publish_mode}) version "
+                    f"{snapshot.version} != batch {expected.version}",
+                )
+            )
+
+    checked_publish("seed")
+    for index, batch in enumerate(batches):
+        ingestor.apply_batch(batch)
+        checked_publish(f"batch-{index}")
+
+    # delta-eligible stages: a fresh prefix over an existing (vp, path)
+    # row, then truncated existing paths whose links all carry early-
+    # step labels (the crafted shape the incremental apply accepts)
+    live = ingestor.live
+    if live is not None and live.result._step:
+        donor = rng.choice(rows)
+        ingestor.apply_batch(
+            [announce(donor, prefix=Prefix.parse("198.51.100.0/24"))]
+        )
+        checked_publish("prefix-only")
+
+        result = live.result
+        filtered = live.filtered
+        origins = {path[-1] for path in filtered.paths}
+        partial = _partial_vps(
+            filtered, ingestor.config.partial_vp_coverage
+        )
+        existing = set(filtered.paths)
+        truncated: List[Tuple[int, ...]] = []
+        for path in filtered.paths:
+            for cut in range(3, len(path)):
+                candidate = path[:cut]
+                if candidate in existing:
+                    continue
+                steps = [
+                    result._step.get(canonical_pair(a, b))
+                    for a, b in zip(candidate, candidate[1:])
+                ]
+                if (
+                    candidate[-1] in origins
+                    and candidate[0] not in partial
+                    and all(
+                        s is not None and s not in _LATE_STEPS
+                        for s in steps
+                    )
+                ):
+                    truncated.append(candidate)
+                    existing.add(candidate)
+            if len(truncated) >= 3:
+                break
+        if truncated:
+            ingestor.apply_batch(
+                [
+                    UpdateRecord(
+                        peer_asn=candidate[0],
+                        local_asn=local_asn,
+                        as_path=candidate,
+                        announced=(
+                            Prefix.parse(f"203.0.{113 + index}.0/24"),
+                        ),
+                        communities=(),
+                    )
+                    for index, candidate in enumerate(truncated)
+                ]
+            )
+            checked_publish("truncated-paths")
+
+    # a duplicate re-announcement must be detected as a noop publish
+    ingestor.apply_batch([announce(rng.choice(ingestor.corpus.rows()))])
+    before = ingestor.stats.last_publish_version
+    snapshot = ingestor.publish()
+    if snapshot.version != before:
+        violations.append(
+            Violation(
+                "stream/noop",
+                label,
+                "re-announcing an identical route changed the version "
+                f"({before} -> {snapshot.version})",
+            )
+        )
     return violations

@@ -1,7 +1,7 @@
 """The QA sweep driver: worlds → invariants → shrink → repro files.
 
 ``run_qa`` is what ``repro-asrank qa --seeds N`` executes.  Every world
-runs all nine invariant families; the corpus-level families (1–3) are
+runs all ten invariant families; the corpus-level families (1–3) are
 shrunk on failure and the minimal corpus is written under
 ``benchmarks/repros/`` together with a one-line replay command, so a
 red sweep is immediately actionable.
@@ -28,6 +28,7 @@ from repro.qa.invariants import (
     check_propagation,
     check_round_trips,
     check_serving,
+    check_stream,
     check_timeline,
 )
 from repro.qa.shrink import shrink_paths
@@ -56,6 +57,10 @@ class QaConfig:
     # family 9 builds its own fixed-size three-era series per world
     # (cheap — tens of milliseconds), so it runs every world by default
     timeline_every: int = 1
+    # family 10 recomputes the batch oracle after every streamed
+    # publish (~8 full pipelines per checked world), so it runs every
+    # other world, offset from families 5/6 below
+    stream_every: int = 2
 
 
 @dataclass
@@ -236,6 +241,15 @@ def run_qa(
                                     label,
                                     spec.seed,
                                 )
+                            )
+                        report.checks += 1
+                    if (
+                        config.stream_every
+                        and (index + 3) % config.stream_every == 0
+                    ):
+                        with perf.stage("qa-stream"):
+                            world_violations.extend(
+                                check_stream(world, label, spec.seed)
                             )
                         report.checks += 1
 

@@ -67,7 +67,7 @@ MAX_DIFF_CACHE = 64
 #: first path segments owned by GET — a POST here is 405, not 404
 _GET_ROUTE_HEADS = frozenset(
     ("asns", "links", "ranks", "paths", "snapshot", "healthz", "metrics",
-     "eras", "diff")
+     "eras", "diff", "stream")
 )
 
 
@@ -82,9 +82,13 @@ class Api:
         engine: Optional[PathEngine] = None,
         worker_info: Optional[Dict[str, object]] = None,
         reload_delegate: Optional[Callable[[Optional[str]], None]] = None,
+        ingest_status: Optional[Callable[[], Dict[str, object]]] = None,
     ):
         self.store = store
         self._metrics_view = metrics_view
+        # live-ingest wiring: a StreamIngestor.status callable surfaces
+        # the publish counters on /stream and inside /metrics
+        self._ingest_status = ingest_status
         self.allow_admin = allow_admin
         self.engine = engine if engine is not None else PathEngine()
         # pre-fork fleet wiring: worker_info rides on /healthz and
@@ -126,6 +130,17 @@ class Api:
                     return 200, payload, "healthz", False
                 if parts == ["metrics"]:
                     return 200, self._metrics(), "metrics", False
+                if parts == ["stream"]:
+                    if self._ingest_status is None:
+                        return (
+                            404,
+                            _error("no stream attached"),
+                            "stream",
+                            False,
+                        )
+                    payload = dict(self._ingest_status())
+                    payload["serving_version"] = snapshot.version
+                    return 200, payload, "stream", False
                 if parts == ["snapshot"]:
                     return (
                         200,
@@ -597,6 +612,8 @@ class Api:
             "perf": perf.snapshot(),
             "paths": self.engine.stats(),
         }
+        if self._ingest_status is not None:
+            out["ingest"] = self._ingest_status()
         if self._metrics_view is not None:
             out.update(self._metrics_view())
         return out

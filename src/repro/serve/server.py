@@ -167,6 +167,7 @@ class SnapshotServer:
         reuse_port: bool = False,
         worker_info: Optional[Dict[str, object]] = None,
         reload_delegate=None,
+        ingest_status=None,
     ):
         self.store = store
         self.host = host
@@ -184,6 +185,7 @@ class SnapshotServer:
             allow_admin=allow_admin,
             worker_info=worker_info,
             reload_delegate=reload_delegate,
+            ingest_status=ingest_status,
         )
         # path/what-if propagation runs on this bounded pool so a cold
         # route-table build never stalls the event loop: cached reads

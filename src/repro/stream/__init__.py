@@ -1,0 +1,42 @@
+"""Live-stream ingest: incremental inference over MRT UPDATE batches.
+
+The batch pipeline rebuilds the world from scratch for every era; this
+package is the streaming twin.  :class:`~repro.stream.corpus.LiveCorpus`
+maintains the per-(prefix, peer) RIB table under announce/withdraw
+semantics, :class:`~repro.stream.ingest.StreamIngestor` turns batches of
+decoded UPDATE records into published snapshots, and
+:mod:`repro.stream.delta` is the checked incremental apply that makes a
+publish cheap when a batch only grows the corpus benignly.
+
+The correctness contract is differential and absolute: every published
+snapshot is bit-identical (equal content version) to a batch recompute
+over the same final corpus.  The delta path earns its speed by proving
+a set of agreement preconditions against the live inference state and
+falling back to a full recompute whenever any of them fails — QA
+family 10 checks the contract on every publish of seeded worlds.
+"""
+
+from repro.stream.corpus import (
+    LiveCorpus,
+    asrank_from_rib_rows,
+    prefixes_from_rows,
+)
+from repro.stream.delta import LiveState, try_delta
+from repro.stream.ingest import (
+    FleetPublisher,
+    IngestStats,
+    StorePublisher,
+    StreamIngestor,
+)
+
+__all__ = [
+    "FleetPublisher",
+    "IngestStats",
+    "LiveCorpus",
+    "LiveState",
+    "StorePublisher",
+    "StreamIngestor",
+    "asrank_from_rib_rows",
+    "prefixes_from_rows",
+    "try_delta",
+]

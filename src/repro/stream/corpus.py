@@ -1,0 +1,203 @@
+"""Live RIB table with announce/withdraw semantics.
+
+The stream layer's source of truth is the same per-``(prefix, peer)``
+route table that :func:`repro.mrt.updates.rib_from_updates` reconstructs
+offline: the last announcement for a key wins, a withdrawal removes the
+key, and withdrawals inside an UPDATE are applied before its
+announcements (RFC 4271 ordering).  :class:`LiveCorpus` keeps that table
+resident and additionally tracks which keys changed since the last
+publish so the ingestor can estimate the dirty fraction cheaply.
+
+:func:`asrank_from_rib_rows` is the single shared definition of "batch
+recompute over a set of RIB rows" — the stream's full publishes, the QA
+family 10 comparator, and the CI smoke all call it, which makes the
+streamed-vs-batch bit-identity contract trivially well-defined.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.paths import (
+    PathSet,
+    SanitizeStats,
+    compress_prepending,
+    has_loop,
+    is_reserved_asn,
+)
+from repro.mrt.reader import RibRecord, UpdateRecord
+
+TableKey = Tuple[object, int]  # (Prefix, peer_asn)
+
+
+def prefixes_from_rows(rows: Iterable[RibRecord]) -> Dict[int, List]:
+    """Origin-ASN → sorted prefixes, exactly as ``ASRank.from_mrt`` derives it."""
+    by_asn: Dict[int, Set] = {}
+    for row in rows:
+        if row.as_path:
+            by_asn.setdefault(row.as_path[-1], set()).add(row.prefix)
+    return {asn: sorted(prefixes) for asn, prefixes in by_asn.items()}
+
+
+def asrank_from_rib_rows(rows: Sequence[RibRecord], ixp_asns=frozenset(), config=None):
+    """Batch-recompute facade over RIB rows (the family 10 oracle)."""
+    from repro.asrank import ASRank
+
+    return ASRank.from_paths(
+        (row.as_path for row in rows),
+        ixp_asns=ixp_asns,
+        config=config,
+        prefixes_by_asn=prefixes_from_rows(rows),
+    )
+
+
+class LiveCorpus:
+    """Mutable RIB table driven by decoded UPDATE records.
+
+    The final table after any sequence of :meth:`apply` calls equals
+    ``rib_from_updates(all_updates, base=base_rows)`` — the unit tests
+    pin that equivalence against randomized sequences.
+    """
+
+    def __init__(self, base: Optional[Iterable[RibRecord]] = None) -> None:
+        self.table: Dict[TableKey, RibRecord] = {}
+        for row in base or ():
+            self.table[(row.prefix, row.peer_asn)] = row
+        # keys kept sorted incrementally, so a publish over a
+        # barely-changed table doesn't pay an O(n log n) re-sort
+        self._sorted_keys: List[TableKey] = sorted(self.table)
+        #: keys touched since the last ``clear_dirty`` (i.e. last publish)
+        self.dirty_keys: Set[TableKey] = set()
+        self.announced = 0
+        self.withdrawn = 0
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def apply(self, updates: Iterable[UpdateRecord]) -> Tuple[int, int]:
+        """Apply decoded UPDATE records in order; returns (announced, withdrawn).
+
+        Withdrawals inside a record are applied before its announcements,
+        matching :func:`repro.mrt.updates.rib_from_updates`.
+        """
+        announced = withdrawn = 0
+        table = self.table
+        dirty = self.dirty_keys
+        keys = self._sorted_keys
+        for update in updates:
+            for prefix in update.withdrawn:
+                key = (prefix, update.peer_asn)
+                if table.pop(key, None) is not None:
+                    withdrawn += 1
+                    dirty.add(key)
+                    del keys[bisect_left(keys, key)]
+            for prefix in update.announced:
+                key = (prefix, update.peer_asn)
+                row = RibRecord(
+                    prefix=prefix,
+                    peer_asn=update.peer_asn,
+                    as_path=update.as_path,
+                    communities=update.communities,
+                )
+                if key not in table:
+                    insort(keys, key)
+                if table.get(key) != row:
+                    dirty.add(key)
+                table[key] = row
+                announced += 1
+        self.announced += announced
+        self.withdrawn += withdrawn
+        return announced, withdrawn
+
+    def dirty_fraction(self) -> float:
+        """Fraction of the table touched since the last publish."""
+        return len(self.dirty_keys) / max(1, len(self.table))
+
+    def clear_dirty(self) -> None:
+        self.dirty_keys.clear()
+
+    def rows(self) -> List[RibRecord]:
+        """Deterministic row order, identical to ``rib_from_updates``."""
+        table = self.table
+        return [table[key] for key in self._sorted_keys]
+
+
+class CachedSanitizer:
+    """Memoized :meth:`PathSet.sanitize` for a slowly-churning corpus.
+
+    Per-path cleaning (prepending compression, reserved-ASN and loop
+    discards, IXP splice-out) depends only on the raw path and the IXP
+    set, so it is memoized per distinct raw path: a publish over a
+    table where only a handful of rows changed costs one dict lookup
+    per row instead of re-cleaning every hop.  The output — paths,
+    multiplicity counts and the full :class:`SanitizeStats` — is
+    bit-identical to ``PathSet.sanitize`` on the same input order (the
+    unit tests pin the equivalence), so swapping it into the stream's
+    publish path cannot perturb snapshot versions.
+
+    The memo grows with the number of *distinct* raw paths ever seen,
+    not with the table size; withdrawn paths keep their entries so a
+    re-announcement stays a cache hit.
+    """
+
+    def __init__(self, ixp_asns=frozenset()) -> None:
+        self.ixp_asns = frozenset(ixp_asns)
+        # raw path -> (cleaned path or None, prepending, reserved,
+        #              ixp_removed, loop, short) counter deltas
+        self._memo: Dict[
+            Tuple[int, ...], Tuple[Optional[Tuple[int, ...]], int, int, int, int, int]
+        ] = {}
+
+    def _clean(
+        self, path: Tuple[int, ...]
+    ) -> Tuple[Optional[Tuple[int, ...]], int, int, int, int, int]:
+        """One path through the stage-1 pipeline, stats as deltas."""
+        if not path:
+            return None, 0, 0, 0, 0, 1
+        prepending = 0
+        compressed = compress_prepending(path)
+        if len(compressed) != len(path):
+            prepending = 1
+        path = compressed
+        if any(is_reserved_asn(asn) for asn in path):
+            return None, prepending, 1, 0, 0, 0
+        ixp_removed = 0
+        if self.ixp_asns and any(asn in self.ixp_asns for asn in path):
+            path = tuple(asn for asn in path if asn not in self.ixp_asns)
+            ixp_removed = 1
+            path = compress_prepending(path)
+        if has_loop(path):
+            return None, prepending, 0, ixp_removed, 1, 0
+        if len(path) < 2:
+            return None, prepending, 0, ixp_removed, 0, 1
+        return path, prepending, 0, ixp_removed, 0, 0
+
+    def sanitize(self, raw_paths: Iterable[Sequence[int]]) -> PathSet:
+        """Drop-in for ``PathSet.sanitize(raw_paths, self.ixp_asns)``."""
+        memo = self._memo
+        stats = SanitizeStats()
+        kept: List[Tuple[int, ...]] = []
+        counts: Dict[Tuple[int, ...], int] = {}
+        for raw in raw_paths:
+            stats.input_paths += 1
+            entry = memo.get(raw if type(raw) is tuple else tuple(raw))
+            if entry is None:
+                key = tuple(raw)
+                entry = memo[key] = self._clean(key)
+            path, prepending, reserved, ixp_removed, loop, short = entry
+            stats.prepending_compressed += prepending
+            stats.discarded_reserved_asn += reserved
+            stats.ixp_hops_removed += ixp_removed
+            stats.discarded_loops += loop
+            stats.discarded_short += short
+            if path is None:
+                continue
+            if path in counts:
+                counts[path] += 1
+                stats.duplicates_merged += 1
+            else:
+                counts[path] = 1
+                kept.append(path)
+        stats.kept = len(kept)
+        return PathSet(kept, counts, stats)

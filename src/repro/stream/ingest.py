@@ -1,0 +1,273 @@
+"""StreamIngestor: UPDATE batches in, content-versioned snapshots out.
+
+The ingestor owns the :class:`~repro.stream.corpus.LiveCorpus`, decides
+per publish which of the three apply levels to take, and hands the
+resulting snapshot to a pluggable publisher:
+
+* **noop** — the sanitized corpus and the prefix map both match the last
+  published state; the previous snapshot object is reused unchanged.
+* **delta** — :func:`repro.stream.delta.try_delta` proved the batch
+  labels unchanged; only cones/ranks/sections are recomputed.
+* **full** — the always-safe fallback: a batch recompute through
+  :func:`repro.stream.corpus.asrank_from_rib_rows` (the QA oracle).
+
+Publishers adapt the snapshot to the serving tier:
+:class:`StorePublisher` swaps it into an in-process
+:class:`~repro.serve.store.SnapshotStore` (single server hot reload),
+:class:`FleetPublisher` saves it to disk and drives the
+:class:`~repro.serve.workers.WorkerFleet` two-phase coordinated reload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.cone import ConeDefinition
+from repro.core.inference import InferenceConfig
+from repro.core.paths import PathSet
+from repro.mrt.reader import RibRecord, UpdateRecord
+from repro.stream.corpus import CachedSanitizer, LiveCorpus, prefixes_from_rows
+from repro.stream.delta import LiveState, try_delta
+
+
+@dataclass
+class IngestStats:
+    """Counters surfaced through ``/metrics`` and ``/stream``."""
+
+    batches: int = 0
+    updates: int = 0
+    announces: int = 0
+    withdrawals: int = 0
+    links_added: int = 0
+    links_removed: int = 0
+    publishes: int = 0
+    noop_publishes: int = 0
+    delta_publishes: int = 0
+    full_publishes: int = 0
+    apply_seconds: float = 0.0
+    build_seconds: float = 0.0
+    last_apply_seconds: float = 0.0
+    last_build_seconds: float = 0.0
+    last_publish_mode: Optional[str] = None
+    last_publish_version: Optional[str] = None
+    last_publish_unix: Optional[float] = None
+    fallbacks: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self, now: Optional[float] = None) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "batches": self.batches,
+            "updates": self.updates,
+            "announces": self.announces,
+            "withdrawals": self.withdrawals,
+            "links_added": self.links_added,
+            "links_removed": self.links_removed,
+            "publishes": self.publishes,
+            "noop_publishes": self.noop_publishes,
+            "delta_publishes": self.delta_publishes,
+            "full_publishes": self.full_publishes,
+            "apply_seconds": round(self.apply_seconds, 6),
+            "build_seconds": round(self.build_seconds, 6),
+            "last_apply_seconds": round(self.last_apply_seconds, 6),
+            "last_build_seconds": round(self.last_build_seconds, 6),
+            "last_publish_mode": self.last_publish_mode,
+            "last_publish_version": self.last_publish_version,
+            "fallbacks": dict(self.fallbacks),
+        }
+        if self.last_publish_unix is not None and now is not None:
+            out["last_publish_age_s"] = round(now - self.last_publish_unix, 3)
+        return out
+
+
+class StorePublisher:
+    """Swap each published snapshot into an in-process store."""
+
+    def __init__(self, store) -> None:
+        self.store = store
+
+    def __call__(self, snapshot) -> None:
+        self.store.swap(snapshot)
+
+
+class FleetPublisher:
+    """Save each snapshot to ``path`` and coordinate a fleet reload."""
+
+    def __init__(self, fleet, path: str) -> None:
+        self.fleet = fleet
+        self.path = path
+
+    def __call__(self, snapshot) -> None:
+        from repro.serve.store import save_snapshot
+
+        save_snapshot(snapshot, self.path)
+        self.fleet.reload(self.path)
+
+
+class StreamIngestor:
+    """Incremental inference driver over decoded UPDATE batches."""
+
+    def __init__(
+        self,
+        ixp_asns: Iterable[int] = frozenset(),
+        config: Optional[InferenceConfig] = None,
+        source: str = "stream",
+        base_rows: Optional[Iterable[RibRecord]] = None,
+        full_threshold: float = 0.25,
+        publisher: Optional[Callable[[object], None]] = None,
+    ) -> None:
+        self.ixp_asns = frozenset(ixp_asns)
+        self.config = config or InferenceConfig()
+        self.source = source
+        self.corpus = LiveCorpus(base_rows)
+        self._sanitizer = CachedSanitizer(self.ixp_asns)
+        self.full_threshold = full_threshold
+        self.publisher = publisher
+        self.live: Optional[LiveState] = None
+        self.stats = IngestStats()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+
+    def apply_batch(self, updates: Iterable[UpdateRecord]) -> None:
+        updates = list(updates)
+        announced, withdrawn = self.corpus.apply(updates)
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.updates += len(updates)
+            self.stats.announces += announced
+            self.stats.withdrawals += withdrawn
+
+    def publish(self):
+        """Build and publish a snapshot for the current table.
+
+        Returns the published :class:`~repro.serve.snapshot.Snapshot`
+        (the previous one on a noop).  Every returned snapshot is
+        bit-identical to a batch recompute over ``self.corpus.rows()``.
+        """
+        start = time.perf_counter()
+        rows = self.corpus.rows()
+        dirty = self.corpus.dirty_fraction()
+        self.corpus.clear_dirty()
+        sanitized = self._sanitizer.sanitize(row.as_path for row in rows)
+        prefixes = prefixes_from_rows(rows)
+
+        mode, reason, state = "full", None, None
+        if self.live is not None:
+            if (
+                sanitized.paths == self.live.sanitized.paths
+                and prefixes == self.live.prefixes_by_asn
+            ):
+                mode, state = "noop", self.live
+            elif dirty > self.full_threshold:
+                reason = "dirty-threshold"
+            else:
+                state, reason = try_delta(
+                    self.live, sanitized, prefixes, self.config
+                )
+                if state is not None:
+                    mode = "delta"
+        else:
+            reason = "cold-start"
+
+        old_links = (
+            self.live.filtered.links() if self.live is not None else set()
+        )
+        if state is None:
+            state = self._full_state(sanitized, prefixes)
+        applied = time.perf_counter()
+
+        if mode == "noop":
+            built = applied
+        else:
+            state.snapshot = state.facade.snapshot(source=self.source)
+            built = time.perf_counter()
+            if self.publisher is not None:
+                self.publisher(state.snapshot)
+        snapshot = state.snapshot
+        new_links = state.filtered.links()
+        self.live = state
+
+        with self._lock:
+            st = self.stats
+            st.publishes += 1
+            if mode == "noop":
+                st.noop_publishes += 1
+            elif mode == "delta":
+                st.delta_publishes += 1
+            else:
+                st.full_publishes += 1
+                if reason is not None:
+                    st.fallbacks[reason] = st.fallbacks.get(reason, 0) + 1
+            st.links_added += len(new_links - old_links)
+            st.links_removed += len(old_links - new_links)
+            st.last_apply_seconds = applied - start
+            st.last_build_seconds = built - applied
+            st.apply_seconds += st.last_apply_seconds
+            st.build_seconds += st.last_build_seconds
+            st.last_publish_mode = mode
+            st.last_publish_version = snapshot.version
+            st.last_publish_unix = time.time()
+        return snapshot
+
+    def run(
+        self,
+        batches: Iterable[Sequence[UpdateRecord]],
+        publish_every: int = 1,
+    ) -> List[object]:
+        """Apply batches in order, publishing every ``publish_every``
+        batches (and once at the end if work is pending)."""
+        published: List[object] = []
+        pending = 0
+        for batch in batches:
+            self.apply_batch(batch)
+            pending += 1
+            if publish_every and pending >= publish_every:
+                published.append(self.publish())
+                pending = 0
+        if pending or not published:
+            published.append(self.publish())
+        return published
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """Point-in-time ingest status for ``/stream`` and ``--status``."""
+        with self._lock:
+            out = self.stats.as_dict(now=time.time())
+        out["source"] = self.source
+        out["table_rows"] = len(self.corpus)
+        out["dirty_rows"] = len(self.corpus.dirty_keys)
+        out["full_threshold"] = self.full_threshold
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _full_state(self, sanitized: PathSet, prefixes) -> LiveState:
+        """Batch recompute, staged so apply/build timings separate."""
+        from repro.asrank import ASRank
+
+        facade = ASRank(
+            sanitized, config=self.config, prefixes_by_asn=prefixes
+        )
+        facade.result  # force inference
+        for definition in ConeDefinition:
+            facade.cones(definition)
+        bits = {
+            definition: facade.cones(definition).bits
+            for definition in ConeDefinition
+        }
+        return LiveState(
+            facade=facade,
+            sanitized=sanitized,
+            filtered=facade.result.paths,
+            prefixes_by_asn=prefixes,
+            bits=bits,
+        )

@@ -1,0 +1,178 @@
+"""Adversarial tests for the incremental transitive closure.
+
+``ClosureBitsets`` is the inference engine's cycle gate: after every
+``add_edge`` its strict ancestor/descendant bitsets must equal what the
+batch ``closure_bits`` computes over the edges seen so far.  These
+tests replay interleaved add sequences — chains, stars, diamonds and
+seeded random DAGs — and compare against the batch oracle after every
+single edge.
+"""
+
+import random
+
+from repro.graph.bitset import ClosureBitsets, closure_bits
+
+
+def _batch_oracle(n, edges):
+    """Strict anc/desc lists via two batch closure passes."""
+    children = {}
+    parents = {}
+    for parent, child in edges:
+        children.setdefault(parent, []).append(child)
+        parents.setdefault(child, []).append(parent)
+    desc = [
+        bits ^ (1 << i) for i, bits in enumerate(closure_bits(n, children))
+    ]
+    anc = [
+        bits ^ (1 << i) for i, bits in enumerate(closure_bits(n, parents))
+    ]
+    return anc, desc
+
+
+def _replay_and_check(n, edges):
+    """add_edge one at a time; oracle-compare after every step."""
+    closure = ClosureBitsets()
+    closure.ensure(n)
+    for count, (parent, child) in enumerate(edges, start=1):
+        closure.add_edge(parent, child)
+        anc, desc = _batch_oracle(n, edges[:count])
+        assert closure.anc == anc, f"anc diverged after {count} edges"
+        assert closure.desc == desc, f"desc diverged after {count} edges"
+    return closure
+
+
+class TestIncrementalMatchesBatch:
+    def test_chain_built_forward(self):
+        edges = [(i, i + 1) for i in range(8)]
+        _replay_and_check(9, edges)
+
+    def test_chain_built_backward(self):
+        # joining two long reachability sets with the last edge is the
+        # worst case for incremental propagation
+        edges = [(i, i + 1) for i in reversed(range(8))]
+        _replay_and_check(9, edges)
+
+    def test_chain_built_from_both_ends(self):
+        order = [0, 7, 1, 6, 2, 5, 3, 4]
+        edges = [(i, i + 1) for i in order]
+        _replay_and_check(9, edges)
+
+    def test_star_and_diamond(self):
+        # hub with spokes, then a diamond grafted onto one spoke
+        edges = [(0, i) for i in range(1, 5)]
+        edges += [(1, 5), (1, 6), (5, 7), (6, 7), (7, 8)]
+        _replay_and_check(9, edges)
+
+    def test_duplicate_edges_are_idempotent(self):
+        edges = [(0, 1), (1, 2), (0, 1), (0, 2), (1, 2)]
+        closure = _replay_and_check(3, edges)
+        anc, desc = _batch_oracle(3, [(0, 1), (1, 2), (0, 2)])
+        assert closure.anc == anc and closure.desc == desc
+
+    def test_random_dags(self):
+        for seed in range(6):
+            rng = random.Random(seed)
+            n = rng.randint(10, 24)
+            closure = ClosureBitsets()
+            closure.ensure(n)
+            edges = []
+            candidates = [
+                (a, b) for a in range(n) for b in range(n) if a != b
+            ]
+            rng.shuffle(candidates)
+            for parent, child in candidates:
+                # mirror the engine: refuse edges that would close a
+                # cycle, accept everything else in arrival order
+                if closure.descends(child, parent) or parent == child:
+                    continue
+                closure.add_edge(parent, child)
+                edges.append((parent, child))
+                if len(edges) >= 2 * n:
+                    break
+            anc, desc = _batch_oracle(n, edges)
+            assert closure.anc == anc, f"seed {seed}: anc diverged"
+            assert closure.desc == desc, f"seed {seed}: desc diverged"
+
+    def test_ensure_mid_sequence(self):
+        closure = ClosureBitsets()
+        closure.ensure(2)
+        closure.add_edge(0, 1)
+        closure.ensure(5)
+        closure.add_edge(1, 4)
+        closure.add_edge(4, 2)
+        anc, desc = _batch_oracle(5, [(0, 1), (1, 4), (4, 2)])
+        assert closure.anc == anc and closure.desc == desc
+
+    def test_descends_is_strict(self):
+        closure = ClosureBitsets()
+        closure.ensure(3)
+        closure.add_edge(0, 1)
+        closure.add_edge(1, 2)
+        assert closure.descends(0, 2)
+        assert closure.descends(0, 1)
+        assert not closure.descends(0, 0)  # strict: not its own descendant
+        assert not closure.descends(2, 0)
+
+
+class TestRebuild:
+    def test_rebuild_equals_incremental(self):
+        rng = random.Random(99)
+        n = 16
+        incremental = ClosureBitsets()
+        incremental.ensure(n)
+        edges = []
+        for _ in range(60):
+            parent, child = rng.randrange(n), rng.randrange(n)
+            if parent == child or incremental.descends(child, parent):
+                continue
+            incremental.add_edge(parent, child)
+            edges.append((parent, child))
+        rebuilt = ClosureBitsets.rebuild(n, edges)
+        assert rebuilt.anc == incremental.anc
+        assert rebuilt.desc == incremental.desc
+
+    def test_rebuild_after_removal(self):
+        # the documented removal path: drop an edge, rebuild from the
+        # survivors, and the closure shrinks accordingly
+        edges = [(0, 1), (1, 2), (2, 3)]
+        full = ClosureBitsets.rebuild(4, edges)
+        assert full.descends(0, 3)
+        pruned = ClosureBitsets.rebuild(4, [(0, 1), (2, 3)])
+        assert not pruned.descends(0, 3)
+        assert pruned.descends(0, 1)
+        assert pruned.descends(2, 3)
+        anc, desc = _batch_oracle(4, [(0, 1), (2, 3)])
+        assert pruned.anc == anc and pruned.desc == desc
+
+    def test_rebuild_empty(self):
+        empty = ClosureBitsets.rebuild(3, [])
+        assert empty.anc == [0, 0, 0]
+        assert empty.desc == [0, 0, 0]
+
+
+class TestAgainstInference:
+    def test_engine_closure_matches_batch(self):
+        """The engine's live closure equals a batch closure over the
+        p2c edges it actually accepted."""
+        from repro.bgp.collector import Collector, CollectorConfig
+        from repro.core.inference import infer_relationships
+        from repro.core.paths import PathSet
+        from repro.topology.generator import GeneratorConfig, generate_topology
+
+        graph = generate_topology(GeneratorConfig(n_ases=120, seed=23))
+        corpus = Collector(graph, CollectorConfig(n_vps=8, seed=23)).run()
+        result = infer_relationships(
+            PathSet.sanitize(corpus.paths, ixp_asns=graph.ixp_asns())
+        )
+        index = result.index
+        edges = []
+        for (a, b) in result.links():
+            provider = result.provider_of(a, b)
+            if provider is None:
+                continue
+            customer = b if provider == a else a
+            edges.append((index.ids[provider], index.ids[customer]))
+        rebuilt = ClosureBitsets.rebuild(len(index.asns), edges)
+        live = result._closure
+        assert live.desc[: len(rebuilt.desc)] == rebuilt.desc
+        assert live.anc[: len(rebuilt.anc)] == rebuilt.anc

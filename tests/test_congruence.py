@@ -1,0 +1,155 @@
+"""Tests for the IPv4/IPv6 congruence analysis."""
+
+from repro.analysis.congruence import congruence_report
+from repro.bgp.collector import Collector, CollectorConfig
+from repro.core.inference import infer_relationships
+from repro.core.paths import PathSet
+from repro.relationships import Relationship, canonical_pair
+from repro.topology.generator import GeneratorConfig, generate_topology
+
+
+def _infer(seed, n_ases=100, n_vps=6):
+    graph = generate_topology(GeneratorConfig(n_ases=n_ases, seed=seed))
+    corpus = Collector(graph, CollectorConfig(n_vps=n_vps, seed=seed)).run()
+    return infer_relationships(
+        PathSet.sanitize(corpus.paths, ixp_asns=graph.ixp_asns())
+    )
+
+
+class _Stub:
+    """Hand-built inference surface: links, labels, providers, clique.
+
+    ``congruence_report`` documents that any object with the inference
+    query surface works; this keeps the disagreement-matrix tests
+    independent of what a real inference would label.
+    """
+
+    class _Clique:
+        def __init__(self, members):
+            self.members = members
+
+    def __init__(self, labels, clique=()):
+        # labels: {(a, b): ("p2c", provider) | ("p2p", None) | ("s2s", None)}
+        self._labels = {
+            canonical_pair(a, b): value for (a, b), value in labels.items()
+        }
+        self.clique = self._Clique(list(clique))
+
+    def links(self):
+        return list(self._labels)
+
+    def relationship(self, a, b):
+        entry = self._labels.get(canonical_pair(a, b))
+        if entry is None:
+            return None
+        return {
+            "p2c": Relationship.P2C,
+            "p2p": Relationship.P2P,
+            "s2s": Relationship.S2S,
+        }[entry[0]]
+
+    def provider_of(self, a, b):
+        entry = self._labels.get(canonical_pair(a, b))
+        if entry is None or entry[0] != "p2c":
+            return None
+        return entry[1]
+
+
+class TestDegenerate:
+    def test_empty_results(self):
+        empty_a = _Stub({})
+        empty_b = _Stub({})
+        report = congruence_report(empty_a, empty_b)
+        assert report.dual_links == 0
+        assert report.v4_only == 0 and report.v6_only == 0
+        assert report.congruence == 1.0
+        assert report.clique_jaccard == 1.0
+        assert report.disagreements == {}
+
+    def test_disjoint_link_sets(self):
+        v4 = _Stub({(1, 2): ("p2p", None), (2, 3): ("p2p", None)})
+        v6 = _Stub({(4, 5): ("p2p", None)})
+        report = congruence_report(v4, v6)
+        assert report.dual_links == 0
+        assert report.v4_only == 2
+        assert report.v6_only == 1
+        assert report.congruence == 1.0  # vacuous, by convention
+
+
+class TestDisagreements:
+    def test_label_disagreement_matrix(self):
+        v4 = _Stub(
+            {
+                (1, 2): ("p2c", 1),  # agrees
+                (2, 3): ("p2c", 2),  # v6 says p2p
+                (3, 4): ("p2p", None),  # v6 says s2s
+                (4, 5): ("p2p", None),  # agrees
+            }
+        )
+        v6 = _Stub(
+            {
+                (1, 2): ("p2c", 1),
+                (2, 3): ("p2p", None),
+                (3, 4): ("s2s", None),
+                (4, 5): ("p2p", None),
+            }
+        )
+        report = congruence_report(v4, v6)
+        assert report.dual_links == 4
+        assert report.congruent == 2
+        assert report.congruence == 0.5
+        assert report.disagreements == {
+            ("p2c", "p2p"): 1,
+            ("p2p", "s2s"): 1,
+        }
+        assert report.by_relationship == {"p2c": (2, 1), "p2p": (2, 1)}
+
+    def test_provider_direction_counts_as_disagreement(self):
+        # same p2c relationship but opposite provider: not congruent,
+        # yet the coarse (p2c, p2c) cell records it
+        v4 = _Stub({(1, 2): ("p2c", 1)})
+        v6 = _Stub({(1, 2): ("p2c", 2)})
+        report = congruence_report(v4, v6)
+        assert report.congruent == 0
+        assert report.disagreements == {("p2c", "p2c"): 1}
+
+    def test_clique_jaccard(self):
+        v4 = _Stub({}, clique=(1, 2, 3))
+        v6 = _Stub({}, clique=(2, 3, 4))
+        report = congruence_report(v4, v6)
+        assert report.clique_v4 == [1, 2, 3]
+        assert report.clique_v6 == [2, 3, 4]
+        assert report.clique_jaccard == 0.5
+
+
+class TestRealResults:
+    def test_identical_results_are_fully_congruent(self):
+        result = _infer(seed=7)
+        report = congruence_report(result, result)
+        assert report.dual_links == len(result.links())
+        assert report.congruent == report.dual_links
+        assert report.congruence == 1.0
+        assert report.v4_only == 0 and report.v6_only == 0
+        assert report.clique_jaccard == 1.0
+        assert not report.disagreements
+        # every bucket fully agrees
+        for total, agree in report.by_relationship.values():
+            assert total == agree
+
+    def test_seeded_determinism(self):
+        first = congruence_report(_infer(seed=7), _infer(seed=13))
+        second = congruence_report(_infer(seed=7), _infer(seed=13))
+        assert first == second
+
+    def test_different_planes_report_consistency(self):
+        report = congruence_report(_infer(seed=7), _infer(seed=13))
+        assert (
+            sum(total for total, _ in report.by_relationship.values())
+            == report.dual_links
+        )
+        assert (
+            report.congruent + sum(report.disagreements.values())
+            == report.dual_links
+        )
+        assert 0.0 <= report.congruence <= 1.0
+        assert 0.0 <= report.clique_jaccard <= 1.0

@@ -119,6 +119,42 @@ class TestAsOrgFormat:
         assert len(parsed) == len(registry)
 
 
+class TestDegenerateInputs:
+    def test_empty_registry_round_trip(self):
+        registry = OrgRegistry()
+        assert len(registry) == 0
+        assert registry.sibling_pairs() == set()
+        assert registry.multi_as_orgs() == []
+        parsed = parse_as_org(render_as_org(registry))
+        assert len(parsed) == 0
+
+    def test_parse_empty_and_comment_only_text(self):
+        assert len(parse_as_org("")) == 0
+        assert len(parse_as_org("# only comments\n\n# more\n")) == 0
+
+    def test_parse_org_without_name_record(self):
+        # ASN lines referencing an org with no name line: the org_id
+        # stands in for the missing name
+        registry = parse_as_org("10|ORG-GHOST\n11|ORG-GHOST\n")
+        assert registry.org_of(10).name == "ORG-GHOST"
+        assert registry.are_siblings(10, 11)
+
+    def test_assign_minimal_graph(self):
+        graph = ASGraph()
+        graph.add_as(AS(asn=1, type=ASType.STUB))
+        registry = assign_organizations(graph)
+        assert registry.org_of(1) is not None
+        assert registry.sibling_pairs() == set()
+
+    def test_zero_acquisition_rate_means_link_driven_only(self):
+        graph = generate_topology(
+            GeneratorConfig(n_ases=150, seed=9, sibling_pairs=3)
+        )
+        registry = assign_organizations(graph, acquisition_rate=0.0)
+        for a, b in registry.sibling_pairs():
+            assert graph.relationship(a, b) is Relationship.S2S
+
+
 class TestSiblingInference:
     def test_known_siblings_labeled_first(self):
         paths = [

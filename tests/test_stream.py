@@ -1,0 +1,440 @@
+"""Unit tests for repro.stream: live corpus, delta apply, publishers."""
+
+import random
+
+import pytest
+
+from repro.bgp.collector import Collector, CollectorConfig
+from repro.mrt.reader import RibRecord, UpdateRecord
+from repro.mrt.updates import (
+    COLLECTOR_ASN,
+    iter_update_batches,
+    read_update_dump,
+    rib_from_updates,
+    write_update_dump,
+)
+from repro.net.prefix import Prefix
+from repro.relationships import canonical_pair
+from repro.stream import (
+    LiveCorpus,
+    StorePublisher,
+    StreamIngestor,
+    asrank_from_rib_rows,
+    prefixes_from_rows,
+)
+from repro.stream.delta import _LATE_STEPS, _partial_vps
+from repro.topology.generator import GeneratorConfig, generate_topology
+
+
+def _world(seed=11, n_ases=120, n_vps=8):
+    graph = generate_topology(GeneratorConfig(n_ases=n_ases, seed=seed))
+    corpus = Collector(graph, CollectorConfig(n_vps=n_vps, seed=seed)).run()
+    rows = [
+        RibRecord(
+            prefix=entry.prefix,
+            peer_asn=entry.vp,
+            as_path=tuple(entry.path),
+            communities=tuple(entry.communities),
+        )
+        for entry in corpus.rib
+    ]
+    return graph, rows
+
+
+def _announce(row, prefix=None, path=None):
+    return UpdateRecord(
+        peer_asn=row.peer_asn,
+        local_asn=COLLECTOR_ASN,
+        as_path=path if path is not None else row.as_path,
+        announced=(prefix if prefix is not None else row.prefix,),
+        communities=row.communities,
+    )
+
+
+def _withdraw(row):
+    return UpdateRecord(
+        peer_asn=row.peer_asn,
+        local_asn=COLLECTOR_ASN,
+        as_path=(),
+        announced=(),
+        communities=(),
+        withdrawn=(row.prefix,),
+    )
+
+
+def _oracle_version(ingestor, ixp_asns):
+    return (
+        asrank_from_rib_rows(ingestor.corpus.rows(), ixp_asns=ixp_asns)
+        .snapshot(source=ingestor.source)
+        .version
+    )
+
+
+class TestLiveCorpus:
+    def test_matches_rib_from_updates_oracle(self):
+        _graph, rows = _world()
+        rng = random.Random(5)
+        base = rows[: len(rows) // 2]
+        updates = []
+        for _ in range(120):
+            row = rng.choice(rows)
+            kind = rng.random()
+            if kind < 0.5:
+                updates.append(_announce(row))
+            elif kind < 0.8:
+                updates.append(_withdraw(row))
+            else:
+                donor = rng.choice(rows)
+                updates.append(_announce(row, path=donor.as_path))
+        corpus = LiveCorpus(base)
+        # apply in uneven batches; the final table must equal the
+        # one-shot offline reconstruction
+        for start in range(0, len(updates), 17):
+            corpus.apply(updates[start:start + 17])
+        assert corpus.rows() == rib_from_updates(updates, base=base)
+
+    def test_withdraw_before_announce_within_update(self):
+        row = RibRecord(
+            prefix=Prefix.parse("10.0.0.0/24"),
+            peer_asn=1,
+            as_path=(1, 2),
+            communities=(),
+        )
+        corpus = LiveCorpus([row])
+        corpus.apply(
+            [
+                UpdateRecord(
+                    peer_asn=1,
+                    local_asn=COLLECTOR_ASN,
+                    as_path=(1, 3),
+                    announced=(row.prefix,),
+                    communities=(),
+                    withdrawn=(row.prefix,),
+                )
+            ]
+        )
+        (survivor,) = corpus.rows()
+        assert survivor.as_path == (1, 3)
+
+    def test_dirty_tracking(self):
+        _graph, rows = _world()
+        corpus = LiveCorpus(rows)
+        assert corpus.dirty_fraction() == 0.0
+        # re-announcing an identical row is not dirty
+        corpus.apply([_announce(rows[0])])
+        assert corpus.dirty_fraction() == 0.0
+        corpus.apply([_withdraw(rows[1])])
+        assert len(corpus.dirty_keys) == 1
+        corpus.clear_dirty()
+        assert corpus.dirty_fraction() == 0.0
+
+    def test_prefixes_from_rows_matches_facade_derivation(self):
+        _graph, rows = _world()
+        derived = prefixes_from_rows(rows)
+        assert set(derived) == {r.as_path[-1] for r in rows if r.as_path}
+        for prefixes in derived.values():
+            assert prefixes == sorted(prefixes)
+
+
+class TestCachedSanitizer:
+    def test_bit_identical_to_pathset_sanitize(self):
+        from repro.core.paths import PathSet
+        from repro.stream.corpus import CachedSanitizer
+
+        ixp = frozenset({500})
+        raw = [
+            (),  # empty: discarded short
+            (1, 2, 3),
+            (1, 1, 2, 2, 3),  # prepending
+            (1, 64512, 3),  # reserved ASN: discarded
+            (1, 500, 3),  # IXP hop spliced out
+            (1, 500, 1, 3),  # IXP splice exposes prepending
+            (1, 2, 1),  # loop: discarded
+            (7,),  # short after cleaning
+            (1, 2, 3),  # duplicate
+            (500, 2),  # IXP removal leaves a short path
+            (1, 1, 64500, 2),  # prepending AND reserved: both counted
+        ] * 2
+        sanitizer = CachedSanitizer(ixp)
+        # twice through the same sanitizer: the second pass is all
+        # cache hits and must still match the uncached reference
+        for _ in range(2):
+            cached = sanitizer.sanitize(iter(raw))
+            reference = PathSet.sanitize(raw, ixp_asns=ixp)
+            assert cached.paths == reference.paths
+            assert cached.counts == reference.counts
+            assert cached.stats == reference.stats
+
+    def test_real_corpus_equivalence(self):
+        from repro.core.paths import PathSet
+        from repro.stream.corpus import CachedSanitizer
+
+        graph, rows = _world()
+        ixp = graph.ixp_asns()
+        sanitizer = CachedSanitizer(ixp)
+        cached = sanitizer.sanitize(row.as_path for row in rows)
+        reference = PathSet.sanitize(
+            (row.as_path for row in rows), ixp_asns=ixp
+        )
+        assert cached.paths == reference.paths
+        assert cached.counts == reference.counts
+        assert cached.stats == reference.stats
+
+
+class TestUpdateBatches:
+    def test_batches_flatten_to_full_dump(self, tmp_path):
+        graph = generate_topology(GeneratorConfig(n_ases=60, seed=3))
+        corpus = Collector(graph, CollectorConfig(n_vps=4, seed=3)).run()
+        dump = str(tmp_path / "updates.mrt")
+        write_update_dump(dump, corpus.rib)
+        flat = [
+            record
+            for batch in iter_update_batches(dump, batch_size=7)
+            for record in batch
+        ]
+        assert flat == read_update_dump(dump)
+        sizes = [
+            len(batch) for batch in iter_update_batches(dump, batch_size=7)
+        ]
+        assert all(size == 7 for size in sizes[:-1])
+        assert 1 <= sizes[-1] <= 7
+
+    def test_batch_size_validated(self, tmp_path):
+        dump = str(tmp_path / "empty.mrt")
+        open(dump, "wb").close()
+        with pytest.raises(ValueError):
+            list(iter_update_batches(dump, batch_size=0))
+        assert list(iter_update_batches(dump)) == []
+
+
+class TestIngestLevels:
+    @pytest.fixture(scope="class")
+    def seeded(self):
+        graph, rows = _world()
+        ingestor = StreamIngestor(
+            ixp_asns=graph.ixp_asns(), base_rows=rows
+        )
+        ingestor.publish()
+        return graph, rows, ingestor
+
+    def test_noop_reuses_snapshot(self):
+        graph, rows = _world()
+        ingestor = StreamIngestor(ixp_asns=graph.ixp_asns(), base_rows=rows)
+        first = ingestor.publish()
+        ingestor.apply_batch([_announce(rows[0])])
+        second = ingestor.publish()
+        assert second is first  # the object, not just the version
+        assert ingestor.stats.noop_publishes == 1
+
+    def test_new_prefix_is_delta_not_noop(self):
+        graph, rows = _world()
+        ixp = graph.ixp_asns()
+        ingestor = StreamIngestor(ixp_asns=ixp, base_rows=rows)
+        first = ingestor.publish()
+        # same corpus paths, new prefix: cone_prefixes change, so the
+        # version must change — and match the batch oracle
+        ingestor.apply_batch(
+            [_announce(rows[0], prefix=Prefix.parse("198.51.100.0/24"))]
+        )
+        second = ingestor.publish()
+        assert ingestor.stats.last_publish_mode == "delta"
+        assert second.version != first.version
+        assert second.version == _oracle_version(ingestor, ixp)
+
+    def test_truncated_path_batch_is_delta(self):
+        graph, rows = _world()
+        ixp = graph.ixp_asns()
+        ingestor = StreamIngestor(ixp_asns=ixp, base_rows=rows)
+        ingestor.publish()
+        live = ingestor.live
+        result = live.result
+        origins = {path[-1] for path in live.filtered.paths}
+        partial = _partial_vps(
+            live.filtered, ingestor.config.partial_vp_coverage
+        )
+        existing = set(live.filtered.paths)
+        batch = []
+        for path in live.filtered.paths:
+            for cut in range(3, len(path)):
+                t = path[:cut]
+                if t in existing or t[-1] not in origins:
+                    continue
+                if t[0] in partial:
+                    continue
+                steps = [
+                    result._step.get(canonical_pair(a, b))
+                    for a, b in zip(t, t[1:])
+                ]
+                if any(s is None or s in _LATE_STEPS for s in steps):
+                    continue
+                existing.add(t)
+                batch.append(
+                    UpdateRecord(
+                        peer_asn=t[0],
+                        local_asn=COLLECTOR_ASN,
+                        as_path=t,
+                        announced=(
+                            Prefix.parse(f"203.0.{113 + len(batch)}.0/24"),
+                        ),
+                        communities=(),
+                    )
+                )
+            if len(batch) >= 4:
+                break
+        assert batch, "world must yield delta-eligible truncations"
+        ingestor.apply_batch(batch)
+        snapshot = ingestor.publish()
+        assert ingestor.stats.delta_publishes >= 1
+        assert ingestor.stats.last_publish_mode == "delta"
+        assert snapshot.version == _oracle_version(ingestor, ixp)
+
+    def test_new_link_falls_back_to_full(self):
+        graph, rows = _world()
+        ixp = graph.ixp_asns()
+        ingestor = StreamIngestor(ixp_asns=ixp, base_rows=rows)
+        ingestor.publish()
+        live = ingestor.live
+        links = live.filtered.links()
+        asns = sorted(live.filtered.asns())
+        # extend an existing path by one previously-unlinked AS so the
+        # announcement introduces a genuinely new link
+        path = None
+        for old in live.filtered.paths:
+            for extra in asns:
+                pair = canonical_pair(old[-1], extra)
+                if extra not in old and pair not in links:
+                    path = old + (extra,)
+                    break
+            if path is not None:
+                break
+        assert path is not None
+        ingestor.apply_batch(
+            [
+                UpdateRecord(
+                    peer_asn=path[0],
+                    local_asn=COLLECTOR_ASN,
+                    as_path=path,
+                    announced=(Prefix.parse("192.0.2.0/24"),),
+                    communities=(),
+                )
+            ]
+        )
+        snapshot = ingestor.publish()
+        assert ingestor.stats.last_publish_mode == "full"
+        assert ingestor.stats.fallbacks  # a delta refusal was recorded
+        assert snapshot.version == _oracle_version(ingestor, ixp)
+
+    def test_withdrawal_shrinking_corpus_is_full(self):
+        graph, rows = _world()
+        ixp = graph.ixp_asns()
+        ingestor = StreamIngestor(ixp_asns=ixp, base_rows=rows)
+        ingestor.publish()
+        # withdraw every row carrying some path so the corpus shrinks
+        victim_path = rows[0].as_path
+        victims = [r for r in rows if r.as_path == victim_path]
+        ingestor.apply_batch([_withdraw(r) for r in victims])
+        snapshot = ingestor.publish()
+        assert ingestor.stats.last_publish_mode == "full"
+        assert ingestor.stats.withdrawals == len(victims)
+        assert snapshot.version == _oracle_version(ingestor, ixp)
+
+    def test_zero_threshold_forces_full(self):
+        graph, rows = _world()
+        ixp = graph.ixp_asns()
+        ingestor = StreamIngestor(
+            ixp_asns=ixp, base_rows=rows, full_threshold=0.0
+        )
+        ingestor.publish()
+        ingestor.apply_batch(
+            [_announce(rows[0], prefix=Prefix.parse("198.51.100.0/24"))]
+        )
+        ingestor.publish()
+        assert ingestor.stats.last_publish_mode == "full"
+        assert ingestor.stats.fallbacks.get("dirty-threshold") == 1
+
+    def test_churn_sequence_stays_bit_identical(self):
+        graph, rows = _world(seed=29)
+        ixp = graph.ixp_asns()
+        rng = random.Random(29)
+        base = rows[: len(rows) * 3 // 5]
+        held = rows[len(base):]
+        ingestor = StreamIngestor(ixp_asns=ixp, base_rows=base)
+        ingestor.publish()
+        batches = [
+            [_announce(r) for r in held[: len(held) // 2]],
+            [_announce(r) for r in held[len(held) // 2:]]
+            + [_withdraw(r) for r in rng.sample(base, 3)],
+            [
+                _announce(t, path=d.as_path)
+                for t, d in zip(rng.sample(base, 4), rng.sample(rows, 4))
+            ],
+        ]
+        for batch in batches:
+            ingestor.apply_batch(batch)
+            snapshot = ingestor.publish()
+            assert snapshot.version == _oracle_version(ingestor, ixp)
+        assert ingestor.stats.publishes == 4
+        assert ingestor.stats.batches == 3
+
+    def test_stats_counters(self, seeded):
+        _graph, _rows, ingestor = seeded
+        status = ingestor.status()
+        assert status["publishes"] == ingestor.stats.publishes
+        assert status["table_rows"] == len(ingestor.corpus)
+        assert status["last_publish_version"] is not None
+        assert "last_publish_age_s" in status
+        assert status["fallbacks"].get("cold-start") == 1
+
+
+class TestServing:
+    def test_hot_publish_and_stream_route(self):
+        import json
+        from urllib.request import urlopen
+
+        from repro.serve.server import ServerThread
+        from repro.serve.store import SnapshotStore
+
+        graph, rows = _world(seed=17, n_ases=80, n_vps=5)
+        ixp = graph.ixp_asns()
+        base = rows[: len(rows) // 2]
+        ingestor = StreamIngestor(ixp_asns=ixp, base_rows=base)
+        first = ingestor.publish()
+        store = SnapshotStore(snapshot=first)
+        ingestor.publisher = StorePublisher(store)
+        with ServerThread(store, ingest_status=ingestor.status) as (
+            host,
+            port,
+        ):
+            def get(route):
+                with urlopen(
+                    f"http://{host}:{port}{route}", timeout=10
+                ) as response:
+                    return json.load(response)
+
+            assert get("/snapshot")["version"] == first.version
+            status = get("/stream")
+            assert status["publishes"] == 1
+            assert status["serving_version"] == first.version
+            assert get("/metrics")["ingest"]["publishes"] == 1
+
+            # hot publish: the served version must converge
+            ingestor.apply_batch([_announce(r) for r in rows[len(base):]])
+            second = ingestor.publish()
+            assert second.version != first.version
+            assert get("/snapshot")["version"] == second.version
+            assert get("/stream")["last_publish_version"] == second.version
+
+    def test_stream_route_404_without_ingestor(self):
+        from repro.serve.handlers import Api
+        from repro.serve.store import SnapshotStore
+
+        graph, rows = _world(seed=17, n_ases=80, n_vps=5)
+        snapshot = asrank_from_rib_rows(
+            rows, ixp_asns=graph.ixp_asns()
+        ).snapshot(source="test")
+        api = Api(SnapshotStore(snapshot=snapshot))
+        status, payload, _route, _cacheable = api.handle(
+            "GET", "/stream", {}
+        )
+        assert status == 404
+        assert "no stream attached" in payload["error"]
